@@ -1,0 +1,123 @@
+// E9 — design ablations: the full System R optimizer vs
+//   (a) DP without interesting orders (forces re-sorts),
+//   (b) DP without the merge-scan join method,
+//   (c) DP without the Cartesian-deferral heuristic (same plans, more work),
+//   (d) greedy smallest-intermediate ordering,
+//   (e) syntactic FROM-order nested loops (the "no optimizer" baseline),
+// measured as total estimated and total metered actual cost over a fixed
+// random workload.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/querygen.h"
+
+namespace systemr {
+namespace bench {
+namespace {
+
+struct Strategy {
+  const char* name;
+  bool baseline = false;
+  BaselineKind baseline_kind = BaselineKind::kGreedy;
+  OptimizerOptions options;
+};
+
+int Main() {
+  Database db(128);
+  ChainSchemaSpec spec;
+  spec.num_tables = 4;
+  spec.base_rows = 6000;
+  spec.shrink = 0.5;
+  Die(BuildChainSchema(&db, spec, 31));
+
+  // Fixed workload: a mix of single-table, 2-way, and 3-way queries.
+  QueryGen qgen(spec, 123);
+  std::vector<std::string> workload;
+  for (int i = 0; i < 10; ++i) workload.push_back(qgen.RandomSingleTableQuery());
+  for (int i = 0; i < 10; ++i) workload.push_back(qgen.RandomJoinQuery(2));
+  for (int i = 0; i < 8; ++i) workload.push_back(qgen.RandomJoinQuery(3));
+
+  std::vector<Strategy> strategies;
+  {
+    Strategy s;
+    s.name = "full optimizer (paper)";
+    s.options = db.options();
+    strategies.push_back(s);
+    s.name = "no interesting orders";
+    s.options = db.options();
+    s.options.join.use_interesting_orders = false;
+    strategies.push_back(s);
+    s.name = "no merge join";
+    s.options = db.options();
+    s.options.join.enable_merge_join = false;
+    strategies.push_back(s);
+    s.name = "no cartesian heuristic";
+    s.options = db.options();
+    s.options.join.cartesian_heuristic = false;
+    strategies.push_back(s);
+    s.name = "greedy ordering";
+    s.options = db.options();
+    s.baseline = true;
+    s.baseline_kind = BaselineKind::kGreedy;
+    strategies.push_back(s);
+    s.name = "syntactic nested loops";
+    s.options = db.options();
+    s.baseline = true;
+    s.baseline_kind = BaselineKind::kSyntacticNestedLoop;
+    strategies.push_back(s);
+  }
+
+  Header("E9 — ablations over a 28-query workload");
+  std::printf("%-26s %14s %14s %12s\n", "strategy", "total est.",
+              "total actual", "vs full");
+  double w = db.options().cost.w;
+  double full_actual = 0;
+  size_t reference_rows = 0;
+  bool first = true;
+  for (const Strategy& strat : strategies) {
+    double est = 0, actual = 0;
+    size_t rows = 0;
+    for (const std::string& sql : workload) {
+      OptimizedQuery q =
+          strat.baseline
+              ? Unwrap(db.PrepareBaseline(sql, strat.baseline_kind))
+              : [&] {
+                  Binder binder(&db.catalog());
+                  auto stmt = Unwrap(Parse(sql));
+                  auto block = Unwrap(binder.Bind(*stmt.select));
+                  Optimizer opt(&db.catalog(), strat.options);
+                  return Unwrap(opt.Optimize(std::move(block)));
+                }();
+      ExecResult exec =
+          ExecuteCold(&db, *q.block, q.root, &q.subquery_plans);
+      est += q.est_cost;
+      actual += exec.stats.ActualCost(w);
+      rows += exec.rows.size();
+    }
+    if (first) {
+      full_actual = actual;
+      reference_rows = rows;
+      first = false;
+    }
+    if (rows != reference_rows) {
+      std::printf("!! %s returned %zu rows, expected %zu\n", strat.name, rows,
+                  reference_rows);
+      return 1;
+    }
+    std::printf("%-26s %14.1f %14.1f %11.2fx\n", strat.name, est, actual,
+                actual / full_actual);
+  }
+  std::printf(
+      "\nAll strategies returned identical row counts (plan correctness).\n"
+      "Expected shape: the full optimizer is cheapest; dropping interesting\n"
+      "orders or merge joins costs moderately; greedy is usually close;\n"
+      "syntactic nested loops is far worse. The no-heuristic DP matches the\n"
+      "full optimizer's cost (it only searches more).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace systemr
+
+int main() { return systemr::bench::Main(); }

@@ -1,0 +1,77 @@
+// E11 — the W weighting factor (§4): "COST = PAGE FETCHES + W*(RSI CALLS).
+// W is an adjustable weighting factor between I/O and CPU." And §7: "many
+// queries are CPU-bound, particularly merge joins for which temporary
+// relations are created and sorts performed."
+//
+// Sweeps W and reports, for a fixed workload, which access paths and join
+// methods the optimizer picks and the resulting metered I/O and RSI calls.
+// As W grows, plans that minimize tuple traffic (selective index paths,
+// SARG-heavy scans) must win over plans that only minimize page fetches.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+#include "workload/querygen.h"
+
+namespace systemr {
+namespace bench {
+namespace {
+
+int Main() {
+  Database db(128);
+  ChainSchemaSpec spec;
+  spec.num_tables = 3;
+  spec.base_rows = 8000;
+  spec.shrink = 0.5;
+  Die(BuildChainSchema(&db, spec, 55));
+
+  QueryGen qgen(spec, 808);
+  std::vector<std::string> workload;
+  for (int i = 0; i < 12; ++i) workload.push_back(qgen.RandomSingleTableQuery());
+  for (int i = 0; i < 8; ++i) workload.push_back(qgen.RandomJoinQuery(2));
+
+  Header("E11 — W sweep: COST = PAGE FETCHES + W * RSI CALLS");
+  std::printf("%8s | %10s %10s %12s | %9s %9s %9s\n", "W", "tot.pages",
+              "tot.RSI", "tot.cost", "segscan", "index", "mergejoin");
+
+  for (double w : {0.0, 0.01, 0.1, 0.5, 2.0, 10.0}) {
+    db.options().cost.w = w;
+    uint64_t pages = 0, rsi = 0;
+    double cost = 0;
+    int seg = 0, idx = 0, mj = 0;
+    for (const std::string& sql : workload) {
+      OptimizedQuery q = Unwrap(db.Prepare(sql));
+      // Count plan-node kinds in the chosen plan.
+      std::function<void(const PlanRef&)> walk = [&](const PlanRef& n) {
+        if (n == nullptr) return;
+        if (n->kind == PlanKind::kSegScan) ++seg;
+        if (n->kind == PlanKind::kIndexScan) ++idx;
+        if (n->kind == PlanKind::kMergeJoin) ++mj;
+        walk(n->left);
+        walk(n->right);
+      };
+      walk(q.root);
+      ExecResult exec = ExecuteCold(&db, *q.block, q.root, &q.subquery_plans);
+      pages += exec.stats.page_io();
+      rsi += exec.stats.rsi_calls;
+      cost += exec.stats.ActualCost(w);
+    }
+    std::printf("%8.2f | %10llu %10llu %12.1f | %9d %9d %9d\n", w,
+                (unsigned long long)pages, (unsigned long long)rsi, cost, seg,
+                idx, mj);
+  }
+  db.options().cost.w = 0.1;
+  std::printf(
+      "\nReading: total RSI calls are fixed by the query semantics for the\n"
+      "returned tuples, but the optimizer shifts from page-fetch-minimizing\n"
+      "plans (low W) toward plans whose SARGs and index keys reject tuples\n"
+      "below the RSI (high W) — the paper's motivation for counting CPU in\n"
+      "the cost formula at all.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace systemr
+
+int main() { return systemr::bench::Main(); }

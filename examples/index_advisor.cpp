@@ -1,0 +1,99 @@
+// Index advisor: a what-if study built on the public optimizer API. The same
+// workload is planned and executed under several physical designs (no
+// indexes / non-clustered / clustered / composite), showing how the System R
+// cost model drives access path selection — and how well its predictions
+// track metered reality.
+//
+//   build/examples/index_advisor
+#include <cstdio>
+#include <vector>
+
+#include "db/database.h"
+#include "workload/datagen.h"
+
+using namespace systemr;
+
+namespace {
+
+struct Design {
+  const char* name;
+  std::vector<IndexSpec> indexes;
+  bool cluster_by_region;
+};
+
+const char* kWorkload[] = {
+    "SELECT ORDER_ID FROM ORDERS WHERE REGION = 17",
+    "SELECT ORDER_ID FROM ORDERS WHERE REGION BETWEEN 10 AND 14",
+    "SELECT ORDER_ID, AMOUNT FROM ORDERS WHERE CUST = 4242",
+    "SELECT REGION, COUNT(*), SUM(AMOUNT) FROM ORDERS "
+    "WHERE REGION < 8 GROUP BY REGION",
+};
+
+void Evaluate(const Design& design) {
+  Database db(128);
+  DataGen gen(&db, 5);
+  TableSpec orders;
+  orders.name = "ORDERS";
+  orders.num_rows = 60000;
+  orders.columns = {{"ORDER_ID", ValueType::kInt64, 60000, 0, true},
+                    {"CUST", ValueType::kInt64, 8000, 0, false},
+                    {"REGION", ValueType::kInt64, 25, 0, false},
+                    {"AMOUNT", ValueType::kInt64, 10000, 0, false}};
+  orders.indexes = design.indexes;
+  if (design.cluster_by_region) orders.cluster_by = "REGION";
+  if (!gen.CreateAndLoad(orders).ok()) {
+    std::printf("load failed\n");
+    return;
+  }
+
+  std::printf("\n=== design: %s ===\n", design.name);
+  double total_est = 0, total_actual = 0;
+  for (const char* sql : kWorkload) {
+    auto prepared = db.Prepare(sql);
+    if (!prepared.ok()) {
+      std::printf("  prepare failed: %s\n",
+                  prepared.status().ToString().c_str());
+      continue;
+    }
+    db.rss().pool().FlushAll();
+    auto result = db.Run(*prepared);
+    if (!result.ok()) continue;
+    // One-line summary of the access path the optimizer picked.
+    std::string plan;
+    for (PlanRef node = prepared->root; node != nullptr; node = node->left) {
+      if (node->kind == PlanKind::kSegScan) plan = "segment scan";
+      if (node->kind == PlanKind::kIndexScan) {
+        plan = "index " + node->scan.index->name;
+      }
+    }
+    std::printf("  est %8.1f  actual %8.1f  via %-22s  %s\n",
+                prepared->est_cost, result->actual_cost, plan.c_str(), sql);
+    total_est += prepared->est_cost;
+    total_actual += result->actual_cost;
+  }
+  std::printf("  workload total: est %.1f, actual %.1f\n", total_est,
+              total_actual);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("What-if index study over a 60000-row ORDERS table.\n");
+  Evaluate({"no indexes", {}, false});
+  Evaluate({"non-clustered REGION index",
+            {{"ORD_REGION", {"REGION"}, false, false}},
+            false});
+  Evaluate({"clustered REGION index",
+            {{"ORD_REGION", {"REGION"}, false, true}},
+            true});
+  Evaluate({"clustered REGION + unique CUST-leading composite",
+            {{"ORD_REGION", {"REGION"}, false, true},
+             {"ORD_CUST", {"CUST", "ORDER_ID"}, false, false}},
+            true});
+  std::printf(
+      "\nReading the results: the clustered REGION index wins the REGION\n"
+      "queries because Table 2 charges it F*(NINDX+TCARD) instead of\n"
+      "F*(NINDX+NCARD); the composite index serves the CUST probe via its\n"
+      "leading-column prefix (the paper's index-matching rule).\n");
+  return 0;
+}

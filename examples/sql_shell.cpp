@@ -1,0 +1,78 @@
+// Interactive SQL shell over the systemr engine. Reads semicolon-terminated
+// statements from stdin; `EXPLAIN SELECT ...` prints the chosen access plan.
+// Start with a ready-made database:
+//
+//   build/examples/sql_shell            # empty database
+//   build/examples/sql_shell --paper    # the paper's EMP/DEPT/JOB example
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "db/database.h"
+#include "workload/datagen.h"
+
+using namespace systemr;
+
+int main(int argc, char** argv) {
+  Database db(/*buffer_pages=*/256);
+  if (argc > 1 && std::string(argv[1]) == "--paper") {
+    DataGen gen(&db, 1979);
+    auto st = gen.LoadPaperExample(20000, 100, 50);
+    if (!st.ok()) {
+      std::printf("load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("Loaded EMP(20000)/DEPT(100)/JOB(50).\n");
+  }
+  std::printf(
+      "systemr SQL shell. Statements end with ';'. Ctrl-D to exit.\n"
+      "Supported: SELECT [DISTINCT] (joins, subqueries, GROUP BY/HAVING,\n"
+      "ORDER BY, LIKE), CREATE TABLE, CREATE [UNIQUE] [CLUSTERED] INDEX,\n"
+      "INSERT, DELETE, UPDATE ... SET, UPDATE STATISTICS, EXPLAIN SELECT.\n");
+
+  std::string buffer;
+  std::string line;
+  std::printf("systemr> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    buffer += line;
+    buffer += "\n";
+    if (buffer.find(';') == std::string::npos) {
+      std::printf("      -> ");
+      std::fflush(stdout);
+      continue;
+    }
+    auto parsed = Parse(buffer);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+    } else if (parsed->kind == Statement::Kind::kSelect ||
+               parsed->kind == Statement::Kind::kExplain) {
+      auto result = db.Query(buffer);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else if (!result->plan_text.empty()) {
+        std::printf("%s", result->plan_text.c_str());
+      } else {
+        std::printf("%s", result->ToString(40).c_str());
+        std::printf("[est. cost %.1f | actual cost %.1f]\n", result->est_cost,
+                    result->actual_cost);
+      }
+    } else if (parsed->kind == Statement::Kind::kDelete ||
+               parsed->kind == Statement::Kind::kUpdate) {
+      auto affected = db.Mutate(buffer);
+      if (affected.ok()) {
+        std::printf("%zu row(s) affected\n", *affected);
+      } else {
+        std::printf("error: %s\n", affected.status().ToString().c_str());
+      }
+    } else {
+      Status st = db.Execute(buffer);
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    }
+    buffer.clear();
+    std::printf("systemr> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "catalog/catalog.h"
+
+namespace systemr {
+
+StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                          Schema schema,
+                                          std::optional<SegmentId> segment) {
+  if (table_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->id = static_cast<RelId>(tables_.size());
+  info->name = name;
+  info->schema = std::move(schema);
+  info->segment = segment.has_value() ? *segment : rss_->CreateSegment();
+  rss_->CreateHeap(info->segment, info->id);
+  table_by_name_[name] = info->id;
+  tables_.push_back(std::move(info));
+  return tables_.back().get();
+}
+
+std::string Catalog::ExtractKey(const IndexInfo& info, const Row& row) {
+  std::string key;
+  for (size_t col : info.key_columns) row[col].EncodeKey(&key);
+  return key;
+}
+
+StatusOr<IndexInfo*> Catalog::CreateIndex(
+    const std::string& index_name, const std::string& table_name,
+    const std::vector<std::string>& column_names, bool unique,
+    bool clustered) {
+  TableInfo* table = FindTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + table_name);
+  }
+  std::vector<size_t> key_columns;
+  for (const std::string& cname : column_names) {
+    auto col = table->schema.FindColumn(cname);
+    if (!col.has_value()) {
+      return Status::NotFound("no such column: " + cname);
+    }
+    key_columns.push_back(*col);
+  }
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("index needs at least one key column");
+  }
+
+  BTree* btree = rss_->CreateIndex(unique);
+  auto info = std::make_unique<IndexInfo>();
+  info->id = btree->id();
+  info->name = index_name;
+  info->rel = table->id;
+  info->key_columns = std::move(key_columns);
+  info->unique = unique;
+  info->clustered = clustered;
+
+  // Bulk-load from existing tuples.
+  auto scan = rss_->OpenSegmentScan(table->id, {});
+  RETURN_IF_ERROR(scan->Open());
+  Row row;
+  Tid tid;
+  while (scan->Next(&row, &tid)) {
+    RETURN_IF_ERROR(btree->Insert(ExtractKey(*info, row), tid));
+  }
+  scan->Close();
+
+  table->indexes.push_back(info->id);
+  IndexId id = info->id;
+  if (indexes_.size() <= id) indexes_.resize(id + 1);
+  indexes_[id] = std::move(info);
+  // "Index creation initializes these statistics" (§4).
+  RETURN_IF_ERROR(UpdateStatistics(table_name));
+  return indexes_[id].get();
+}
+
+Status Catalog::Insert(const std::string& table_name, const Row& row) {
+  TableInfo* table = FindTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + table_name);
+  }
+  if (row.size() != table->schema.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != table->schema.column(i).type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     table->schema.column(i).name);
+    }
+  }
+  ASSIGN_OR_RETURN(Tid tid, rss_->heap(table->id)->Insert(row));
+  for (IndexId iid : table->indexes) {
+    const IndexInfo& info = *indexes_[iid];
+    RETURN_IF_ERROR(rss_->index(iid)->Insert(ExtractKey(info, row), tid));
+  }
+  return Status::OK();
+}
+
+Status Catalog::DeleteRow(const std::string& table_name, Tid tid) {
+  TableInfo* table = FindTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + table_name);
+  }
+  Row row;
+  RETURN_IF_ERROR(rss_->heap(table->id)->ReadTuple(tid, &row));
+  for (IndexId iid : table->indexes) {
+    const IndexInfo& info = *indexes_[iid];
+    RETURN_IF_ERROR(rss_->index(iid)->Delete(ExtractKey(info, row), tid));
+  }
+  return rss_->heap(table->id)->Delete(tid);
+}
+
+Status Catalog::UpdateRow(const std::string& table_name, Tid tid,
+                          const Row& new_row) {
+  RETURN_IF_ERROR(DeleteRow(table_name, tid));
+  return Insert(table_name, new_row);
+}
+
+TableInfo* Catalog::FindTable(const std::string& name) {
+  auto it = table_by_name_.find(name);
+  if (it == table_by_name_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+const TableInfo* Catalog::FindTable(const std::string& name) const {
+  auto it = table_by_name_.find(name);
+  if (it == table_by_name_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+}  // namespace systemr

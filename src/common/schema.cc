@@ -1,0 +1,34 @@
+#include "common/schema.h"
+
+namespace systemr {
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += columns_[i].name;
+    s += " ";
+    s += ValueTypeName(columns_[i].type);
+  }
+  s += ")";
+  return s;
+}
+
+std::string RowToString(const Row& row) {
+  std::string s = "[";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += row[i].ToString();
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace systemr

@@ -1,0 +1,129 @@
+// Status and StatusOr: exception-free error propagation for the systemr
+// library. Modeled after absl::Status but self-contained.
+#ifndef SYSTEMR_COMMON_STATUS_H_
+#define SYSTEMR_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace systemr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Result of an operation that may fail. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T. `value()` aborts if not OK; check `ok()`
+/// (or use the RETURN_IF_ERROR/ASSIGN_OR_RETURN macros) first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit from error Status is the idiom.
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+  StatusOr(T value)  // NOLINT: implicit from value is the idiom.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define SYSTEMR_CONCAT_INNER_(a, b) a##b
+#define SYSTEMR_CONCAT_(a, b) SYSTEMR_CONCAT_INNER_(a, b)
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                 \
+  do {                                        \
+    ::systemr::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error propagates the Status, otherwise
+/// moves the value into `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, expr) \
+  ASSIGN_OR_RETURN_IMPL_(SYSTEMR_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                           \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).value()
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_COMMON_STATUS_H_

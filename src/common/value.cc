@@ -1,0 +1,281 @@
+#include "common/value.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace systemr {
+
+namespace {
+
+// Orders values of different types: NULL first, then numerics, then strings.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+
+void AppendBigEndian64(uint64_t v, std::string* out) {
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadBigEndian64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+// IEEE-754 trick: flips bits so that the unsigned big-endian comparison of
+// the result matches the numeric order of the doubles.
+uint64_t DoubleToOrderedBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & (1ull << 63)) {
+    return ~bits;  // Negative: flip everything.
+  }
+  return bits | (1ull << 63);  // Positive: flip sign bit.
+}
+
+double OrderedBitsToDouble(uint64_t bits) {
+  if (bits & (1ull << 63)) {
+    bits &= ~(1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "REAL";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  int r1 = TypeRank(type_);
+  int r2 = TypeRank(other.type_);
+  if (r1 != r2) return r1 < r2 ? -1 : 1;
+  switch (type_) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+      if (other.type_ == ValueType::kInt64) {
+        if (int_ == other.int_) return 0;
+        return int_ < other.int_ ? -1 : 1;
+      }
+      break;
+    case ValueType::kDouble:
+      break;
+    case ValueType::kString: {
+      int c = str_.compare(other.str_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  // Mixed or double numeric comparison.
+  double a = AsNumber();
+  double b = other.AsNumber();
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+void Value::EncodeKey(std::string* out) const {
+  switch (type_) {
+    case ValueType::kNull:
+      out->push_back(0x00);
+      return;
+    case ValueType::kInt64: {
+      out->push_back(0x01);
+      // Flip sign bit so big-endian bytes order like signed ints.
+      AppendBigEndian64(static_cast<uint64_t>(int_) ^ (1ull << 63), out);
+      return;
+    }
+    case ValueType::kDouble: {
+      // Same tag byte as INT64 would break cross-type index keys; index key
+      // columns are homogeneously typed, so distinct tags keep decode exact
+      // while preserving per-type order.
+      out->push_back(0x02);
+      AppendBigEndian64(DoubleToOrderedBits(double_), out);
+      return;
+    }
+    case ValueType::kString: {
+      out->push_back(0x03);
+      // Escape 0x00 as (0x00, 0xff); terminate with (0x00, 0x00). Preserves
+      // order: a shorter string that is a prefix sorts first.
+      for (char c : str_) {
+        out->push_back(c);
+        if (c == '\0') out->push_back(static_cast<char>(0xff));
+      }
+      out->push_back('\0');
+      out->push_back('\0');
+      return;
+    }
+  }
+}
+
+bool Value::DecodeKey(const std::string& data, size_t* pos, Value* out) {
+  if (*pos >= data.size()) return false;
+  uint8_t tag = static_cast<uint8_t>(data[(*pos)++]);
+  switch (tag) {
+    case 0x00:
+      *out = Value::Null();
+      return true;
+    case 0x01: {
+      if (*pos + 8 > data.size()) return false;
+      uint64_t raw = ReadBigEndian64(
+          reinterpret_cast<const unsigned char*>(data.data() + *pos));
+      *pos += 8;
+      *out = Value::Int(static_cast<int64_t>(raw ^ (1ull << 63)));
+      return true;
+    }
+    case 0x02: {
+      if (*pos + 8 > data.size()) return false;
+      uint64_t raw = ReadBigEndian64(
+          reinterpret_cast<const unsigned char*>(data.data() + *pos));
+      *pos += 8;
+      *out = Value::Real(OrderedBitsToDouble(raw));
+      return true;
+    }
+    case 0x03: {
+      std::string s;
+      while (true) {
+        if (*pos >= data.size()) return false;
+        char c = data[(*pos)++];
+        if (c == '\0') {
+          if (*pos >= data.size()) return false;
+          char nxt = data[(*pos)++];
+          if (nxt == '\0') break;           // Terminator.
+          if (static_cast<uint8_t>(nxt) != 0xff) return false;
+          s.push_back('\0');
+          continue;
+        }
+        s.push_back(c);
+      }
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void Value::Serialize(std::string* out) const {
+  out->push_back(static_cast<char>(type_));
+  switch (type_) {
+    case ValueType::kNull:
+      return;
+    case ValueType::kInt64:
+      AppendBigEndian64(static_cast<uint64_t>(int_), out);
+      return;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &double_, sizeof(bits));
+      AppendBigEndian64(bits, out);
+      return;
+    }
+    case ValueType::kString: {
+      uint32_t len = static_cast<uint32_t>(str_.size());
+      out->push_back(static_cast<char>(len & 0xff));
+      out->push_back(static_cast<char>((len >> 8) & 0xff));
+      out->append(str_);
+      return;
+    }
+  }
+}
+
+size_t Value::SerializedSize() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 9;
+    case ValueType::kString:
+      return 3 + str_.size();
+  }
+  return 1;
+}
+
+bool Value::Deserialize(const char* data, size_t size, size_t* pos,
+                        Value* out) {
+  if (*pos >= size) return false;
+  ValueType t = static_cast<ValueType>(data[(*pos)++]);
+  switch (t) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kInt64: {
+      if (*pos + 8 > size) return false;
+      uint64_t raw = ReadBigEndian64(
+          reinterpret_cast<const unsigned char*>(data + *pos));
+      *pos += 8;
+      *out = Value::Int(static_cast<int64_t>(raw));
+      return true;
+    }
+    case ValueType::kDouble: {
+      if (*pos + 8 > size) return false;
+      uint64_t raw = ReadBigEndian64(
+          reinterpret_cast<const unsigned char*>(data + *pos));
+      *pos += 8;
+      double d;
+      std::memcpy(&d, &raw, sizeof(d));
+      *out = Value::Real(d);
+      return true;
+    }
+    case ValueType::kString: {
+      if (*pos + 2 > size) return false;
+      uint32_t len = static_cast<uint8_t>(data[*pos]) |
+                     (static_cast<uint8_t>(data[*pos + 1]) << 8);
+      *pos += 2;
+      if (*pos + len > size) return false;
+      *out = Value::Str(std::string(data + *pos, len));
+      *pos += len;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(int_);
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << double_;
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + str_ + "'";
+  }
+  return "?";
+}
+
+std::string EncodeCompositeKey(const std::vector<Value>& values) {
+  std::string out;
+  for (const Value& v : values) v.EncodeKey(&out);
+  return out;
+}
+
+}  // namespace systemr

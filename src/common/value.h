@@ -1,0 +1,104 @@
+// Value: the dynamically-typed cell of a tuple. Supports total ordering
+// (numeric types compare numerically; NULL sorts first), serialization into
+// tuple storage, and an order-preserving "memcomparable" key encoding used by
+// the B+-tree so index pages can compare keys with plain memcmp.
+#ifndef SYSTEMR_COMMON_VALUE_H_
+#define SYSTEMR_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace systemr {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// Returns true for the arithmetic types, on which the optimizer can do the
+/// Table-1 linear interpolation of range-predicate selectivities.
+inline bool IsArithmetic(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value x;
+    x.type_ = ValueType::kInt64;
+    x.int_ = v;
+    return x;
+  }
+  static Value Real(double v) {
+    Value x;
+    x.type_ = ValueType::kDouble;
+    x.double_ = v;
+    return x;
+  }
+  static Value Str(std::string v) {
+    Value x;
+    x.type_ = ValueType::kString;
+    x.str_ = std::move(v);
+    return x;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  int64_t AsInt() const { return int_; }
+  double AsReal() const { return double_; }
+  const std::string& AsStr() const { return str_; }
+
+  /// Numeric view of an INT64 or DOUBLE value (used for interpolation).
+  double AsNumber() const {
+    return type_ == ValueType::kInt64 ? static_cast<double>(int_) : double_;
+  }
+
+  /// Three-way total order: NULL < numerics (compared numerically across
+  /// INT64/DOUBLE) < strings. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Appends an order-preserving byte encoding to `out`: for values a, b of
+  /// the same type, a < b iff encode(a) < encode(b) under memcmp.
+  void EncodeKey(std::string* out) const;
+
+  /// Decodes one value from `data` starting at *pos; advances *pos.
+  /// Returns false on corrupt input.
+  static bool DecodeKey(const std::string& data, size_t* pos, Value* out);
+
+  /// Appends a compact (not order-preserving) serialization to `out`.
+  void Serialize(std::string* out) const;
+  static bool Deserialize(const char* data, size_t size, size_t* pos,
+                          Value* out);
+
+  /// Number of bytes Serialize() will append.
+  size_t SerializedSize() const;
+
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+};
+
+/// Encodes a composite key (one value per index key column).
+std::string EncodeCompositeKey(const std::vector<Value>& values);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_COMMON_VALUE_H_

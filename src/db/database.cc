@@ -1,0 +1,211 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "db/dml.h"
+#include "optimizer/explain.h"
+#include "sql/binder.h"
+
+namespace systemr {
+
+Database::Database(size_t buffer_pages, OptimizerOptions options)
+    : options_(options), rss_(buffer_pages), catalog_(&rss_) {
+  options_.cost.buffer_pages = buffer_pages;
+}
+
+StatusOr<std::unique_ptr<BoundQueryBlock>> Database::BindSql(
+    const std::string& sql) {
+  ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  if (stmt.kind != Statement::Kind::kSelect &&
+      stmt.kind != Statement::Kind::kExplain) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  Binder binder(&catalog_);
+  return binder.Bind(*stmt.select);
+}
+
+StatusOr<OptimizedQuery> Database::Prepare(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block, BindSql(sql));
+  Optimizer optimizer(&catalog_, options_);
+  return optimizer.Optimize(std::move(block));
+}
+
+StatusOr<OptimizedQuery> Database::PrepareBaseline(const std::string& sql,
+                                                   BaselineKind kind) {
+  ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block, BindSql(sql));
+  return OptimizeBaseline(&catalog_, std::move(block), kind, options_);
+}
+
+StatusOr<QueryResult> Database::Run(const OptimizedQuery& query) {
+  ExecContext ctx(&rss_, &catalog_, &query.subquery_plans, options_.cost.w);
+  ASSIGN_OR_RETURN(ExecResult exec, ExecutePlan(&ctx, *query.block,
+                                                query.root));
+  QueryResult result;
+  result.columns = query.block->select_names;
+  result.rows = std::move(exec.rows);
+  result.stats = exec.stats;
+  result.actual_cost = exec.actual_cost;
+  result.est_cost = query.est_cost;
+  result.est_rows = query.est_rows;
+  return result;
+}
+
+StatusOr<QueryResult> Database::Query(const std::string& sql) {
+  ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: {
+      ASSIGN_OR_RETURN(OptimizedQuery prepared, Prepare(sql));
+      return Run(prepared);
+    }
+    case Statement::Kind::kExplain: {
+      Binder binder(&catalog_);
+      ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block,
+                       binder.Bind(*stmt.select));
+      Optimizer optimizer(&catalog_, options_);
+      ASSIGN_OR_RETURN(OptimizedQuery prepared,
+                       optimizer.Optimize(std::move(block)));
+      QueryResult result;
+      result.plan_text = ExplainPlan(prepared.root, *prepared.block);
+      result.est_cost = prepared.est_cost;
+      result.est_rows = prepared.est_rows;
+      return result;
+    }
+    default:
+      return Status::InvalidArgument("Query() takes SELECT or EXPLAIN");
+  }
+}
+
+StatusOr<std::string> Database::Explain(const std::string& sql) {
+  std::string text = sql;
+  // Allow both "EXPLAIN SELECT ..." and a bare SELECT.
+  ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  if (stmt.kind == Statement::Kind::kSelect) {
+    ASSIGN_OR_RETURN(OptimizedQuery prepared, Prepare(sql));
+    return ExplainPlan(prepared.root, *prepared.block);
+  }
+  ASSIGN_OR_RETURN(QueryResult result, Query(sql));
+  return result.plan_text;
+}
+
+StatusOr<size_t> Database::ExecuteDml(Statement& stmt) {
+  if (stmt.kind == Statement::Kind::kDelete) {
+    return ExecuteDeleteStatement(&catalog_, options_, stmt.delete_stmt.get());
+  }
+  return ExecuteUpdateStatement(&catalog_, options_, stmt.update_stmt.get());
+}
+
+StatusOr<size_t> Database::Mutate(const std::string& sql) {
+  ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  if (stmt.kind != Statement::Kind::kDelete &&
+      stmt.kind != Statement::Kind::kUpdate) {
+    return Status::InvalidArgument("Mutate() takes DELETE or UPDATE");
+  }
+  return ExecuteDml(stmt);
+}
+
+Status Database::ExecuteStatement(Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+    case Statement::Kind::kExplain: {
+      // Re-render is unnecessary: bind/optimize/execute directly.
+      Binder binder(&catalog_);
+      ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block,
+                       binder.Bind(*stmt.select));
+      if (stmt.kind == Statement::Kind::kExplain) return Status::OK();
+      Optimizer optimizer(&catalog_, options_);
+      ASSIGN_OR_RETURN(OptimizedQuery prepared,
+                       optimizer.Optimize(std::move(block)));
+      ASSIGN_OR_RETURN(QueryResult ignored, Run(prepared));
+      (void)ignored;
+      return Status::OK();
+    }
+    case Statement::Kind::kCreateTable: {
+      std::vector<ColumnDef> cols;
+      for (const auto& [name, type] : stmt.create_table->columns) {
+        cols.push_back(ColumnDef{name, type});
+      }
+      ASSIGN_OR_RETURN(TableInfo * ignored,
+                       catalog_.CreateTable(stmt.create_table->name,
+                                            Schema(std::move(cols))));
+      (void)ignored;
+      return Status::OK();
+    }
+    case Statement::Kind::kCreateIndex: {
+      ASSIGN_OR_RETURN(
+          IndexInfo * ignored,
+          catalog_.CreateIndex(stmt.create_index->name,
+                               stmt.create_index->table,
+                               stmt.create_index->columns,
+                               stmt.create_index->unique,
+                               stmt.create_index->clustered));
+      (void)ignored;
+      return Status::OK();
+    }
+    case Statement::Kind::kInsert: {
+      for (const auto& row : stmt.insert->rows) {
+        RETURN_IF_ERROR(catalog_.Insert(stmt.insert->table, row));
+      }
+      return Status::OK();
+    }
+    case Statement::Kind::kUpdateStatistics:
+      return catalog_.UpdateStatistics(stmt.update_statistics->table);
+    case Statement::Kind::kDelete:
+    case Statement::Kind::kUpdate: {
+      ASSIGN_OR_RETURN(size_t affected, ExecuteDml(stmt));
+      (void)affected;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Database::Execute(const std::string& sql) {
+  ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  return ExecuteStatement(stmt);
+}
+
+Status Database::ExecuteScript(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
+  for (Statement& stmt : stmts) {
+    RETURN_IF_ERROR(ExecuteStatement(stmt));
+  }
+  return Status::OK();
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  if (!plan_text.empty()) return plan_text;
+  std::ostringstream os;
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  size_t shown = std::min(rows.size(), max_rows);
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      std::string s = c < rows[r].size() ? rows[r][c].ToString() : "";
+      widths[c] = std::max(widths[c], s.size());
+      cells[r].push_back(std::move(s));
+    }
+  }
+  auto line = [&](const std::vector<std::string>& vals) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      os << "| " << vals[c] << std::string(widths[c] - vals[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  line(columns);
+  for (size_t c = 0; c < columns.size(); ++c) {
+    os << "+" << std::string(widths[c] + 2, '-');
+  }
+  os << "+\n";
+  for (size_t r = 0; r < shown; ++r) line(cells[r]);
+  if (rows.size() > shown) {
+    os << "... (" << rows.size() << " rows total)\n";
+  } else {
+    os << "(" << rows.size() << " row" << (rows.size() == 1 ? "" : "s")
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace systemr

@@ -1,0 +1,77 @@
+// Database: the end-user facade. Wires RSS + catalog + SQL front end +
+// optimizer + executor into the four-phase statement pipeline of §2
+// (parsing, optimization, code generation — here: plan construction — and
+// execution), and reports both estimated and metered actual costs.
+#ifndef SYSTEMR_DB_DATABASE_H_
+#define SYSTEMR_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace systemr {
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  ExecStats stats;
+  double actual_cost = 0;
+  double est_cost = 0;
+  double est_rows = 0;
+  std::string plan_text;  // Filled for EXPLAIN.
+
+  /// Renders an aligned result table (up to `max_rows` rows).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+class Database {
+ public:
+  explicit Database(size_t buffer_pages = 128, OptimizerOptions options = {});
+
+  /// Executes any statement; SELECT output is discarded. For scripts.
+  Status Execute(const std::string& sql);
+  Status ExecuteScript(const std::string& sql);
+
+  /// Executes a DELETE or UPDATE and returns the number of affected rows.
+  StatusOr<size_t> Mutate(const std::string& sql);
+
+  /// Runs a SELECT (or EXPLAIN SELECT) and returns rows (or the plan text).
+  StatusOr<QueryResult> Query(const std::string& sql);
+
+  /// EXPLAIN convenience: the optimizer's chosen plan, rendered.
+  StatusOr<std::string> Explain(const std::string& sql);
+
+  /// Parse+bind+optimize without executing (for benches and tests).
+  StatusOr<OptimizedQuery> Prepare(const std::string& sql);
+  /// Same, with a baseline strategy instead of the DP optimizer.
+  StatusOr<OptimizedQuery> PrepareBaseline(const std::string& sql,
+                                           BaselineKind kind);
+
+  /// Executes a prepared query, measuring actual cost.
+  StatusOr<QueryResult> Run(const OptimizedQuery& query);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  Rss& rss() { return rss_; }
+  OptimizerOptions& options() { return options_; }
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  StatusOr<std::unique_ptr<BoundQueryBlock>> BindSql(const std::string& sql);
+  Status ExecuteStatement(Statement& stmt);
+  StatusOr<size_t> ExecuteDml(Statement& stmt);
+
+  OptimizerOptions options_;
+  Rss rss_;
+  Catalog catalog_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_DB_DATABASE_H_

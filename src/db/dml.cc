@@ -1,0 +1,140 @@
+#include "db/dml.h"
+
+#include <algorithm>
+
+#include "exec/operators.h"
+#include "optimizer/access_path_gen.h"
+#include "optimizer/cnf.h"
+#include "optimizer/selectivity.h"
+#include "sql/binder.h"
+
+namespace systemr {
+
+namespace {
+
+struct DmlScan {
+  std::unique_ptr<BoundQueryBlock> block;
+  SubplanMap subplans;
+  // Qualifying tuples, collected in full before mutation (Halloween-safe).
+  std::vector<std::pair<Tid, Row>> matches;  // Row is the block-width row.
+};
+
+/// Binds the DML target + WHERE as a one-table query block, selects the
+/// cheapest access path, and collects every qualifying (TID, row).
+StatusOr<DmlScan> CollectTargets(Catalog* catalog,
+                                 const OptimizerOptions& options,
+                                 const std::string& table,
+                                 std::unique_ptr<Expr> where) {
+  DmlScan out;
+  SelectStmt synthetic;
+  synthetic.select_star = true;
+  synthetic.from.push_back(FromItem{table, table});
+  synthetic.where = std::move(where);
+  Binder binder(catalog);
+  ASSIGN_OR_RETURN(out.block, binder.Bind(synthetic));
+  const BoundQueryBlock& block = *out.block;
+
+  // Access path selection, exactly as for a single-relation query (§4).
+  CostModel cost_model(options.cost);
+  SelectivityEstimator sel(catalog, &block);
+  std::vector<BooleanFactor> factors = ExtractBooleanFactors(block);
+  for (BooleanFactor& f : factors) {
+    f.selectivity = sel.FactorSelectivity(*f.expr);
+  }
+  OrderClasses classes;
+  PlannerContext ctx{&block, catalog, &cost_model, &sel, &factors, &classes};
+  std::vector<AccessPath> paths = GenerateAccessPaths(ctx, 0, 0);
+  if (paths.empty()) return Status::Internal("no access path for DML target");
+  const AccessPath* best = &paths[0];
+  for (const AccessPath& p : paths) {
+    if (p.cost.cost < best->cost.cost) best = &p;
+  }
+
+  // Predicates the scan cannot apply: subquery / correlated factors.
+  Optimizer optimizer(catalog, options);
+  std::vector<const BoundExpr*> leftover;
+  for (const BooleanFactor& f : factors) {
+    if (f.has_subquery || f.correlated || f.tables_mask == 0) {
+      leftover.push_back(f.expr);
+      RETURN_IF_ERROR(optimizer.PlanSubqueries(*f.expr, &out.subplans));
+    }
+  }
+
+  ExecContext exec(catalog->rss(), catalog, &out.subplans, options.cost.w);
+  ScanOp scan(&exec, &block, best->node.get(), nullptr);
+  RETURN_IF_ERROR(scan.Open());
+  while (true) {
+    Row row;
+    bool has;
+    RETURN_IF_ERROR(scan.Next(&row, &has));
+    if (!has) break;
+    ASSIGN_OR_RETURN(bool ok, EvalAll(leftover, &exec, row));
+    if (!ok) continue;
+    out.matches.emplace_back(scan.last_tid(), std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<size_t> ExecuteDeleteStatement(Catalog* catalog,
+                                        const OptimizerOptions& options,
+                                        DeleteStmt* stmt) {
+  ASSIGN_OR_RETURN(DmlScan scan,
+                   CollectTargets(catalog, options, stmt->table,
+                                  std::move(stmt->where)));
+  for (const auto& [tid, row] : scan.matches) {
+    RETURN_IF_ERROR(catalog->DeleteRow(stmt->table, tid));
+  }
+  return scan.matches.size();
+}
+
+StatusOr<size_t> ExecuteUpdateStatement(Catalog* catalog,
+                                        const OptimizerOptions& options,
+                                        UpdateStmt* stmt) {
+  ASSIGN_OR_RETURN(DmlScan scan,
+                   CollectTargets(catalog, options, stmt->table,
+                                  std::move(stmt->where)));
+  const BoundQueryBlock& block = *scan.block;
+  const TableInfo& table = *block.tables[0].table;
+
+  // Bind SET targets and right-hand sides in the block's scope.
+  Binder binder(catalog);
+  std::vector<std::pair<size_t, std::unique_ptr<BoundExpr>>> sets;
+  for (const auto& [column, expr] : stmt->sets) {
+    auto ordinal = table.schema.FindColumn(column);
+    if (!ordinal.has_value()) {
+      return Status::NotFound("no such column: " + column);
+    }
+    ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
+                     binder.BindExprInBlock(*expr, scan.block.get()));
+    ValueType target = table.schema.column(*ordinal).type;
+    if (bound->type != ValueType::kNull && bound->type != target &&
+        !(IsArithmetic(bound->type) && IsArithmetic(target))) {
+      return Status::InvalidArgument("type mismatch in SET " + column);
+    }
+    sets.emplace_back(*ordinal, std::move(bound));
+  }
+
+  ExecContext exec(catalog->rss(), catalog, &scan.subplans, options.cost.w);
+  for (const auto& [tid, row] : scan.matches) {
+    // New base-table row = old columns with SET expressions applied (all
+    // evaluated against the pre-update image).
+    Row new_row(row.begin(), row.begin() + table.schema.num_columns());
+    for (const auto& [ordinal, expr] : sets) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, &exec, row));
+      // INT target with a REAL expression result: truncate, like System R's
+      // assignment semantics for arithmetic expressions.
+      if (!v.is_null() &&
+          table.schema.column(ordinal).type == ValueType::kInt64 &&
+          v.type() == ValueType::kDouble) {
+        v = Value::Int(static_cast<int64_t>(v.AsReal()));
+      }
+      new_row[ordinal] = std::move(v);
+    }
+    RETURN_IF_ERROR(catalog->UpdateRow(stmt->table, tid, new_row));
+  }
+  return scan.matches.size();
+}
+
+}  // namespace systemr

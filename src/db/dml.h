@@ -1,0 +1,33 @@
+// DELETE and UPDATE execution. The paper notes that "retrieval for data
+// manipulation (UPDATE, DELETE) is treated similarly" (§1): the target
+// tuples are located through the same access path selection as a query —
+// cheapest path, SARGs pushed to the RSS, residual and subquery predicates
+// evaluated above — then mutated. All qualifying TIDs are collected *before*
+// any mutation, avoiding the Halloween problem (an updated tuple reappearing
+// later in the very index scan that is driving the update — a bug the System
+// R group itself discovered).
+#ifndef SYSTEMR_DB_DML_H_
+#define SYSTEMR_DB_DML_H_
+
+#include "catalog/catalog.h"
+#include "optimizer/optimizer.h"
+#include "sql/ast.h"
+
+namespace systemr {
+
+/// Deletes qualifying rows; returns the number deleted. Consumes
+/// `stmt->where`.
+StatusOr<size_t> ExecuteDeleteStatement(Catalog* catalog,
+                                        const OptimizerOptions& options,
+                                        DeleteStmt* stmt);
+
+/// Updates qualifying rows; returns the number updated. Consumes
+/// `stmt->where` (SET expressions are evaluated against the pre-update row;
+/// they may reference any column of the table).
+StatusOr<size_t> ExecuteUpdateStatement(Catalog* catalog,
+                                        const OptimizerOptions& options,
+                                        UpdateStmt* stmt);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_DB_DML_H_

@@ -1,0 +1,262 @@
+#include "exec/aggregate.h"
+
+#include <functional>
+
+namespace systemr {
+
+namespace {
+
+// Collects every aggregate expression in the SELECT list (not descending
+// into subqueries: their aggregates belong to their own blocks).
+void CollectAggs(const BoundExpr& e, std::vector<const BoundExpr*>* out) {
+  if (e.kind == BoundExprKind::kAggregate) {
+    out->push_back(&e);
+    return;
+  }
+  for (const auto& c : e.children) CollectAggs(*c, out);
+}
+
+bool ContainsAgg(const BoundExpr& e) {
+  if (e.kind == BoundExprKind::kAggregate) return true;
+  for (const auto& c : e.children) {
+    if (ContainsAgg(*c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void AggregateOp::Accumulator::Reset() {
+  count = 0;
+  sum = 0;
+  isum = 0;
+  int_sum = true;
+  min = Value::Null();
+  max = Value::Null();
+}
+
+Status AggregateOp::Accumulator::Accept(ExecContext* ctx, const Row& row) {
+  if (agg->children.empty()) {  // COUNT(*).
+    ++count;
+    return Status::OK();
+  }
+  ASSIGN_OR_RETURN(Value v, EvalExpr(*agg->children[0], ctx, row));
+  if (v.is_null()) return Status::OK();  // NULLs are ignored by aggregates.
+  ++count;
+  if (IsArithmetic(v.type())) {
+    if (v.type() == ValueType::kInt64 && int_sum) {
+      isum += v.AsInt();
+    } else {
+      if (int_sum) {
+        sum = static_cast<double>(isum);
+        int_sum = false;
+      }
+      sum += v.AsNumber();
+    }
+  }
+  if (min.is_null() || v.Compare(min) < 0) min = v;
+  if (max.is_null() || v.Compare(max) > 0) max = v;
+  return Status::OK();
+}
+
+Value AggregateOp::Accumulator::Result() const {
+  double total = int_sum ? static_cast<double>(isum) : sum;
+  switch (agg->agg) {
+    case AggFunc::kCount:
+      return Value::Int(static_cast<int64_t>(count));
+    case AggFunc::kAvg:
+      return count == 0 ? Value::Null() : Value::Real(total / count);
+    case AggFunc::kSum:
+      if (count == 0) return Value::Null();
+      return int_sum ? Value::Int(isum) : Value::Real(sum);
+    case AggFunc::kMin:
+      return min;
+    case AggFunc::kMax:
+      return max;
+  }
+  return Value::Null();
+}
+
+StatusOr<Value> AggregateOp::EvalWithAggs(const BoundExpr& e,
+                                          const Row& rep) const {
+  if (e.kind == BoundExprKind::kAggregate) {
+    for (const Accumulator& a : accs_) {
+      if (a.agg == &e) return a.Result();
+    }
+    return Status::Internal("aggregate accumulator not found");
+  }
+  // Subtrees without aggregates evaluate over the group's first row.
+  if (!ContainsAgg(e)) {
+    return EvalExpr(e, ctx_, rep);
+  }
+  // Composite expressions over aggregates (SELECT arithmetic, HAVING
+  // comparisons/boolean logic): recurse so aggregate leaves resolve to
+  // accumulator results.
+  auto boolean = [](bool b) { return Value::Int(b ? 1 : 0); };
+  switch (e.kind) {
+    case BoundExprKind::kArith: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
+      ASSIGN_OR_RETURN(Value b, EvalWithAggs(*e.children[1], rep));
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (e.arith_op == '/') {
+        double d = b.AsNumber();
+        return d == 0 ? Value::Null() : Value::Real(a.AsNumber() / d);
+      }
+      bool both_int = a.type() == ValueType::kInt64 &&
+                      b.type() == ValueType::kInt64;
+      double x = a.AsNumber(), y = b.AsNumber();
+      switch (e.arith_op) {
+        case '+': return both_int ? Value::Int(a.AsInt() + b.AsInt())
+                                  : Value::Real(x + y);
+        case '-': return both_int ? Value::Int(a.AsInt() - b.AsInt())
+                                  : Value::Real(x - y);
+        case '*': return both_int ? Value::Int(a.AsInt() * b.AsInt())
+                                  : Value::Real(x * y);
+      }
+      return Status::Internal("bad arithmetic operator");
+    }
+    case BoundExprKind::kCompare: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
+      ASSIGN_OR_RETURN(Value b, EvalWithAggs(*e.children[1], rep));
+      return boolean(EvalCompare(e.op, a, b));
+    }
+    case BoundExprKind::kBetween: {
+      ASSIGN_OR_RETURN(Value v, EvalWithAggs(*e.children[0], rep));
+      ASSIGN_OR_RETURN(Value lo, EvalWithAggs(*e.children[1], rep));
+      ASSIGN_OR_RETURN(Value hi, EvalWithAggs(*e.children[2], rep));
+      return boolean(EvalCompare(CompareOp::kGe, v, lo) &&
+                     EvalCompare(CompareOp::kLe, v, hi));
+    }
+    case BoundExprKind::kAnd: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
+      if (a.is_null() || a.AsInt() == 0) return boolean(false);
+      ASSIGN_OR_RETURN(Value b, EvalWithAggs(*e.children[1], rep));
+      return boolean(!b.is_null() && b.AsInt() != 0);
+    }
+    case BoundExprKind::kOr: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
+      if (!a.is_null() && a.AsInt() != 0) return boolean(true);
+      ASSIGN_OR_RETURN(Value b, EvalWithAggs(*e.children[1], rep));
+      return boolean(!b.is_null() && b.AsInt() != 0);
+    }
+    case BoundExprKind::kNot: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
+      return boolean(a.is_null() || a.AsInt() == 0);
+    }
+    default:
+      return Status::Internal(
+          "unsupported expression over aggregate results");
+  }
+}
+
+bool AggregateOp::SameGroup(const Row& a, const Row& b) const {
+  for (size_t off : node_->group_offsets) {
+    if (a[off].Compare(b[off]) != 0) return false;
+  }
+  return true;
+}
+
+Status AggregateOp::Open() {
+  RETURN_IF_ERROR(child_->Open());
+  accs_.clear();
+  std::vector<const BoundExpr*> aggs;
+  for (const BoundExpr* item : node_->agg_select) {
+    CollectAggs(*item, &aggs);
+  }
+  if (node_->having != nullptr) {
+    CollectAggs(*node_->having, &aggs);
+  }
+  for (const BoundExpr* a : aggs) {
+    Accumulator acc;
+    acc.agg = a;
+    acc.Reset();
+    accs_.push_back(acc);
+  }
+  group_open_ = false;
+  pending_valid_ = false;
+  done_ = false;
+  emitted_any_ = false;
+  RETURN_IF_ERROR(child_->Next(&pending_, &pending_valid_));
+  return Status::OK();
+}
+
+Status AggregateOp::EmitGroup(Row* out) {
+  Row result;
+  result.reserve(node_->agg_select.size());
+  for (const BoundExpr* item : node_->agg_select) {
+    ASSIGN_OR_RETURN(Value v, EvalWithAggs(*item, group_rep_));
+    result.push_back(std::move(v));
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+StatusOr<bool> AggregateOp::HavingPasses() const {
+  if (node_->having == nullptr) return true;
+  // HAVING is evaluated per group with aggregates bound to accumulators.
+  auto v = EvalWithAggs(*node_->having, group_rep_);
+  if (!v.ok()) return v.status();
+  return !v->is_null() && v->AsInt() != 0;
+}
+
+Status AggregateOp::Next(Row* out, bool* has_row) {
+  if (done_) {
+    *has_row = false;
+    return Status::OK();
+  }
+  while (pending_valid_) {
+    if (!group_open_) {
+      group_rep_ = pending_;
+      for (Accumulator& a : accs_) a.Reset();
+      group_open_ = true;
+    }
+    if (!SameGroup(group_rep_, pending_)) {
+      // Group boundary: emit if HAVING passes, else skip the group.
+      group_open_ = false;
+      ASSIGN_OR_RETURN(bool keep, HavingPasses());
+      if (!keep) continue;
+      RETURN_IF_ERROR(EmitGroup(out));
+      emitted_any_ = true;
+      *has_row = true;
+      return Status::OK();
+    }
+    for (Accumulator& a : accs_) {
+      RETURN_IF_ERROR(a.Accept(ctx_, pending_));
+    }
+    RETURN_IF_ERROR(child_->Next(&pending_, &pending_valid_));
+  }
+  // End of input.
+  if (group_open_) {
+    group_open_ = false;
+    done_ = true;
+    ASSIGN_OR_RETURN(bool keep, HavingPasses());
+    if (keep) {
+      RETURN_IF_ERROR(EmitGroup(out));
+      emitted_any_ = true;
+      *has_row = true;
+      return Status::OK();
+    }
+    *has_row = false;
+    return Status::OK();
+  }
+  if (!emitted_any_ && node_->group_offsets.empty()) {
+    // Scalar aggregate over an empty input still yields one row
+    // (COUNT = 0, others NULL) — unless HAVING rejects it.
+    group_rep_ = Row(block_->row_width);
+    done_ = true;
+    emitted_any_ = true;
+    ASSIGN_OR_RETURN(bool keep, HavingPasses());
+    if (keep) {
+      RETURN_IF_ERROR(EmitGroup(out));
+      *has_row = true;
+      return Status::OK();
+    }
+    *has_row = false;
+    return Status::OK();
+  }
+  done_ = true;
+  *has_row = false;
+  return Status::OK();
+}
+
+}  // namespace systemr

@@ -1,0 +1,61 @@
+// Sorted-group aggregation: the input arrives ordered by the GROUP BY
+// columns (the optimizer either reuses an interesting order or inserts a
+// sort), so groups are contiguous. Evaluates the block's entire SELECT list
+// per group, substituting accumulated values for aggregate expressions.
+#ifndef SYSTEMR_EXEC_AGGREGATE_H_
+#define SYSTEMR_EXEC_AGGREGATE_H_
+
+#include <memory>
+
+#include "exec/operators.h"
+
+namespace systemr {
+
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(ExecContext* ctx, const BoundQueryBlock* block,
+              const PlanNode* node, std::unique_ptr<Operator> child)
+      : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct Accumulator {
+    const BoundExpr* agg = nullptr;
+    uint64_t count = 0;
+    double sum = 0;
+    int64_t isum = 0;
+    bool int_sum = true;
+    Value min, max;
+    void Reset();
+    Status Accept(ExecContext* ctx, const Row& row);
+    Value Result() const;
+  };
+
+  /// Evaluates a SELECT item with aggregates replaced by accumulator results
+  /// and plain columns taken from the group's first row.
+  StatusOr<Value> EvalWithAggs(const BoundExpr& e, const Row& rep) const;
+
+  Status EmitGroup(Row* out);
+  StatusOr<bool> HavingPasses() const;
+  bool SameGroup(const Row& a, const Row& b) const;
+
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  std::unique_ptr<Operator> child_;
+
+  std::vector<Accumulator> accs_;
+  Row group_rep_;       // First row of the current group.
+  bool group_open_ = false;
+  Row pending_;
+  bool pending_valid_ = false;
+  bool done_ = false;
+  bool emitted_any_ = false;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_AGGREGATE_H_

@@ -1,0 +1,50 @@
+#include "exec/exec_context.h"
+
+#include <functional>
+
+namespace systemr {
+
+ExecContext::~ExecContext() { ReleaseTempPages(); }
+
+const PlanRef* ExecContext::SubplanFor(const BoundQueryBlock* block) const {
+  if (subplans_ == nullptr) return nullptr;
+  auto it = subplans_->find(block);
+  return it == subplans_->end() ? nullptr : &it->second;
+}
+
+const std::vector<std::pair<int, size_t>>& ExecContext::OuterRefsFor(
+    const BoundQueryBlock* block) {
+  auto it = outer_refs_.find(block);
+  if (it != outer_refs_.end()) return it->second;
+
+  std::vector<std::pair<int, size_t>> refs;
+  std::function<void(const BoundExpr&, int)> walk = [&](const BoundExpr& e,
+                                                        int depth) {
+    if (e.kind == BoundExprKind::kColumn && e.outer_level > depth) {
+      refs.emplace_back(e.outer_level - depth, e.offset);
+    }
+    for (const auto& c : e.children) walk(*c, depth);
+    if (e.subquery != nullptr) {
+      for (const auto& item : e.subquery->select_list) walk(*item, depth + 1);
+      if (e.subquery->where != nullptr) walk(*e.subquery->where, depth + 1);
+    }
+  };
+  for (const auto& item : block->select_list) walk(*item, 0);
+  if (block->where != nullptr) walk(*block->where, 0);
+  return outer_refs_[block] = std::move(refs);
+}
+
+PageId ExecContext::NewTempPage() {
+  PageId pid = rss_->pool().NewPage();
+  temp_pages_.push_back(pid);
+  return pid;
+}
+
+void ExecContext::ReleaseTempPages() {
+  for (PageId pid : temp_pages_) {
+    rss_->pool().Discard(pid);
+  }
+  temp_pages_.clear();
+}
+
+}  // namespace systemr

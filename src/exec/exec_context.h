@@ -1,0 +1,96 @@
+// ExecContext: per-statement execution state — RSS access, metered cost
+// accounting, the ancestor-row stack for correlation (§6), subquery plan
+// lookup and result caching (the paper's "if the referenced value is the
+// same as the one in the previous candidate tuple, the previous evaluation
+// result can be used again"), and temp-page management for sorts.
+#ifndef SYSTEMR_EXEC_EXEC_CONTEXT_H_
+#define SYSTEMR_EXEC_EXEC_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/optimizer.h"
+#include "rss/rss.h"
+
+namespace systemr {
+
+/// Metered work for one statement (delta of RSS snapshots).
+struct ExecStats {
+  uint64_t page_fetches = 0;
+  uint64_t page_writes = 0;
+  uint64_t rsi_calls = 0;
+
+  uint64_t page_io() const { return page_fetches + page_writes; }
+  /// The paper's COST formula applied to measured counters.
+  double ActualCost(double w) const {
+    return static_cast<double>(page_io()) + w * static_cast<double>(rsi_calls);
+  }
+};
+
+class ExecContext {
+ public:
+  ExecContext(Rss* rss, const Catalog* catalog, const SubplanMap* subplans,
+              double w)
+      : rss_(rss), catalog_(catalog), subplans_(subplans), w_(w) {}
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+  ~ExecContext();
+
+  Rss* rss() { return rss_; }
+  const Catalog* catalog() const { return catalog_; }
+  double w() const { return w_; }
+
+  /// Plan for a nested query block, or null.
+  const PlanRef* SubplanFor(const BoundQueryBlock* block) const;
+
+  /// Rows of enclosing query blocks, outermost first. back() is the current
+  /// candidate tuple of the immediately enclosing block.
+  std::vector<const Row*>& ancestors() { return ancestors_; }
+
+  /// Resolves a correlated column reference `levels` blocks up.
+  const Value& OuterValue(int levels, size_t offset) const {
+    return (*ancestors_[ancestors_.size() - levels])[offset];
+  }
+
+  // --- Subquery machinery (§6) ---
+  struct SubqueryCache {
+    bool valid = false;
+    std::vector<Value> key;       // Referenced outer values at evaluation.
+    Value scalar;                 // Scalar result.
+    std::vector<Value> list;      // IN-subquery temporary list (sorted).
+    uint64_t evaluations = 0;     // Times the subquery was actually run.
+    uint64_t hits = 0;            // Times the cached result was reused.
+  };
+  SubqueryCache& CacheFor(const BoundQueryBlock* block) {
+    return caches_[block];
+  }
+
+  /// (levels-up, offset) pairs of the outer values `block` references; used
+  /// as the re-evaluation cache key. Computed once per block.
+  const std::vector<std::pair<int, size_t>>& OuterRefsFor(
+      const BoundQueryBlock* block);
+
+  // --- Temp storage for sorts (metered through the buffer pool) ---
+  /// Allocates a page owned by this statement's temp space.
+  PageId NewTempPage();
+  /// Frees all temp pages (also called on destruction).
+  void ReleaseTempPages();
+  size_t temp_pages_allocated() const { return temp_pages_.size(); }
+
+ private:
+  Rss* rss_;
+  const Catalog* catalog_;
+  const SubplanMap* subplans_;
+  double w_;
+  std::vector<const Row*> ancestors_;
+  std::map<const BoundQueryBlock*, SubqueryCache> caches_;
+  std::map<const BoundQueryBlock*, std::vector<std::pair<int, size_t>>>
+      outer_refs_;
+  std::vector<PageId> temp_pages_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,75 @@
+#include "exec/executor.h"
+
+#include "exec/aggregate.h"
+#include "exec/joins.h"
+#include "exec/operators.h"
+#include "exec/sort.h"
+
+namespace systemr {
+
+std::unique_ptr<Operator> BuildOperator(ExecContext* ctx,
+                                        const BoundQueryBlock* block,
+                                        const PlanNode* node,
+                                        const Row* binding) {
+  switch (node->kind) {
+    case PlanKind::kSegScan:
+    case PlanKind::kIndexScan:
+      return std::make_unique<ScanOp>(ctx, block, node, binding);
+    case PlanKind::kSort:
+      return std::make_unique<SortOp>(
+          ctx, block, node, BuildOperator(ctx, block, node->left.get(),
+                                          binding));
+    case PlanKind::kNestedLoopJoin:
+      // The inner child is built lazily per outer row inside the operator.
+      return std::make_unique<NestedLoopJoinOp>(
+          ctx, block, node,
+          BuildOperator(ctx, block, node->left.get(), binding));
+    case PlanKind::kMergeJoin:
+      return std::make_unique<MergeJoinOp>(
+          ctx, block, node,
+          BuildOperator(ctx, block, node->left.get(), binding),
+          BuildOperator(ctx, block, node->right.get(), binding));
+    case PlanKind::kFilter:
+      return std::make_unique<FilterOp>(
+          ctx, block, node,
+          BuildOperator(ctx, block, node->left.get(), binding));
+    case PlanKind::kProject:
+      return std::make_unique<ProjectOp>(
+          ctx, block, node,
+          BuildOperator(ctx, block, node->left.get(), binding));
+    case PlanKind::kAggregate:
+      return std::make_unique<AggregateOp>(
+          ctx, block, node,
+          BuildOperator(ctx, block, node->left.get(), binding));
+  }
+  return nullptr;
+}
+
+StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
+                                 const BoundQueryBlock& block,
+                                 const PlanRef& root) {
+  RssSnapshot before = ctx->rss()->Snapshot();
+  ExecResult result;
+  std::unique_ptr<Operator> op =
+      BuildOperator(ctx, &block, root.get(), nullptr);
+  if (op == nullptr) return Status::Internal("unbuildable plan");
+  RETURN_IF_ERROR(op->Open());
+  while (true) {
+    Row row;
+    bool has;
+    RETURN_IF_ERROR(op->Next(&row, &has));
+    if (!has) break;
+    result.rows.push_back(std::move(row));
+  }
+  op->Close();
+  ctx->ReleaseTempPages();
+
+  RssSnapshot after = ctx->rss()->Snapshot();
+  result.stats.page_fetches = after.page_fetches - before.page_fetches;
+  result.stats.page_writes = after.page_writes - before.page_writes;
+  result.stats.rsi_calls = after.rsi_calls - before.rsi_calls;
+  result.actual_cost = result.stats.ActualCost(ctx->w());
+  return result;
+}
+
+}  // namespace systemr

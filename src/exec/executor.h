@@ -1,0 +1,30 @@
+// Plan execution entry point: builds the operator tree, runs it to
+// completion, and reports the metered actual cost (page I/O + W·RSI calls).
+#ifndef SYSTEMR_EXEC_EXECUTOR_H_
+#define SYSTEMR_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "optimizer/plan.h"
+
+namespace systemr {
+
+struct ExecResult {
+  std::vector<Row> rows;
+  ExecStats stats;
+  double actual_cost = 0;  // stats.ActualCost(w) at completion.
+};
+
+/// Executes `root` (a full block plan ending in Project/Aggregate) against
+/// the context's RSS. Counters are measured as a delta around the run, so
+/// concurrent bookkeeping (catalog lookups etc.) outside the run does not
+/// pollute the result.
+StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
+                                 const BoundQueryBlock& block,
+                                 const PlanRef& root);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_EXECUTOR_H_

@@ -1,0 +1,28 @@
+// Bound-expression evaluation over block-width rows, including correlated
+// column references (via the ExecContext ancestor stack) and subquery
+// operands (§6).
+#ifndef SYSTEMR_EXEC_EXPR_EVAL_H_
+#define SYSTEMR_EXEC_EXPR_EVAL_H_
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "optimizer/bound_expr.h"
+
+namespace systemr {
+
+/// Evaluates `e` over `row` (a block-width row of the block that owns `e`).
+/// Boolean results are Int(0)/Int(1); NULL propagates through arithmetic and
+/// makes comparisons false (folded to 0).
+StatusOr<Value> EvalExpr(const BoundExpr& e, ExecContext* ctx, const Row& row);
+
+/// Evaluates a predicate; NULL is false.
+StatusOr<bool> EvalPredicate(const BoundExpr& e, ExecContext* ctx,
+                             const Row& row);
+
+/// Conjunction helper for residual predicate lists.
+StatusOr<bool> EvalAll(const std::vector<const BoundExpr*>& preds,
+                       ExecContext* ctx, const Row& row);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_EXPR_EVAL_H_

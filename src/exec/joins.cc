@@ -1,0 +1,154 @@
+#include "exec/joins.h"
+
+namespace systemr {
+
+namespace {
+
+// Merges the inner table's columns into a copy of the outer composite row.
+Row Combine(const Row& outer, const Row& inner, size_t inner_offset,
+            size_t inner_width) {
+  Row merged = outer;
+  for (size_t i = 0; i < inner_width; ++i) {
+    merged[inner_offset + i] = inner[inner_offset + i];
+  }
+  return merged;
+}
+
+}  // namespace
+
+// --- Nested loops ---
+
+Status NestedLoopJoinOp::Open() {
+  RETURN_IF_ERROR(outer_->Open());
+  outer_valid_ = false;
+  inner_.reset();
+  return Status::OK();
+}
+
+Status NestedLoopJoinOp::AdvanceOuter(bool* has) {
+  RETURN_IF_ERROR(outer_->Next(&outer_row_, has));
+  outer_valid_ = *has;
+  if (outer_valid_) {
+    // (Re)open the inner scan with the new outer bindings.
+    inner_ = BuildOperator(ctx_, block_, node_->right.get(), &outer_row_);
+    RETURN_IF_ERROR(inner_->Open());
+  }
+  return Status::OK();
+}
+
+Status NestedLoopJoinOp::Next(Row* out, bool* has_row) {
+  while (true) {
+    if (!outer_valid_) {
+      bool has;
+      RETURN_IF_ERROR(AdvanceOuter(&has));
+      if (!has) {
+        *has_row = false;
+        return Status::OK();
+      }
+    }
+    Row inner_row;
+    bool has_inner;
+    RETURN_IF_ERROR(inner_->Next(&inner_row, &has_inner));
+    if (!has_inner) {
+      outer_valid_ = false;  // Exhausted: move to the next outer tuple.
+      continue;
+    }
+    Row merged = Combine(outer_row_, inner_row, node_->inner_offset,
+                         node_->inner_width);
+    ASSIGN_OR_RETURN(bool ok, EvalAll(node_->residual, ctx_, merged));
+    if (!ok) continue;
+    *out = std::move(merged);
+    *has_row = true;
+    return Status::OK();
+  }
+}
+
+// --- Merging scans ---
+
+Status MergeJoinOp::Open() {
+  RETURN_IF_ERROR(outer_->Open());
+  RETURN_IF_ERROR(inner_->Open());
+  RETURN_IF_ERROR(AdvanceOuter());
+  RETURN_IF_ERROR(AdvanceInner());
+  group_valid_ = false;
+  return Status::OK();
+}
+
+Status MergeJoinOp::AdvanceOuter() {
+  bool has;
+  RETURN_IF_ERROR(outer_->Next(&outer_row_, &has));
+  outer_valid_ = has;
+  return Status::OK();
+}
+
+Status MergeJoinOp::AdvanceInner() {
+  bool has;
+  RETURN_IF_ERROR(inner_->Next(&inner_pending_, &has));
+  inner_pending_valid_ = has;
+  return Status::OK();
+}
+
+Status MergeJoinOp::LoadGroup() {
+  group_.clear();
+  group_pos_ = 0;
+  group_valid_ = inner_pending_valid_;
+  if (!group_valid_) return Status::OK();
+  group_key_ = inner_pending_[node_->merge_inner_offset];
+  while (inner_pending_valid_ &&
+         inner_pending_[node_->merge_inner_offset].Compare(group_key_) == 0) {
+    group_.push_back(std::move(inner_pending_));
+    RETURN_IF_ERROR(AdvanceInner());
+  }
+  return Status::OK();
+}
+
+Status MergeJoinOp::Next(Row* out, bool* has_row) {
+  while (true) {
+    if (!outer_valid_) {
+      *has_row = false;
+      return Status::OK();
+    }
+    const Value& outer_key = outer_row_[node_->merge_outer_offset];
+    // NULL keys never join.
+    if (outer_key.is_null()) {
+      RETURN_IF_ERROR(AdvanceOuter());
+      continue;
+    }
+    if (!group_valid_ || group_key_.Compare(outer_key) < 0) {
+      // Advance the inner past smaller keys and load the next group.
+      while (inner_pending_valid_ &&
+             (inner_pending_[node_->merge_inner_offset].is_null() ||
+              inner_pending_[node_->merge_inner_offset].Compare(outer_key) <
+                  0)) {
+        RETURN_IF_ERROR(AdvanceInner());
+      }
+      if (!inner_pending_valid_) {
+        *has_row = false;  // No more inner groups: no further matches.
+        return Status::OK();
+      }
+      RETURN_IF_ERROR(LoadGroup());
+      group_pos_ = 0;
+      continue;
+    }
+    if (group_key_.Compare(outer_key) > 0) {
+      RETURN_IF_ERROR(AdvanceOuter());
+      group_pos_ = 0;
+      continue;
+    }
+    // Keys equal: emit pairs against the buffered group.
+    if (group_pos_ >= group_.size()) {
+      RETURN_IF_ERROR(AdvanceOuter());
+      group_pos_ = 0;
+      continue;
+    }
+    Row merged = Combine(outer_row_, group_[group_pos_++],
+                         node_->inner_offset, node_->inner_width);
+    ASSIGN_OR_RETURN(bool ok, EvalAll(node_->residual, ctx_, merged));
+    if (!ok) continue;
+    *out = std::move(merged);
+    *has_row = true;
+    return Status::OK();
+  }
+}
+
+}  // namespace systemr

@@ -1,0 +1,78 @@
+// Join operators (§5): nested loops (inner scan re-opened per outer tuple
+// with dynamically bound key values and SARGs) and merging scans (both
+// inputs in join-column order; the current inner join group is buffered so
+// the inner relation is never rescanned).
+#ifndef SYSTEMR_EXEC_JOINS_H_
+#define SYSTEMR_EXEC_JOINS_H_
+
+#include <memory>
+
+#include "exec/operators.h"
+
+namespace systemr {
+
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(ExecContext* ctx, const BoundQueryBlock* block,
+                   const PlanNode* node, std::unique_ptr<Operator> outer)
+      : ctx_(ctx), block_(block), node_(node), outer_(std::move(outer)) {}
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override { outer_->Close(); }
+
+ private:
+  Status AdvanceOuter(bool* has);
+
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  std::unique_ptr<Operator> outer_;
+  Row outer_row_;
+  bool outer_valid_ = false;
+  std::unique_ptr<Operator> inner_;  // Rebuilt per outer row.
+};
+
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(ExecContext* ctx, const BoundQueryBlock* block,
+              const PlanNode* node, std::unique_ptr<Operator> outer,
+              std::unique_ptr<Operator> inner)
+      : ctx_(ctx),
+        block_(block),
+        node_(node),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)) {}
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override {
+    outer_->Close();
+    inner_->Close();
+  }
+
+ private:
+  Status AdvanceOuter();
+  Status AdvanceInner();
+  /// Loads the group of inner rows whose key equals inner_pending_'s key.
+  Status LoadGroup();
+
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+
+  Row outer_row_;
+  bool outer_valid_ = false;
+  Row inner_pending_;
+  bool inner_pending_valid_ = false;
+  std::vector<Row> group_;
+  Value group_key_;
+  bool group_valid_ = false;
+  size_t group_pos_ = 0;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_JOINS_H_

@@ -1,0 +1,115 @@
+#include "exec/operators.h"
+
+namespace systemr {
+
+Status ScanOp::Open() {
+  const ScanSpec& spec = node_->scan;
+  // Bind dynamic SARG terms from the current outer row.
+  SargList sargs = spec.sargs;
+  if (!spec.dyn_sargs.empty() || !spec.dyn_eq.empty()) {
+    if (binding_ == nullptr) {
+      return Status::Internal("dynamic scan opened without an outer row");
+    }
+  }
+  for (const DynamicSargTerm& d : spec.dyn_sargs) {
+    Sarg s;
+    s.AddConjunct({SargTerm{d.inner_column, d.op, (*binding_)[d.outer_offset]}});
+    sargs.push_back(std::move(s));
+  }
+
+  if (spec.index == nullptr) {
+    scan_ = ctx_->rss()->OpenSegmentScan(spec.table->id, std::move(sargs));
+    return scan_->Open();
+  }
+
+  // Index bounds: literal prefix, then dynamic prefix, then optional range.
+  std::string prefix;
+  for (const Value& v : spec.eq_prefix) v.EncodeKey(&prefix);
+  for (const DynamicEq& d : spec.dyn_eq) {
+    (*binding_)[d.outer_offset].EncodeKey(&prefix);
+  }
+  KeyRange range;
+  if (spec.lo.has_value()) {
+    std::string k = prefix;
+    spec.lo->EncodeKey(&k);
+    range.start = std::move(k);
+    range.start_inclusive = spec.lo_inclusive;
+  } else if (!prefix.empty()) {
+    range.start = prefix;
+    range.start_inclusive = true;
+  }
+  if (spec.hi.has_value()) {
+    std::string k = prefix;
+    spec.hi->EncodeKey(&k);
+    range.stop = std::move(k);
+    range.stop_inclusive = spec.hi_inclusive;
+  } else if (!prefix.empty()) {
+    // Prefix match: the stop bound is the prefix itself (inclusive covers
+    // every key extending it).
+    range.stop = prefix;
+    range.stop_inclusive = true;
+  }
+  scan_ = ctx_->rss()->OpenIndexScan(spec.table->id, spec.index->id,
+                                     std::move(range), std::move(sargs));
+  return scan_->Open();
+}
+
+Status ScanOp::Next(Row* out, bool* has_row) {
+  const ScanSpec& spec = node_->scan;
+  size_t offset = block_->tables[spec.table_idx].offset;
+  Row base;
+  Tid tid;
+  while (scan_->Next(&base, &tid)) {
+    Row row(block_->row_width);
+    for (size_t i = 0; i < base.size() && offset + i < row.size(); ++i) {
+      row[offset + i] = std::move(base[i]);
+    }
+    ASSIGN_OR_RETURN(bool ok, EvalAll(spec.residual, ctx_, row));
+    if (!ok) continue;
+    last_tid_ = tid;
+    *out = std::move(row);
+    *has_row = true;
+    return Status::OK();
+  }
+  *has_row = false;
+  return Status::OK();
+}
+
+Status FilterOp::Next(Row* out, bool* has_row) {
+  while (true) {
+    Row row;
+    bool has;
+    RETURN_IF_ERROR(child_->Next(&row, &has));
+    if (!has) {
+      *has_row = false;
+      return Status::OK();
+    }
+    ASSIGN_OR_RETURN(bool ok, EvalAll(node_->residual, ctx_, row));
+    if (ok) {
+      *out = std::move(row);
+      *has_row = true;
+      return Status::OK();
+    }
+  }
+}
+
+Status ProjectOp::Next(Row* out, bool* has_row) {
+  Row row;
+  bool has;
+  RETURN_IF_ERROR(child_->Next(&row, &has));
+  if (!has) {
+    *has_row = false;
+    return Status::OK();
+  }
+  Row projected;
+  projected.reserve(node_->project.size());
+  for (const BoundExpr* e : node_->project) {
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx_, row));
+    projected.push_back(std::move(v));
+  }
+  *out = std::move(projected);
+  *has_row = true;
+  return Status::OK();
+}
+
+}  // namespace systemr

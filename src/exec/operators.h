@@ -1,0 +1,90 @@
+// Pull-based physical operators (OPEN/NEXT/CLOSE), interpreting the plan
+// trees produced by the optimizer — our stand-in for System R's generated
+// machine code (§2).
+#ifndef SYSTEMR_EXEC_OPERATORS_H_
+#define SYSTEMR_EXEC_OPERATORS_H_
+
+#include <memory>
+
+#include "exec/exec_context.h"
+#include "exec/expr_eval.h"
+#include "optimizer/plan.h"
+
+namespace systemr {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  /// Produces the next row. Sets *has_row=false at end of stream.
+  virtual Status Next(Row* out, bool* has_row) = 0;
+  virtual void Close() {}
+};
+
+/// Builds the operator tree for `node`. `binding` is the current outer row
+/// for dynamically-bound inner scans of a nested-loop join (else null).
+std::unique_ptr<Operator> BuildOperator(ExecContext* ctx,
+                                        const BoundQueryBlock* block,
+                                        const PlanNode* node,
+                                        const Row* binding);
+
+/// RSS scan bridging the RSI into block-width rows; applies dynamic bounds
+/// and dynamic SARGs from `binding`, then residual single-table predicates.
+class ScanOp : public Operator {
+ public:
+  ScanOp(ExecContext* ctx, const BoundQueryBlock* block, const PlanNode* node,
+         const Row* binding)
+      : ctx_(ctx), block_(block), node_(node), binding_(binding) {}
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+
+  /// TID of the most recently returned tuple (for DML).
+  Tid last_tid() const { return last_tid_; }
+
+ private:
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  const Row* binding_;
+  std::unique_ptr<RsiScan> scan_;
+  Tid last_tid_;
+};
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(ExecContext* ctx, const BoundQueryBlock* block,
+           const PlanNode* node, std::unique_ptr<Operator> child)
+      : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  std::unique_ptr<Operator> child_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(ExecContext* ctx, const BoundQueryBlock* block,
+            const PlanNode* node, std::unique_ptr<Operator> child)
+      : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  std::unique_ptr<Operator> child_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_OPERATORS_H_

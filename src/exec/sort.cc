@@ -1,0 +1,175 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+#include "rss/segment.h"
+
+namespace systemr {
+
+Status TempRowFile::Append(const Row& row) {
+  std::string record = EncodeTuple(0, row);
+  if (record.size() > kPageSize - 64) {
+    return Status::InvalidArgument("row too large for a temp page");
+  }
+  if (current_ != kInvalidPage) {
+    SlottedPage sp(ctx_->rss()->pool().Fetch(current_));
+    if (sp.Insert(record) >= 0) return Status::OK();
+  }
+  current_ = ctx_->NewTempPage();
+  pages_.push_back(current_);
+  SlottedPage sp(ctx_->rss()->pool().Fetch(current_));
+  sp.Init();
+  if (sp.Insert(record) < 0) {
+    return Status::Internal("temp page insert failed");
+  }
+  return Status::OK();
+}
+
+void TempRowFile::Finish() { current_ = kInvalidPage; }
+
+bool TempRowFile::Reader::Next(Row* row) {
+  while (page_idx_ < pages_->size()) {
+    SlottedPage sp(ctx_->rss()->pool().Fetch((*pages_)[page_idx_]));
+    if (slot_ >= sp.slot_count()) {
+      ++page_idx_;
+      slot_ = 0;
+      continue;
+    }
+    std::string_view record;
+    if (!sp.Read(slot_++, &record)) continue;
+    RelId rel;
+    if (!DecodeTuple(record, &rel, row)) return false;
+    return true;
+  }
+  return false;
+}
+
+int SortOp::Compare(const Row& a, const Row& b) const {
+  for (const SortKey& k : node_->sort_keys) {
+    int c = a[k.offset].Compare(b[k.offset]);
+    if (c != 0) return k.asc ? c : -c;
+  }
+  return 0;
+}
+
+size_t SortOp::RunLimitBytes() const {
+  size_t buffers = std::max<size_t>(ctx_->rss()->pool().capacity(), 4);
+  return buffers / 2 * kPageSize;
+}
+
+Status SortOp::SpillRun(std::vector<Row>* rows) {
+  std::stable_sort(rows->begin(), rows->end(),
+                   [this](const Row& a, const Row& b) {
+                     return Compare(a, b) < 0;
+                   });
+  auto run = std::make_unique<TempRowFile>(ctx_);
+  for (const Row& r : *rows) {
+    RETURN_IF_ERROR(run->Append(r));
+  }
+  run->Finish();
+  runs_.push_back(std::move(run));
+  rows->clear();
+  return Status::OK();
+}
+
+Status SortOp::MergePass(std::vector<std::unique_ptr<TempRowFile>>* runs) {
+  size_t fanin = std::max<size_t>(ctx_->rss()->pool().capacity(), 3) - 1;
+  while (runs->size() > fanin) {
+    std::vector<std::unique_ptr<TempRowFile>> next;
+    for (size_t start = 0; start < runs->size(); start += fanin) {
+      size_t end = std::min(start + fanin, runs->size());
+      auto merged = std::make_unique<TempRowFile>(ctx_);
+      std::vector<TempRowFile::Reader> readers;
+      std::vector<Head> heads;
+      for (size_t i = start; i < end; ++i) {
+        readers.push_back((*runs)[i]->NewReader());
+      }
+      heads.resize(readers.size());
+      for (size_t i = 0; i < readers.size(); ++i) {
+        heads[i].reader = i;
+        heads[i].valid = readers[i].Next(&heads[i].row);
+      }
+      while (true) {
+        int best = -1;
+        for (size_t i = 0; i < heads.size(); ++i) {
+          if (!heads[i].valid) continue;
+          if (best < 0 || Compare(heads[i].row, heads[best].row) < 0) {
+            best = static_cast<int>(i);
+          }
+        }
+        if (best < 0) break;
+        RETURN_IF_ERROR(merged->Append(heads[best].row));
+        heads[best].valid = readers[best].Next(&heads[best].row);
+      }
+      merged->Finish();
+      next.push_back(std::move(merged));
+    }
+    *runs = std::move(next);
+  }
+  return Status::OK();
+}
+
+Status SortOp::Open() {
+  RETURN_IF_ERROR(child_->Open());
+  std::vector<Row> buffer;
+  size_t buffered_bytes = 0;
+  size_t limit = RunLimitBytes();
+  while (true) {
+    Row row;
+    bool has;
+    RETURN_IF_ERROR(child_->Next(&row, &has));
+    if (!has) break;
+    buffered_bytes += row.size() * 16;  // Rough in-memory estimate.
+    buffer.push_back(std::move(row));
+    if (buffered_bytes >= limit) {
+      RETURN_IF_ERROR(SpillRun(&buffer));
+      buffered_bytes = 0;
+    }
+  }
+  // The temporary list is always materialized, as in the paper ("stored in a
+  // temporary relation before it can be sorted").
+  RETURN_IF_ERROR(SpillRun(&buffer));
+  RETURN_IF_ERROR(MergePass(&runs_));
+
+  readers_.clear();
+  heads_.clear();
+  for (const auto& run : runs_) {
+    readers_.push_back(run->NewReader());
+  }
+  heads_.resize(readers_.size());
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    heads_[i].reader = i;
+    heads_[i].valid = readers_[i].Next(&heads_[i].row);
+  }
+  return Status::OK();
+}
+
+Status SortOp::Next(Row* out, bool* has_row) {
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < heads_.size(); ++i) {
+      if (!heads_[i].valid) continue;
+      if (best < 0 || Compare(heads_[i].row, heads_[best].row) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      *has_row = false;
+      return Status::OK();
+    }
+    Row row = heads_[best].row;
+    heads_[best].valid = readers_[best].Next(&heads_[best].row);
+    if (node_->distinct && emitted_any_ && Compare(row, last_emitted_) == 0) {
+      continue;  // Duplicate under the sort keys: suppress.
+    }
+    if (node_->distinct) {
+      last_emitted_ = row;
+      emitted_any_ = true;
+    }
+    *out = std::move(row);
+    *has_row = true;
+    return Status::OK();
+  }
+}
+
+}  // namespace systemr

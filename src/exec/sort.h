@@ -1,0 +1,88 @@
+// External merge sort, spilling runs to temporary pages through the buffer
+// pool so sort I/O is metered exactly like the cost model's C-sort: write
+// the initial runs, read+write per extra merge pass, final read charged to
+// the consumer.
+#ifndef SYSTEMR_EXEC_SORT_H_
+#define SYSTEMR_EXEC_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operators.h"
+
+namespace systemr {
+
+/// A temporary row file: pages allocated from the ExecContext temp space.
+class TempRowFile {
+ public:
+  explicit TempRowFile(ExecContext* ctx) : ctx_(ctx) {}
+
+  Status Append(const Row& row);
+  void Finish();  // Flushes the last partial page.
+  size_t num_pages() const { return pages_.size(); }
+
+  class Reader {
+   public:
+    Reader(ExecContext* ctx, const std::vector<PageId>* pages)
+        : ctx_(ctx), pages_(pages) {}
+    /// Reads the next row; returns false at end. Page reads are metered.
+    bool Next(Row* row);
+
+   private:
+    ExecContext* ctx_;
+    const std::vector<PageId>* pages_;
+    size_t page_idx_ = 0;
+    uint16_t slot_ = 0;
+  };
+  Reader NewReader() const { return Reader(ctx_, &pages_); }
+
+ private:
+  ExecContext* ctx_;
+  std::vector<PageId> pages_;
+  PageId current_ = kInvalidPage;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(ExecContext* ctx, const BoundQueryBlock* block, const PlanNode* node,
+         std::unique_ptr<Operator> child)
+      : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
+
+  Status Open() override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override { child_->Close(); }
+
+  /// Rows kept in memory before spilling a run (roughly half the buffer
+  /// pool's worth of pages).
+  size_t RunLimitBytes() const;
+
+ private:
+  Status SpillRun(std::vector<Row>* rows);
+  /// Merges `inputs` into one output file (or, for the final pass, leaves
+  /// the merge to the Next() iterator).
+  Status MergePass(std::vector<std::unique_ptr<TempRowFile>>* runs);
+
+  int Compare(const Row& a, const Row& b) const;
+
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  std::unique_ptr<Operator> child_;
+
+  // Final merge state.
+  std::vector<std::unique_ptr<TempRowFile>> runs_;
+  struct Head {
+    Row row;
+    size_t reader;
+    bool valid = false;
+  };
+  std::vector<TempRowFile::Reader> readers_;
+  std::vector<Head> heads_;
+  // SELECT DISTINCT: the last emitted row, for duplicate suppression.
+  Row last_emitted_;
+  bool emitted_any_ = false;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_SORT_H_

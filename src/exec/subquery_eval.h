@@ -1,0 +1,26 @@
+// Nested query evaluation (§6): scalar subqueries and IN-subqueries, with
+// the previous-correlation-value result cache. Uncorrelated subqueries are
+// evaluated exactly once per statement ("the OPTIMIZER will arrange for the
+// subquery to be evaluated before the top level query"); correlated ones are
+// re-evaluated only when a referenced outer value changes.
+#ifndef SYSTEMR_EXEC_SUBQUERY_EVAL_H_
+#define SYSTEMR_EXEC_SUBQUERY_EVAL_H_
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+
+namespace systemr {
+
+/// Result of a scalar subquery: its single value (NULL when it returns no
+/// rows; an error when it returns more than one row).
+StatusOr<Value> EvalScalarSubquery(ExecContext* ctx,
+                                   const BoundQueryBlock* block,
+                                   const Row& outer_row);
+
+/// Result list of an IN-subquery, cached as a sorted temporary list.
+StatusOr<const std::vector<Value>*> EvalInSubqueryList(
+    ExecContext* ctx, const BoundQueryBlock* block, const Row& outer_row);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_SUBQUERY_EVAL_H_

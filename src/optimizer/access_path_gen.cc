@@ -1,0 +1,272 @@
+#include "optimizer/access_path_gen.h"
+
+#include <algorithm>
+
+namespace systemr {
+
+namespace {
+
+struct ApplicablePreds {
+  // Local sargable factors (DNF SARGs) and their selectivity product.
+  SargList sargs;
+  double f_sargable = 1.0;          // Includes dynamic join sargs.
+  // Join predicates with the outer set, oriented inner-first.
+  std::vector<std::pair<JoinPredInfo, double>> join_preds;  // (pred, F)
+  // Local non-sargable residuals and their selectivity product.
+  std::vector<const BoundExpr*> residual;
+  double f_residual = 1.0;
+  // Factor lookup for index matching: single-term equality and range factors
+  // by column, with their selectivities.
+  struct SimpleTerm {
+    size_t column;
+    CompareOp op;
+    Value value;
+    double selectivity;
+  };
+  std::vector<SimpleTerm> simple_terms;  // From single-conjunct factors.
+  struct BetweenTerm {
+    size_t column;
+    Value lo, hi;
+    bool hi_inclusive = true;
+    double selectivity;
+  };
+  std::vector<BetweenTerm> betweens;
+};
+
+ApplicablePreds CollectPreds(const PlannerContext& ctx, int table_idx,
+                             uint32_t outer_mask) {
+  ApplicablePreds out;
+  uint32_t self = 1u << table_idx;
+  for (const BooleanFactor& f : *ctx.factors) {
+    if (f.has_subquery || f.correlated) continue;
+    if (f.join.has_value()) {
+      const JoinPredInfo& j = *f.join;
+      uint32_t other =
+          (j.t1 == table_idx) ? (1u << j.t2) : (1u << j.t1);
+      if ((f.tables_mask & self) != 0 && SubsetOf(f.tables_mask, self | outer_mask) &&
+          SubsetOf(other, outer_mask)) {
+        out.join_preds.emplace_back(j.OrientedFor(table_idx), f.selectivity);
+        out.f_sargable *= f.selectivity;
+      }
+      continue;
+    }
+    if (f.sargable && f.sarg_table == table_idx) {
+      Sarg s;
+      s.disjuncts = f.dnf;
+      out.sargs.push_back(std::move(s));
+      out.f_sargable *= f.selectivity;
+      // Single-conjunct factors can bound an index scan.
+      if (f.dnf.size() == 1) {
+        const auto& conj = f.dnf[0];
+        if (conj.size() == 1) {
+          out.simple_terms.push_back({conj[0].column, conj[0].op,
+                                      conj[0].value, f.selectivity});
+        } else if (conj.size() == 2 && conj[0].column == conj[1].column &&
+                   conj[0].op == CompareOp::kGe &&
+                   (conj[1].op == CompareOp::kLe ||
+                    conj[1].op == CompareOp::kLt)) {
+          out.betweens.push_back({conj[0].column, conj[0].value,
+                                  conj[1].value,
+                                  conj[1].op == CompareOp::kLe,
+                                  f.selectivity});
+        }
+      }
+      continue;
+    }
+    if (f.tables_mask == self) {
+      out.residual.push_back(f.expr);
+      out.f_residual *= f.selectivity;
+    }
+  }
+  return out;
+}
+
+OrderSpec IndexOrder(const PlannerContext& ctx, int table_idx,
+                     const IndexInfo& index) {
+  OrderSpec order;
+  for (size_t col : index.key_columns) {
+    order.push_back(OrderKey{ctx.classes->ClassOf(table_idx, col), true});
+  }
+  return order;
+}
+
+}  // namespace
+
+uint64_t CoveredOrders(const OrderSpec& produced,
+                       const std::vector<OrderSpec>& interesting) {
+  uint64_t covered = 0;
+  for (size_t i = 0; i < interesting.size() && i < 64; ++i) {
+    if (OrderSatisfies(produced, interesting[i])) covered |= 1ull << i;
+  }
+  return covered;
+}
+
+std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
+                                            int table_idx,
+                                            uint32_t outer_mask) {
+  const BoundQueryBlock& block = *ctx.block;
+  const TableInfo& table = *block.tables[table_idx].table;
+  ApplicablePreds preds = CollectPreds(ctx, table_idx, outer_mask);
+
+  double ncard = ctx.sel->TableCardinality(table_idx);
+  double rsicard = ncard * preds.f_sargable;
+  double rows = rsicard * preds.f_residual;
+
+  // Dynamic SARG terms from the join predicates (all comparison ops).
+  std::vector<DynamicSargTerm> dyn_sargs;
+  for (const auto& [j, f] : preds.join_preds) {
+    dyn_sargs.push_back(DynamicSargTerm{
+        j.c1, j.op, block.OffsetOf(j.t2, j.c2)});
+  }
+
+  std::vector<AccessPath> paths;
+
+  // --- Segment scan ---
+  {
+    AccessPath p;
+    p.node = NewPlanNode(PlanKind::kSegScan);
+    p.node->scan.table_idx = table_idx;
+    p.node->scan.table = &table;
+    p.node->scan.sargs = preds.sargs;
+    p.node->scan.dyn_sargs = dyn_sargs;
+    p.node->scan.residual = preds.residual;
+    p.cost = ctx.cost->SegmentScan(table, rsicard);
+    p.rows = rows;
+    p.rsicard = rsicard;
+    p.describe = table.name + " seg. scan";
+    p.node->est_cost = p.cost.cost;
+    p.node->est_pages = p.cost.pages;
+    p.node->est_rsi = p.cost.rsi;
+    p.node->est_rows = rows;
+    p.node->label = p.describe;
+    paths.push_back(std::move(p));
+  }
+
+  // --- One path per index ---
+  for (IndexId iid : table.indexes) {
+    const IndexInfo& index = *ctx.catalog->index(iid);
+    AccessPath p;
+    p.node = NewPlanNode(PlanKind::kIndexScan);
+    ScanSpec& spec = p.node->scan;
+    spec.table_idx = table_idx;
+    spec.table = &table;
+    spec.index = &index;
+    spec.sargs = preds.sargs;
+    spec.dyn_sargs = dyn_sargs;
+    spec.residual = preds.residual;
+
+    // Find the matching predicate prefix: equality factors on the leading
+    // key columns, then a range on the next column.
+    double f_matching = 1.0;
+    size_t bound_cols = 0;
+    bool matching = false;
+    for (size_t k = 0; k < index.key_columns.size(); ++k) {
+      size_t col = index.key_columns[k];
+      // Literal equality?
+      const ApplicablePreds::SimpleTerm* eq = nullptr;
+      for (const auto& t : preds.simple_terms) {
+        if (t.column == col && t.op == CompareOp::kEq) {
+          eq = &t;
+          break;
+        }
+      }
+      if (eq != nullptr) {
+        spec.eq_prefix.push_back(eq->value);
+        f_matching *= eq->selectivity;
+        ++bound_cols;
+        matching = true;
+        continue;
+      }
+      // Dynamic equality from an equi-join predicate?
+      const JoinPredInfo* dyn = nullptr;
+      double dyn_f = 1.0;
+      for (const auto& [j, f] : preds.join_preds) {
+        if (j.is_equi() && j.c1 == col) {
+          dyn = &j;
+          dyn_f = f;
+          break;
+        }
+      }
+      if (dyn != nullptr) {
+        spec.dyn_eq.push_back(
+            DynamicEq{block.OffsetOf(dyn->t2, dyn->c2)});
+        f_matching *= dyn_f;
+        ++bound_cols;
+        matching = true;
+        continue;
+      }
+      // Range bounds on the first unbound column end the prefix.
+      for (const auto& t : preds.simple_terms) {
+        if (t.column != col) continue;
+        if (t.op == CompareOp::kGt || t.op == CompareOp::kGe) {
+          if (!spec.lo.has_value()) {
+            spec.lo = t.value;
+            spec.lo_inclusive = t.op == CompareOp::kGe;
+            f_matching *= t.selectivity;
+            matching = true;
+          }
+        } else if (t.op == CompareOp::kLt || t.op == CompareOp::kLe) {
+          if (!spec.hi.has_value()) {
+            spec.hi = t.value;
+            spec.hi_inclusive = t.op == CompareOp::kLe;
+            f_matching *= t.selectivity;
+            matching = true;
+          }
+        }
+      }
+      if (!spec.lo.has_value() && !spec.hi.has_value()) {
+        for (const auto& b : preds.betweens) {
+          if (b.column == col) {
+            spec.lo = b.lo;
+            spec.lo_inclusive = true;
+            spec.hi = b.hi;
+            spec.hi_inclusive = b.hi_inclusive;
+            f_matching *= b.selectivity;
+            matching = true;
+            break;
+          }
+        }
+      }
+      break;  // Prefix ends at the first non-equality column.
+    }
+
+    bool unique_eq =
+        index.unique && bound_cols == index.key_columns.size();
+
+    p.cost = ctx.cost->IndexScan(table, index, matching, f_matching, rsicard,
+                                 unique_eq, /*repeated_probe=*/outer_mask != 0);
+    p.rows = rows;
+    p.rsicard = rsicard;
+    p.order = IndexOrder(ctx, table_idx, index);
+    p.describe = "index " + index.name +
+                 (matching ? " (matching)" : " (non-matching)");
+    p.node->est_cost = p.cost.cost;
+    p.node->est_pages = p.cost.pages;
+    p.node->est_rsi = p.cost.rsi;
+    p.node->est_rows = rows;
+    p.node->order = p.order;
+    p.node->label = p.describe;
+    paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+void PruneAccessPaths(std::vector<AccessPath>* paths,
+                      const std::vector<OrderSpec>& interesting) {
+  for (AccessPath& p : *paths) {
+    uint64_t covered = CoveredOrders(p.order, interesting);
+    for (const AccessPath& q : *paths) {
+      if (&p == &q || q.pruned) continue;
+      uint64_t q_covered = CoveredOrders(q.order, interesting);
+      bool strictly_better =
+          q.cost.cost < p.cost.cost ||
+          (q.cost.cost == p.cost.cost && &q < &p);  // Tie-break stably.
+      if (strictly_better && (covered & ~q_covered) == 0) {
+        p.pruned = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace systemr

@@ -1,0 +1,35 @@
+// Baseline optimizers for the evaluation (E9 ablations):
+//  - kSyntacticNestedLoop: the "no optimizer" strategy — join in FROM-list
+//    order with nested loops over segment scans (SARGs still pushed to the
+//    RSS, which even pre-optimizer System R did);
+//  - kGreedy: pick the smallest filtered relation first, then repeatedly add
+//    the eligible relation minimizing the estimated intermediate result,
+//    using the cheapest nested-loop inner path — a classic heuristic
+//    optimizer without dynamic programming or interesting orders.
+// DP ablations (no Cartesian heuristic / no interesting orders / no merge
+// join) are expressed through OptimizerOptions::join instead.
+#ifndef SYSTEMR_OPTIMIZER_BASELINE_H_
+#define SYSTEMR_OPTIMIZER_BASELINE_H_
+
+#include "optimizer/optimizer.h"
+
+namespace systemr {
+
+enum class BaselineKind {
+  kSyntacticNestedLoop,
+  kGreedy,
+};
+
+const char* BaselineName(BaselineKind kind);
+
+/// Plans `block` with the given baseline strategy. Estimates use the same
+/// cost model as the real optimizer, so estimated and actual costs are
+/// directly comparable across strategies.
+StatusOr<OptimizedQuery> OptimizeBaseline(const Catalog* catalog,
+                                          std::unique_ptr<BoundQueryBlock> block,
+                                          BaselineKind kind,
+                                          OptimizerOptions options = {});
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_BASELINE_H_

@@ -1,0 +1,131 @@
+#include "optimizer/bound_expr.h"
+
+namespace systemr {
+
+bool BoundExpr::ReferencesOuter(int levels) const {
+  if (kind == BoundExprKind::kColumn) return outer_level > levels;
+  for (const auto& child : children) {
+    if (child->ReferencesOuter(levels)) return true;
+  }
+  if (subquery != nullptr) {
+    // Refs inside the subquery need one extra level to escape this block.
+    auto check = [&](const BoundExpr* e) {
+      return e != nullptr && e->ReferencesOuter(levels + 1);
+    };
+    for (const auto& item : subquery->select_list) {
+      if (check(item.get())) return true;
+    }
+    if (check(subquery->where.get())) return true;
+  }
+  return false;
+}
+
+bool BoundExpr::HasSubquery() const {
+  if (subquery != nullptr) return true;
+  for (const auto& child : children) {
+    if (child->HasSubquery()) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<BoundExpr> BoundExpr::Clone() const {
+  auto copy = std::make_unique<BoundExpr>();
+  copy->kind = kind;
+  copy->type = type;
+  copy->outer_level = outer_level;
+  copy->table_idx = table_idx;
+  copy->column = column;
+  copy->offset = offset;
+  copy->literal = literal;
+  copy->op = op;
+  copy->arith_op = arith_op;
+  copy->agg = agg;
+  copy->negated = negated;
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  if (subquery != nullptr) {
+    // Subquery blocks are not cloned: expressions holding subqueries are
+    // never duplicated by the optimizer (they stay residual predicates).
+    // Guard against accidental misuse.
+    std::abort();
+  }
+  return copy;
+}
+
+std::string BoundQueryBlock::ColumnName(int table_idx, size_t column) const {
+  const BoundTable& t = tables[table_idx];
+  return t.correlation + "." + t.table->schema.column(column).name;
+}
+
+std::string BoundExpr::ToString(const BoundQueryBlock& block) const {
+  switch (kind) {
+    case BoundExprKind::kColumn:
+      if (outer_level > 0) {
+        return "outer(" + std::to_string(outer_level) + ").col" +
+               std::to_string(column);
+      }
+      return block.ColumnName(table_idx, column);
+    case BoundExprKind::kLiteral:
+      return literal.ToString();
+    case BoundExprKind::kCompare:
+      return children[0]->ToString(block) + CompareOpName(op) +
+             children[1]->ToString(block);
+    case BoundExprKind::kAnd:
+      return "(" + children[0]->ToString(block) + " AND " +
+             children[1]->ToString(block) + ")";
+    case BoundExprKind::kOr:
+      return "(" + children[0]->ToString(block) + " OR " +
+             children[1]->ToString(block) + ")";
+    case BoundExprKind::kNot:
+      return "NOT (" + children[0]->ToString(block) + ")";
+    case BoundExprKind::kArith:
+      return "(" + children[0]->ToString(block) + arith_op +
+             children[1]->ToString(block) + ")";
+    case BoundExprKind::kBetween:
+      return children[0]->ToString(block) + " BETWEEN " +
+             children[1]->ToString(block) + " AND " +
+             children[2]->ToString(block);
+    case BoundExprKind::kInList: {
+      std::string s = children[0]->ToString(block) + " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) s += ", ";
+        s += children[i]->ToString(block);
+      }
+      return s + ")";
+    }
+    case BoundExprKind::kInSubquery:
+      return children[0]->ToString(block) + " IN (subquery)";
+    case BoundExprKind::kSubquery:
+      return "(subquery)";
+    case BoundExprKind::kAggregate:
+      return std::string(AggFuncName(agg)) + "(" +
+             (children.empty() ? "*" : children[0]->ToString(block)) + ")";
+    case BoundExprKind::kIsNull:
+      return children[0]->ToString(block) +
+             (negated ? " IS NOT NULL" : " IS NULL");
+    case BoundExprKind::kLike:
+      return children[0]->ToString(block) +
+             (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString(block);
+  }
+  return "?";
+}
+
+std::string BoundQueryBlock::ToString() const {
+  std::string s = "SELECT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += select_list[i]->ToString(*this);
+  }
+  s += " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += tables[i].table->name;
+    if (tables[i].correlation != tables[i].table->name) {
+      s += " " + tables[i].correlation;
+    }
+  }
+  if (where != nullptr) s += " WHERE " + where->ToString(*this);
+  return s;
+}
+
+}  // namespace systemr

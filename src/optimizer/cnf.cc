@@ -1,0 +1,201 @@
+#include "optimizer/cnf.h"
+
+#include <functional>
+
+namespace systemr {
+
+namespace {
+
+// Collects the mask of current-block tables referenced by `e` (descending
+// into subqueries, where refs to this block appear at higher outer levels).
+void CollectMask(const BoundExpr& e, int depth, uint32_t* mask) {
+  if (e.kind == BoundExprKind::kColumn && e.outer_level == depth) {
+    *mask |= 1u << e.table_idx;
+  }
+  for (const auto& c : e.children) CollectMask(*c, depth, mask);
+  if (e.subquery != nullptr) {
+    for (const auto& item : e.subquery->select_list) {
+      CollectMask(*item, depth + 1, mask);
+    }
+    if (e.subquery->where != nullptr) {
+      CollectMask(*e.subquery->where, depth + 1, mask);
+    }
+  }
+}
+
+// Tries to express `e` as a DNF of (column op literal) terms on one table.
+// On success appends conjuncts to `dnf` and sets/validates `*table`.
+bool ToSargDnf(const BoundExpr& e, int* table,
+               std::vector<std::vector<SargTerm>>* dnf);
+
+// A single sargable term: col op literal (either orientation).
+std::optional<SargTerm> AsSargTerm(const BoundExpr& e, int* table) {
+  if (e.kind != BoundExprKind::kCompare) return std::nullopt;
+  const BoundExpr* lhs = e.children[0].get();
+  const BoundExpr* rhs = e.children[1].get();
+  CompareOp op = e.op;
+  if (lhs->kind == BoundExprKind::kLiteral &&
+      rhs->kind == BoundExprKind::kColumn) {
+    std::swap(lhs, rhs);
+    op = MirrorOp(op);
+  }
+  if (lhs->kind != BoundExprKind::kColumn ||
+      rhs->kind != BoundExprKind::kLiteral) {
+    return std::nullopt;
+  }
+  if (lhs->outer_level != 0) return std::nullopt;
+  if (*table >= 0 && *table != lhs->table_idx) return std::nullopt;
+  *table = lhs->table_idx;
+  return SargTerm{lhs->column, op, rhs->literal};
+}
+
+bool ToSargDnf(const BoundExpr& e, int* table,
+               std::vector<std::vector<SargTerm>>* dnf) {
+  switch (e.kind) {
+    case BoundExprKind::kCompare: {
+      auto term = AsSargTerm(e, table);
+      if (!term.has_value()) return false;
+      dnf->push_back({*term});
+      return true;
+    }
+    case BoundExprKind::kBetween: {
+      const BoundExpr* col = e.children[0].get();
+      const BoundExpr* lo = e.children[1].get();
+      const BoundExpr* hi = e.children[2].get();
+      if (col->kind != BoundExprKind::kColumn || col->outer_level != 0 ||
+          lo->kind != BoundExprKind::kLiteral ||
+          hi->kind != BoundExprKind::kLiteral) {
+        return false;
+      }
+      if (*table >= 0 && *table != col->table_idx) return false;
+      *table = col->table_idx;
+      dnf->push_back({SargTerm{col->column, CompareOp::kGe, lo->literal},
+                      SargTerm{col->column, CompareOp::kLe, hi->literal}});
+      return true;
+    }
+    case BoundExprKind::kInList: {
+      const BoundExpr* col = e.children[0].get();
+      if (col->kind != BoundExprKind::kColumn || col->outer_level != 0) {
+        return false;
+      }
+      if (*table >= 0 && *table != col->table_idx) return false;
+      *table = col->table_idx;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (e.children[i]->kind != BoundExprKind::kLiteral) return false;
+        dnf->push_back(
+            {SargTerm{col->column, CompareOp::kEq, e.children[i]->literal}});
+      }
+      return true;
+    }
+    case BoundExprKind::kLike: {
+      // LIKE 'PREFIX%' (a single trailing % and no other wildcard) is
+      // exactly the range [PREFIX, next(PREFIX)), so it is sargable — the
+      // System R treatment of prefix patterns. Anything else stays residual.
+      if (e.negated) return false;
+      const BoundExpr* col = e.children[0].get();
+      const BoundExpr* pat = e.children[1].get();
+      if (col->kind != BoundExprKind::kColumn || col->outer_level != 0 ||
+          pat->kind != BoundExprKind::kLiteral ||
+          pat->literal.type() != ValueType::kString) {
+        return false;
+      }
+      const std::string& pattern = pat->literal.AsStr();
+      if (pattern.size() < 2 || pattern.back() != '%') return false;
+      std::string prefix = pattern.substr(0, pattern.size() - 1);
+      if (prefix.find('%') != std::string::npos ||
+          prefix.find('_') != std::string::npos) {
+        return false;
+      }
+      std::string next = prefix;
+      if (static_cast<unsigned char>(next.back()) == 0xff) return false;
+      next.back() = static_cast<char>(next.back() + 1);
+      if (*table >= 0 && *table != col->table_idx) return false;
+      *table = col->table_idx;
+      dnf->push_back({SargTerm{col->column, CompareOp::kGe,
+                               Value::Str(std::move(prefix))},
+                      SargTerm{col->column, CompareOp::kLt,
+                               Value::Str(std::move(next))}});
+      return true;
+    }
+    case BoundExprKind::kOr: {
+      // OR of sargable parts: union of their disjuncts.
+      return ToSargDnf(*e.children[0], table, dnf) &&
+             ToSargDnf(*e.children[1], table, dnf);
+    }
+    case BoundExprKind::kAnd: {
+      // AND inside a factor: distribute (a1|a2|..)&(b1|b2|..). Keep the
+      // common cheap case bounded: bail out beyond 64 product conjuncts.
+      std::vector<std::vector<SargTerm>> left, right;
+      if (!ToSargDnf(*e.children[0], table, &left) ||
+          !ToSargDnf(*e.children[1], table, &right)) {
+        return false;
+      }
+      if (left.size() * right.size() > 64) return false;
+      for (const auto& l : left) {
+        for (const auto& r : right) {
+          std::vector<SargTerm> combined = l;
+          combined.insert(combined.end(), r.begin(), r.end());
+          dnf->push_back(std::move(combined));
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::optional<JoinPredInfo> AsJoinPred(const BoundExpr& e) {
+  if (e.kind != BoundExprKind::kCompare) return std::nullopt;
+  const BoundExpr* lhs = e.children[0].get();
+  const BoundExpr* rhs = e.children[1].get();
+  if (lhs->kind != BoundExprKind::kColumn ||
+      rhs->kind != BoundExprKind::kColumn) {
+    return std::nullopt;
+  }
+  if (lhs->outer_level != 0 || rhs->outer_level != 0) return std::nullopt;
+  if (lhs->table_idx == rhs->table_idx) return std::nullopt;
+  return JoinPredInfo{lhs->table_idx, lhs->column, rhs->table_idx, rhs->column,
+                      e.op};
+}
+
+void SplitConjuncts(const BoundExpr* e, std::vector<const BoundExpr*>* out) {
+  if (e->kind == BoundExprKind::kAnd) {
+    SplitConjuncts(e->children[0].get(), out);
+    SplitConjuncts(e->children[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+}  // namespace
+
+std::vector<BooleanFactor> ExtractBooleanFactors(const BoundQueryBlock& block) {
+  std::vector<BooleanFactor> factors;
+  if (block.where == nullptr) return factors;
+  std::vector<const BoundExpr*> conjuncts;
+  SplitConjuncts(block.where.get(), &conjuncts);
+
+  for (const BoundExpr* e : conjuncts) {
+    BooleanFactor f;
+    f.expr = e;
+    CollectMask(*e, 0, &f.tables_mask);
+    f.has_subquery = e->HasSubquery();
+    f.correlated = e->ReferencesOuter(0);
+
+    if (!f.has_subquery && !f.correlated) {
+      f.join = AsJoinPred(*e);
+      int table = -1;
+      std::vector<std::vector<SargTerm>> dnf;
+      if (!f.join.has_value() && ToSargDnf(*e, &table, &dnf)) {
+        f.sargable = true;
+        f.sarg_table = table;
+        f.dnf = std::move(dnf);
+      }
+    }
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+}  // namespace systemr

@@ -1,0 +1,105 @@
+// The System R cost model:
+//   COST = PAGE FETCHES + W * (RSI CALLS)                       (§4)
+// TABLE 2 gives the single-relation access path formulas; §5 gives the join
+// formulas:
+//   C-nested-loop-join(p1,p2) = C-outer(p1) + N * C-inner(p2)
+//   C-merge(p1,p2)            = C-outer(p1) + N * C-inner(p2)
+//   C-inner(sorted list)      = TEMPPAGES/N + W * RSICARD
+// C-sort is named but not specified by the paper; we use the external
+// merge-sort model our sort operator implements (see DESIGN.md).
+#ifndef SYSTEMR_OPTIMIZER_COST_MODEL_H_
+#define SYSTEMR_OPTIMIZER_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace systemr {
+
+struct CostParams {
+  /// W: the adjustable weighting factor between I/O and CPU (§4).
+  double w = 0.1;
+  /// Effective buffer pool pages per user (§4's buffer-fit conditions).
+  size_t buffer_pages = 128;
+};
+
+/// Table 2 situations, for diagnostics and the Table-2 bench.
+enum class AccessSituation {
+  kUniqueIndexEqual,
+  kClusteredIndexMatching,
+  kNonClusteredIndexMatching,
+  kClusteredIndexNonMatching,
+  kNonClusteredIndexNonMatching,
+  kSegmentScan,
+};
+
+const char* AccessSituationName(AccessSituation s);
+
+struct PathCost {
+  double pages = 0;  // Predicted page fetches.
+  double rsi = 0;    // Predicted RSI calls.
+  double cost = 0;   // pages + W * rsi.
+  AccessSituation situation = AccessSituation::kSegmentScan;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostParams params) : params_(params) {}
+
+  double w() const { return params_.w; }
+  size_t buffer_pages() const { return params_.buffer_pages; }
+
+  double Combine(double pages, double rsi) const {
+    return pages + params_.w * rsi;
+  }
+
+  /// TABLE 2, segment scan: TCARD/P + W * RSICARD.
+  PathCost SegmentScan(const TableInfo& table, double rsicard) const;
+
+  /// TABLE 2, index scan. `f_preds` is the product of the selectivities of
+  /// the boolean factors *matching* the index; `matching` false means no
+  /// factor matches (full index scan). `unique_equal` marks the unique-index
+  /// equal-predicate case (cost 1 + 1 + W).
+  ///
+  /// `repeated_probe` marks the nested-loop inner case: the formula is then
+  /// a per-probe cost, and the paper's buffer-fit reasoning applies — when
+  /// the index + data pages stay resident across probes the amortized
+  /// formula holds, otherwise a probe can never cost less than one leaf
+  /// descent plus its data pages (the physical floor).
+  PathCost IndexScan(const TableInfo& table, const IndexInfo& index,
+                     bool matching, double f_preds, double rsicard,
+                     bool unique_equal, bool repeated_probe = false) const;
+
+  /// §5: C-outer + N * C-inner (identical formula for both join methods).
+  double JoinCost(double c_outer, double n_outer, double c_inner_per_probe) const {
+    return c_outer + n_outer * c_inner_per_probe;
+  }
+
+  /// §5: per-probe cost of a merge-join inner that was sorted into a
+  /// temporary list: TEMPPAGES/N + W*RSICARD(per matching group).
+  double SortedInnerPerProbe(double temppages, double n_outer,
+                             double rsicard_group) const;
+
+  /// C-sort(path): cost of reading the input via `input_cost`, forming and
+  /// merging runs, and writing the temporary list. `rows` tuples of
+  /// `bytes_per_row` bytes.
+  double SortCost(double input_cost, double rows, double bytes_per_row) const;
+
+  /// Pages needed to hold `rows` tuples of `bytes_per_row` bytes.
+  double TempPages(double rows, double bytes_per_row) const;
+
+  /// Number of merge passes the external sort performs.
+  int SortPasses(double temppages) const;
+
+  /// Estimated stored bytes per tuple of `table` (from TCARD/NCARD when
+  /// statistics exist, else a fixed guess).
+  static double TupleBytes(const TableInfo& table);
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,124 @@
+#include "optimizer/explain.h"
+
+#include <sstream>
+
+namespace systemr {
+
+namespace {
+
+void Indent(std::ostringstream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+}
+
+void ExplainNode(const PlanRef& node, const BoundQueryBlock& block, int depth,
+                 std::ostringstream& os) {
+  if (node == nullptr) return;
+  Indent(os, depth);
+  os << PlanKindName(node->kind);
+  switch (node->kind) {
+    case PlanKind::kSegScan:
+    case PlanKind::kIndexScan:
+      os << " " << DescribeScan(node->scan, block);
+      break;
+    case PlanKind::kSort: {
+      os << " by [";
+      for (size_t i = 0; i < node->sort_keys.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "#" << node->sort_keys[i].offset
+           << (node->sort_keys[i].asc ? "" : " DESC");
+      }
+      os << "]";
+      break;
+    }
+    case PlanKind::kMergeJoin:
+      os << " on #" << node->merge_outer_offset << " = #"
+         << node->merge_inner_offset;
+      break;
+    case PlanKind::kNestedLoopJoin:
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kAggregate:
+      break;
+  }
+  if (!node->residual.empty()) {
+    os << " residual(";
+    for (size_t i = 0; i < node->residual.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << node->residual[i]->ToString(block);
+    }
+    os << ")";
+  }
+  os << "  [cost=" << node->est_cost << " rows=" << node->est_rows;
+  if (!node->order.empty()) os << " order=" << OrderSpecToString(node->order);
+  os << "]";
+  os << "\n";
+  ExplainNode(node->left, block, depth + 1, os);
+  ExplainNode(node->right, block, depth + 1, os);
+}
+
+}  // namespace
+
+std::string DescribeScan(const ScanSpec& spec, const BoundQueryBlock& block) {
+  std::ostringstream os;
+  const std::string& corr = block.tables[spec.table_idx].correlation;
+  if (spec.index == nullptr) {
+    os << corr << " (segment scan)";
+  } else {
+    os << corr << " via " << spec.index->name;
+    if (!spec.eq_prefix.empty() || !spec.dyn_eq.empty() ||
+        spec.lo.has_value() || spec.hi.has_value()) {
+      os << " [";
+      bool first = true;
+      for (const Value& v : spec.eq_prefix) {
+        if (!first) os << ", ";
+        os << "=" << v.ToString();
+        first = false;
+      }
+      for (const DynamicEq& d : spec.dyn_eq) {
+        if (!first) os << ", ";
+        os << "=outer#" << d.outer_offset;
+        first = false;
+      }
+      if (spec.lo.has_value()) {
+        if (!first) os << ", ";
+        os << (spec.lo_inclusive ? ">=" : ">") << spec.lo->ToString();
+        first = false;
+      }
+      if (spec.hi.has_value()) {
+        if (!first) os << ", ";
+        os << (spec.hi_inclusive ? "<=" : "<") << spec.hi->ToString();
+        first = false;
+      }
+      os << "]";
+    }
+  }
+  if (!spec.sargs.empty()) {
+    os << " sargs(";
+    for (size_t i = 0; i < spec.sargs.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << spec.sargs[i].ToString(spec.table->schema);
+    }
+    os << ")";
+  }
+  for (const DynamicSargTerm& d : spec.dyn_sargs) {
+    os << " dynsarg(" << spec.table->schema.column(d.inner_column).name
+       << CompareOpName(d.op) << "outer#" << d.outer_offset << ")";
+  }
+  if (!spec.residual.empty()) {
+    os << " where(";
+    for (size_t i = 0; i < spec.residual.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << spec.residual[i]->ToString(block);
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+std::string ExplainPlan(const PlanRef& root, const BoundQueryBlock& block) {
+  std::ostringstream os;
+  ExplainNode(root, block, 0, os);
+  return os.str();
+}
+
+}  // namespace systemr

@@ -1,0 +1,21 @@
+// EXPLAIN: renders a physical plan tree with the optimizer's annotations
+// (estimated cost split into page fetches and W*RSI calls, cardinalities,
+// tuple orders, SARGs and key bounds).
+#ifndef SYSTEMR_OPTIMIZER_EXPLAIN_H_
+#define SYSTEMR_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "optimizer/bound_expr.h"
+#include "optimizer/plan.h"
+
+namespace systemr {
+
+std::string ExplainPlan(const PlanRef& root, const BoundQueryBlock& block);
+
+/// One-line summary of a scan's access path (used in search-tree dumps).
+std::string DescribeScan(const ScanSpec& spec, const BoundQueryBlock& block);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_EXPLAIN_H_

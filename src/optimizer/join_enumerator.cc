@@ -1,0 +1,452 @@
+#include "optimizer/join_enumerator.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace systemr {
+
+namespace {
+
+int PopCount(uint32_t v) { return std::popcount(v); }
+
+}  // namespace
+
+double JoinEnumerator::Rows(uint32_t mask) const {
+  auto it = rows_cache_.find(mask);
+  if (it != rows_cache_.end()) return it->second;
+  double rows = 1.0;
+  for (size_t t = 0; t < ctx_.block->tables.size(); ++t) {
+    if ((mask >> t) & 1) {
+      rows *= ctx_.sel->TableCardinality(static_cast<int>(t));
+    }
+  }
+  for (const BooleanFactor& f : *ctx_.factors) {
+    if (f.has_subquery || f.correlated) continue;
+    if (f.tables_mask != 0 && SubsetOf(f.tables_mask, mask)) {
+      rows *= f.selectivity;
+    }
+  }
+  rows_cache_[mask] = rows;
+  return rows;
+}
+
+double JoinEnumerator::CompositeTupleBytes(uint32_t mask) const {
+  double bytes = 0;
+  for (size_t t = 0; t < ctx_.block->tables.size(); ++t) {
+    if ((mask >> t) & 1) {
+      bytes += CostModel::TupleBytes(*ctx_.block->tables[t].table);
+    }
+  }
+  return std::max(bytes, 8.0);
+}
+
+void JoinEnumerator::BuildInterestingOrders() {
+  if (!options_.use_interesting_orders) return;
+  auto add = [&](OrderSpec spec) {
+    if (spec.empty()) return;
+    for (const OrderSpec& existing : interesting_) {
+      if (existing == spec) return;
+    }
+    interesting_.push_back(std::move(spec));
+  };
+  // ORDER BY and GROUP BY specifications (§4).
+  OrderSpec order_by;
+  for (const BoundOrderItem& i : ctx_.block->order_by) {
+    order_by.push_back(
+        OrderKey{ctx_.classes->ClassOf(i.table_idx, i.column), i.asc});
+  }
+  add(order_by);
+  OrderSpec group_by;
+  for (const BoundOrderItem& i : ctx_.block->group_by) {
+    group_by.push_back(
+        OrderKey{ctx_.classes->ClassOf(i.table_idx, i.column), true});
+  }
+  add(group_by);
+  // "Also every join column defines an interesting order" (§5).
+  for (const BooleanFactor& f : *ctx_.factors) {
+    if (f.join.has_value() && f.join->is_equi()) {
+      add({OrderKey{ctx_.classes->ClassOf(f.join->t1, f.join->c1), true}});
+    }
+  }
+}
+
+void JoinEnumerator::AddSolution(uint32_t mask, JoinSolution solution) {
+  ++solutions_generated_;
+  std::vector<JoinSolution>& list = dp_[mask];
+  if (!options_.use_interesting_orders) {
+    // Keep the single cheapest solution (order is never reused).
+    if (list.empty() || solution.cost < list[0].cost) {
+      list.clear();
+      list.push_back(std::move(solution));
+    }
+    return;
+  }
+  uint64_t covered = CoveredOrders(solution.order, interesting_);
+  // Dominated by an existing solution?
+  for (const JoinSolution& s : list) {
+    uint64_t c = CoveredOrders(s.order, interesting_);
+    if (s.cost <= solution.cost && (covered & ~c) == 0) return;
+  }
+  // Remove solutions the new one dominates.
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](const JoinSolution& s) {
+                              uint64_t c = CoveredOrders(s.order, interesting_);
+                              return solution.cost <= s.cost &&
+                                     (c & ~covered) == 0;
+                            }),
+             list.end());
+  list.push_back(std::move(solution));
+}
+
+bool JoinEnumerator::Connected(uint32_t mask, int t) const {
+  for (const BooleanFactor& f : *ctx_.factors) {
+    if (!f.join.has_value()) continue;
+    const JoinPredInfo& j = *f.join;
+    if ((j.t1 == t && ((mask >> j.t2) & 1)) ||
+        (j.t2 == t && ((mask >> j.t1) & 1))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool JoinEnumerator::Eligible(uint32_t mask, int t) const {
+  if ((mask >> t) & 1) return false;
+  if (!options_.cartesian_heuristic) return true;
+  if (Connected(mask, t)) return true;
+  // Cartesian products are deferred: only allowed if NO remaining relation
+  // has a join predicate with the joined set.
+  for (size_t u = 0; u < ctx_.block->tables.size(); ++u) {
+    if (((mask >> u) & 1) == 0 && Connected(mask, static_cast<int>(u))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<const BoundExpr*> JoinEnumerator::NewResiduals(
+    uint32_t mask, int t, bool all_simple_joins_handled,
+    const JoinPredInfo* merge_pred) const {
+  std::vector<const BoundExpr*> out;
+  uint32_t self = 1u << t;
+  uint32_t combined = mask | self;
+  for (const BooleanFactor& f : *ctx_.factors) {
+    if (f.has_subquery || f.correlated) continue;
+    // Newly applicable: references t and only tables now joined, and spans
+    // more than just t (single-table predicates were applied at the scan).
+    if ((f.tables_mask & self) == 0) continue;
+    if (!SubsetOf(f.tables_mask, combined)) continue;
+    if (f.tables_mask == self) continue;
+    if (f.join.has_value()) {
+      if (all_simple_joins_handled) continue;  // Applied as dynamic SARGs.
+      if (merge_pred != nullptr) {
+        const JoinPredInfo o = f.join->OrientedFor(t);
+        if (o.c1 == merge_pred->c1 && o.t2 == merge_pred->t2 &&
+            o.c2 == merge_pred->c2 && o.op == merge_pred->op) {
+          continue;  // The merge equality itself.
+        }
+      }
+    }
+    out.push_back(f.expr);
+  }
+  return out;
+}
+
+Status JoinEnumerator::Run() {
+  const BoundQueryBlock& block = *ctx_.block;
+  size_t n = block.tables.size();
+  if (n > 20) {
+    return Status::InvalidArgument("too many relations in one block");
+  }
+  BuildInterestingOrders();
+
+  // Level 1: single-relation access paths (Fig. 2/3).
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<AccessPath> paths =
+        GenerateAccessPaths(ctx_, static_cast<int>(t), 0);
+    PruneAccessPaths(&paths, interesting_);
+    uint32_t mask = 1u << t;
+    for (AccessPath& p : paths) {
+      if (p.pruned) continue;
+      JoinSolution s;
+      s.mask = mask;
+      s.cost = p.cost.cost;
+      s.rows = Rows(mask);
+      s.order = options_.use_interesting_orders ? p.order : OrderSpec{};
+      s.plan = p.node;
+      s.describe = p.describe;
+      AddSolution(mask, std::move(s));
+    }
+  }
+  if (n == 1) return Status::OK();
+
+  // Levels 2..n: extend every subset by one eligible relation (left-deep).
+  uint32_t full = (1u << n) - 1;
+  for (int level = 1; level < static_cast<int>(n); ++level) {
+    // Collect masks of this size first: AddSolution mutates dp_.
+    std::vector<uint32_t> masks;
+    for (const auto& [mask, sols] : dp_) {
+      if (PopCount(mask) == level && !sols.empty()) masks.push_back(mask);
+    }
+    for (uint32_t mask : masks) {
+      ++subsets_expanded_;
+      for (size_t t = 0; t < n; ++t) {
+        if (!Eligible(mask, static_cast<int>(t))) continue;
+        if (options_.enable_nested_loop) {
+          ExtendNestedLoop(mask, static_cast<int>(t));
+        }
+        if (options_.enable_merge_join) {
+          ExtendMerge(mask, static_cast<int>(t));
+        }
+      }
+    }
+  }
+  if (dp_.find(full) == dp_.end() || dp_[full].empty()) {
+    return Status::Internal("join enumeration produced no complete solution");
+  }
+  return Status::OK();
+}
+
+void JoinEnumerator::ExtendNestedLoop(uint32_t mask, int t) {
+  const BoundQueryBlock& block = *ctx_.block;
+  uint32_t combined = mask | (1u << t);
+  double n_outer = std::max(Rows(mask), 1.0);
+
+  std::vector<AccessPath> inner_paths = GenerateAccessPaths(ctx_, t, mask);
+  PruneAccessPaths(&inner_paths, {});  // Inner order is irrelevant for NL.
+  std::vector<const BoundExpr*> residual =
+      NewResiduals(mask, t, /*all_simple_joins_handled=*/true, nullptr);
+
+  for (const JoinSolution& outer : dp_[mask]) {
+    for (const AccessPath& p : inner_paths) {
+      if (p.pruned) continue;
+      JoinSolution s;
+      s.mask = combined;
+      // C-nested-loop-join = C-outer + N * C-inner (§5).
+      s.cost = ctx_.cost->JoinCost(outer.cost, n_outer, p.cost.cost);
+      s.rows = Rows(combined);
+      s.order = outer.order;  // The outer composite's order is preserved.
+
+      auto node = NewPlanNode(PlanKind::kNestedLoopJoin);
+      node->left = outer.plan;
+      node->right = p.node;
+      node->inner_offset = block.tables[t].offset;
+      node->inner_width = block.tables[t].table->schema.num_columns();
+      node->residual = residual;
+      node->est_cost = s.cost;
+      node->est_rows = s.rows;
+      node->order = s.order;
+      node->label = "NLJ(" + outer.describe + " -> " + p.describe + ")";
+      s.plan = node;
+      s.describe = node->label;
+      AddSolution(combined, std::move(s));
+    }
+  }
+}
+
+void JoinEnumerator::ExtendMerge(uint32_t mask, int t) {
+  const BoundQueryBlock& block = *ctx_.block;
+  uint32_t combined = mask | (1u << t);
+  double n_outer = std::max(Rows(mask), 1.0);
+
+  // One merge variant per equi-join predicate linking t to the joined set.
+  for (const BooleanFactor& f : *ctx_.factors) {
+    if (!f.join.has_value() || !f.join->is_equi()) continue;
+    JoinPredInfo j = *f.join;
+    if (j.t1 != t && j.t2 != t) continue;
+    j = j.OrientedFor(t);
+    if (((mask >> j.t2) & 1) == 0) continue;
+
+    int cls = ctx_.classes->ClassOf(j.t2, j.c2);
+    OrderSpec required = {OrderKey{cls, true}};
+    size_t outer_off = block.OffsetOf(j.t2, j.c2);
+    size_t inner_off = block.OffsetOf(j.t1, j.c1);
+
+    std::vector<const BoundExpr*> residual =
+        NewResiduals(mask, t, /*all_simple_joins_handled=*/false, &j);
+
+    // Inner variants.
+    struct InnerVariant {
+      PlanRef plan;
+      double setup_cost = 0;      // One-time (sorting into a temp list).
+      double per_probe = 0;       // C-inner.
+      std::string describe;
+    };
+    std::vector<InnerVariant> inners;
+
+    // (a) An index on the join column provides the inner in join-column
+    // order directly (Fig. 5's "Merge E.DNO D.DNO" with both indexes). The
+    // merging-scans method synchronizes the two ordered streams, so the
+    // inner is read exactly once with only its local predicates applied —
+    // costed as one full ordered scan (setup) with no per-probe charge.
+    {
+      std::vector<AccessPath> paths = GenerateAccessPaths(ctx_, t, 0);
+      for (AccessPath& p : paths) {
+        if (p.node->kind != PlanKind::kIndexScan) continue;
+        if (!OrderSatisfies(p.order, required)) continue;
+        InnerVariant v;
+        v.plan = p.node;
+        v.setup_cost = p.cost.cost;
+        v.per_probe = 0.0;
+        v.describe = "merge-inner " + p.describe;
+        inners.push_back(std::move(v));
+      }
+    }
+
+    // (b) Sort the inner into a temporary list (C-inner(sorted list), §5).
+    {
+      auto it = dp_.find(1u << t);
+      if (it != dp_.end() && !it->second.empty()) {
+        const JoinSolution* cheapest = &it->second[0];
+        for (const JoinSolution& s : it->second) {
+          if (s.cost < cheapest->cost) cheapest = &s;
+        }
+        double inner_rows = std::max(Rows(1u << t), 1.0);
+        double bytes = CostModel::TupleBytes(*block.tables[t].table);
+        double temppages = ctx_.cost->TempPages(inner_rows, bytes);
+        double rsicard_group = inner_rows * f.selectivity;
+
+        InnerVariant v;
+        auto sort = NewPlanNode(PlanKind::kSort);
+        sort->left = cheapest->plan;
+        sort->sort_keys = {SortKey{inner_off, true}};
+        sort->order = required;
+        sort->est_rows = inner_rows;
+        sort->label = "sort " + block.tables[t].correlation + " by join col";
+        v.setup_cost =
+            ctx_.cost->SortCost(cheapest->cost, inner_rows, bytes);
+        sort->est_cost = v.setup_cost;
+        v.plan = sort;
+        v.per_probe =
+            ctx_.cost->SortedInnerPerProbe(temppages, n_outer, rsicard_group);
+        v.describe = "sort(" + cheapest->describe + ") then merge";
+        inners.push_back(std::move(v));
+      }
+    }
+    if (inners.empty()) continue;
+
+    for (const JoinSolution& outer : dp_[mask]) {
+      // Outer variants: use as-is if ordered on the join class, else sort.
+      struct OuterVariant {
+        PlanRef plan;
+        double cost;
+        OrderSpec order;
+        std::string describe;
+      };
+      std::vector<OuterVariant> outers;
+      if (OrderSatisfies(outer.order, required)) {
+        outers.push_back({outer.plan, outer.cost, outer.order,
+                          outer.describe});
+      } else {
+        auto sort = NewPlanNode(PlanKind::kSort);
+        sort->left = outer.plan;
+        sort->sort_keys = {SortKey{outer_off, true}};
+        sort->order = required;
+        sort->est_rows = n_outer;
+        sort->label = "sort outer by join col";
+        double sorted_cost = ctx_.cost->SortCost(
+            outer.cost, n_outer, CompositeTupleBytes(mask));
+        sort->est_cost = sorted_cost;
+        outers.push_back({sort, sorted_cost, required,
+                          "sort(" + outer.describe + ")"});
+      }
+
+      for (const OuterVariant& ov : outers) {
+        for (const InnerVariant& iv : inners) {
+          JoinSolution s;
+          s.mask = combined;
+          s.cost = iv.setup_cost +
+                   ctx_.cost->JoinCost(ov.cost, n_outer, iv.per_probe);
+          s.rows = Rows(combined);
+          // The merge output is ordered by the join column class; the outer
+          // order (which starts with that class) is preserved.
+          s.order = ov.order;
+
+          auto node = NewPlanNode(PlanKind::kMergeJoin);
+          node->left = ov.plan;
+          node->right = iv.plan;
+          node->inner_offset = block.tables[t].offset;
+          node->inner_width = block.tables[t].table->schema.num_columns();
+          node->merge_outer_offset = outer_off;
+          node->merge_inner_offset = inner_off;
+          node->residual = residual;
+          node->est_cost = s.cost;
+          node->est_rows = s.rows;
+          node->order = s.order;
+          node->label = "MJ(" + ov.describe + " = " + iv.describe + ")";
+          s.plan = node;
+          s.describe = node->label;
+          AddSolution(combined, std::move(s));
+        }
+      }
+    }
+  }
+}
+
+const std::vector<JoinSolution>& JoinEnumerator::SolutionsFor(
+    uint32_t mask) const {
+  static const std::vector<JoinSolution>* empty =
+      new std::vector<JoinSolution>();
+  auto it = dp_.find(mask);
+  return it == dp_.end() ? *empty : it->second;
+}
+
+StatusOr<JoinSolution> JoinEnumerator::Best(
+    const OrderSpec& required, const std::vector<SortKey>& sort_keys) const {
+  uint32_t full = (1u << ctx_.block->tables.size()) - 1;
+  auto it = dp_.find(full);
+  if (it == dp_.end() || it->second.empty()) {
+    return Status::Internal("no complete solution");
+  }
+  const JoinSolution* cheapest = &it->second[0];
+  const JoinSolution* cheapest_ordered = nullptr;
+  for (const JoinSolution& s : it->second) {
+    if (s.cost < cheapest->cost) cheapest = &s;
+    if (!required.empty() && OrderSatisfies(s.order, required)) {
+      if (cheapest_ordered == nullptr || s.cost < cheapest_ordered->cost) {
+        cheapest_ordered = &s;
+      }
+    }
+  }
+  if (required.empty()) return *cheapest;
+
+  // "The cheapest solution with the correct order, unless it is more
+  // expensive than the cheapest unordered solution plus a sort" (§5).
+  double sorted_cost = ctx_.cost->SortCost(
+      cheapest->cost, std::max(cheapest->rows, 1.0), CompositeTupleBytes(full));
+  if (cheapest_ordered != nullptr && cheapest_ordered->cost <= sorted_cost) {
+    return *cheapest_ordered;
+  }
+  JoinSolution s = *cheapest;
+  auto sort = NewPlanNode(PlanKind::kSort);
+  sort->left = cheapest->plan;
+  sort->sort_keys = sort_keys;
+  sort->order = required;
+  sort->est_rows = cheapest->rows;
+  sort->est_cost = sorted_cost;
+  sort->label = "sort for ORDER/GROUP BY";
+  s.plan = sort;
+  s.cost = sorted_cost;
+  s.order = required;
+  s.describe = "sort(" + s.describe + ")";
+  return s;
+}
+
+size_t JoinEnumerator::solutions_stored() const {
+  size_t n = 0;
+  for (const auto& [mask, sols] : dp_) n += sols.size();
+  return n;
+}
+
+size_t JoinEnumerator::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [mask, sols] : dp_) {
+    for (const JoinSolution& s : sols) {
+      bytes += sizeof(JoinSolution) + s.describe.size() +
+               s.order.size() * sizeof(OrderKey) + 64;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace systemr

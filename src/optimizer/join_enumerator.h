@@ -1,0 +1,100 @@
+// Dynamic-programming join enumeration (§5): "an efficient way to organize
+// the search is to find the best join order for successively larger subsets
+// of tables", keeping — per subset — the cheapest unordered solution and the
+// cheapest solution for each interesting-order equivalence class, extending
+// left-deep with nested-loop and merge-scan joins, and deferring Cartesian
+// products via the join-predicate heuristic.
+#ifndef SYSTEMR_OPTIMIZER_JOIN_ENUMERATOR_H_
+#define SYSTEMR_OPTIMIZER_JOIN_ENUMERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/access_path_gen.h"
+
+namespace systemr {
+
+struct JoinSolution {
+  uint32_t mask = 0;
+  double cost = 0;
+  double rows = 0;
+  OrderSpec order;
+  PlanRef plan;
+  std::string describe;
+};
+
+class JoinEnumerator {
+ public:
+  struct Options {
+    /// §5 heuristic: only consider join orders with a join predicate linking
+    /// the new inner relation to the joined set (Cartesian products last).
+    bool cartesian_heuristic = true;
+    /// Keep per-order solutions; off = keep only the cheapest per subset
+    /// (ablation: forces re-sorts before merges and ORDER BY).
+    bool use_interesting_orders = true;
+    bool enable_merge_join = true;
+    bool enable_nested_loop = true;
+  };
+
+  JoinEnumerator(const PlannerContext& ctx, Options options)
+      : ctx_(ctx), options_(options) {}
+
+  /// Builds the full search tree up to the all-relations subset.
+  Status Run();
+
+  /// Solutions stored for one subset (Figs. 3-6 dumps and tests).
+  const std::vector<JoinSolution>& SolutionsFor(uint32_t mask) const;
+
+  /// The final plan: cheapest complete solution delivering `required` —
+  /// either directly or as cheapest-overall plus a sort (§4/§5). `sort_keys`
+  /// gives the executor sort keys for the required order (block-row offsets).
+  StatusOr<JoinSolution> Best(const OrderSpec& required,
+                              const std::vector<SortKey>& sort_keys) const;
+
+  /// N(mask): estimated composite cardinality — product of cardinalities
+  /// times the selectivities of all applicable predicates (§5).
+  double Rows(uint32_t mask) const;
+
+  // --- Search statistics (§7 claims: E8) ---
+  size_t solutions_stored() const;
+  size_t solutions_generated() const { return solutions_generated_; }
+  size_t subsets_expanded() const { return subsets_expanded_; }
+  size_t ApproxBytes() const;
+
+  const std::vector<OrderSpec>& interesting_orders() const {
+    return interesting_;
+  }
+
+ private:
+  void BuildInterestingOrders();
+  void AddSolution(uint32_t mask, JoinSolution solution);
+  bool Eligible(uint32_t mask, int t) const;
+  bool Connected(uint32_t mask, int t) const;
+
+  void ExtendNestedLoop(uint32_t mask, int t);
+  void ExtendMerge(uint32_t mask, int t);
+
+  /// Residual predicates newly applicable when `t` joins `mask`, excluding
+  /// the simple join predicates already handled (`skip_joins` = true skips
+  /// all simple join predicates, for nested loop where they became SARGs).
+  std::vector<const BoundExpr*> NewResiduals(uint32_t mask, int t,
+                                             bool all_simple_joins_handled,
+                                             const JoinPredInfo* merge_pred) const;
+
+  double CompositeTupleBytes(uint32_t mask) const;
+
+  PlannerContext ctx_;
+  Options options_;
+  std::map<uint32_t, std::vector<JoinSolution>> dp_;
+  std::vector<OrderSpec> interesting_;
+  mutable std::map<uint32_t, double> rows_cache_;
+  size_t solutions_generated_ = 0;
+  size_t subsets_expanded_ = 0;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_JOIN_ENUMERATOR_H_

@@ -1,0 +1,288 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+#include "optimizer/cnf.h"
+#include "optimizer/selectivity.h"
+
+namespace systemr {
+
+OrderSpec Optimizer::RequiredOrder(const BoundQueryBlock& block,
+                                   OrderClasses* classes,
+                                   std::vector<SortKey>* sort_keys) {
+  OrderSpec required;
+  sort_keys->clear();
+  if (block.has_aggregates) {
+    for (const BoundOrderItem& i : block.group_by) {
+      required.push_back(OrderKey{classes->ClassOf(i.table_idx, i.column),
+                                  true});
+      sort_keys->push_back(SortKey{block.OffsetOf(i.table_idx, i.column),
+                                   true});
+    }
+    return required;
+  }
+  for (const BoundOrderItem& i : block.order_by) {
+    required.push_back(
+        OrderKey{classes->ClassOf(i.table_idx, i.column), i.asc});
+    sort_keys->push_back(
+        SortKey{block.OffsetOf(i.table_idx, i.column), i.asc});
+  }
+  return required;
+}
+
+Status Optimizer::PlanSubqueriesIn(const BoundExpr& e,
+                                   SubplanMap* subplans) const {
+  if (e.subquery != nullptr && subplans->count(e.subquery.get()) == 0) {
+    ASSIGN_OR_RETURN(BlockPlan sub, PlanBlock(*e.subquery, subplans));
+    (*subplans)[e.subquery.get()] = sub.root;
+  }
+  for (const auto& c : e.children) {
+    RETURN_IF_ERROR(PlanSubqueriesIn(*c, subplans));
+  }
+  return Status::OK();
+}
+
+StatusOr<Optimizer::BlockPlan> Optimizer::FinishBlockPlan(
+    const BoundQueryBlock& block, PlanRef join_root, double join_cost,
+    double join_rows, OrderSpec join_order, const OrderSpec& pre_agg_required,
+    SubplanMap* subplans) const {
+  CostModel cost_model(options_.cost);
+  SelectivityEstimator sel(catalog_, &block);
+  std::vector<BooleanFactor> factors = ExtractBooleanFactors(block);
+  // `pre_agg_required` documents the order the join phase delivered (the
+  // GROUP BY order when aggregating); the ORDER-BY-vs-GROUP-BY check below
+  // compares against the group_by items directly.
+  (void)pre_agg_required;
+
+  PlanRef plan = std::move(join_root);
+  double rows = join_rows;
+  double est_cost = join_cost;
+
+  // Residual filter: boolean factors not handled inside the join tree —
+  // subquery predicates and correlated predicates (§6). Their subquery
+  // blocks are planned recursively here.
+  std::vector<const BoundExpr*> leftover;
+  for (const BooleanFactor& f : factors) {
+    if (f.has_subquery || f.correlated || f.tables_mask == 0) {
+      leftover.push_back(f.expr);
+      rows *= sel.FactorSelectivity(*f.expr);
+    }
+  }
+  if (!leftover.empty()) {
+    for (const BoundExpr* e : leftover) {
+      RETURN_IF_ERROR(PlanSubqueriesIn(*e, subplans));
+    }
+    auto filter = NewPlanNode(PlanKind::kFilter);
+    filter->left = plan;
+    filter->residual = leftover;
+    filter->order = join_order;
+    filter->est_rows = rows;
+    filter->est_cost = est_cost;
+    filter->label = "residual filter (" +
+                    std::to_string(leftover.size()) + " predicate(s))";
+    plan = filter;
+  }
+
+  // Scalar subqueries in the SELECT list are planned too.
+  for (const auto& item : block.select_list) {
+    RETURN_IF_ERROR(PlanSubqueriesIn(*item, subplans));
+  }
+
+  if (block.has_aggregates) {
+    // Input is already ordered by the GROUP BY columns (pre_agg_required was
+    // the group order), so sorted-group aggregation applies directly.
+    auto agg = NewPlanNode(PlanKind::kAggregate);
+    agg->left = plan;
+    for (const BoundOrderItem& g : block.group_by) {
+      agg->group_offsets.push_back(block.OffsetOf(g.table_idx, g.column));
+    }
+    for (const auto& item : block.select_list) {
+      agg->agg_select.push_back(item.get());
+    }
+    if (block.having != nullptr) {
+      RETURN_IF_ERROR(PlanSubqueriesIn(*block.having, subplans));
+      agg->having = block.having.get();
+    }
+    double groups = 1.0;
+    if (!block.group_by.empty()) {
+      // Crude group-count estimate: one tenth of input, at least 1.
+      groups = std::max(1.0, rows / 10.0);
+    }
+    agg->est_rows = groups;
+    agg->est_cost = est_cost + options_.cost.w * rows;
+    agg->label = block.group_by.empty() ? "scalar aggregate"
+                                        : "grouped aggregate";
+    plan = agg;
+    rows = groups;
+    est_cost = agg->est_cost;
+
+    // ORDER BY on the aggregate output: sort by select-list positions.
+    if (!block.order_by.empty()) {
+      std::vector<SortKey> out_keys;
+      bool needed = false;
+      for (size_t i = 0; i < block.order_by.size(); ++i) {
+        const BoundOrderItem& o = block.order_by[i];
+        // Find the select item that is exactly this column.
+        int position = -1;
+        for (size_t s = 0; s < block.select_list.size(); ++s) {
+          const BoundExpr* e = block.select_list[s].get();
+          if (e->kind == BoundExprKind::kColumn &&
+              e->outer_level == 0 && e->table_idx == o.table_idx &&
+              e->column == o.column) {
+            position = static_cast<int>(s);
+            break;
+          }
+        }
+        if (position < 0) {
+          return Status::InvalidArgument(
+              "ORDER BY column of a grouped query must appear in the SELECT "
+              "list");
+        }
+        out_keys.push_back(SortKey{static_cast<size_t>(position), o.asc});
+        // If ORDER BY is a prefix of GROUP BY (same columns, ascending), the
+        // grouped output is already ordered.
+        if (i >= block.group_by.size() || !o.asc ||
+            block.group_by[i].table_idx != o.table_idx ||
+            block.group_by[i].column != o.column) {
+          needed = true;
+        }
+      }
+      if (needed) {
+        auto sort = NewPlanNode(PlanKind::kSort);
+        sort->left = plan;
+        sort->sort_keys = out_keys;
+        sort->est_rows = rows;
+        sort->est_cost = est_cost + cost_model.SortCost(0, rows, 32.0);
+        sort->label = "sort aggregate output";
+        plan = sort;
+        est_cost = sort->est_cost;
+      }
+    }
+    if (block.distinct) {
+      ASSIGN_OR_RETURN(plan, AddDistinct(block, plan, &est_cost, rows));
+    }
+    BlockPlan out;
+    out.root = plan;
+    out.est_cost = est_cost;
+    out.est_rows = rows;
+    return out;
+  }
+
+  // Plain projection.
+  auto project = NewPlanNode(PlanKind::kProject);
+  project->left = plan;
+  for (const auto& item : block.select_list) {
+    project->project.push_back(item.get());
+  }
+  project->order = join_order;
+  project->est_rows = rows;
+  project->est_cost = est_cost + options_.cost.w * rows;
+  project->label = "project";
+  PlanRef top = project;
+  double top_cost = project->est_cost;
+  if (block.distinct) {
+    ASSIGN_OR_RETURN(top, AddDistinct(block, top, &top_cost, rows));
+  }
+  BlockPlan out;
+  out.root = top;
+  out.est_cost = top_cost;
+  out.est_rows = rows;
+  return out;
+}
+
+StatusOr<PlanRef> Optimizer::AddDistinct(const BoundQueryBlock& block,
+                                         PlanRef input, double* est_cost,
+                                         double rows) const {
+  // Dedup by sorting the projected output on all columns — with the ORDER BY
+  // columns leading, so the required output order survives the dedup sort.
+  CostModel cost_model(options_.cost);
+  std::vector<SortKey> keys;
+  std::vector<bool> used(block.select_list.size(), false);
+  for (const BoundOrderItem& o : block.order_by) {
+    int position = -1;
+    for (size_t s = 0; s < block.select_list.size(); ++s) {
+      const BoundExpr* e = block.select_list[s].get();
+      if (e->kind == BoundExprKind::kColumn && e->outer_level == 0 &&
+          e->table_idx == o.table_idx && e->column == o.column) {
+        position = static_cast<int>(s);
+        break;
+      }
+    }
+    if (position < 0) {
+      return Status::InvalidArgument(
+          "ORDER BY column of SELECT DISTINCT must appear in the SELECT "
+          "list");
+    }
+    if (!used[position]) {
+      keys.push_back(SortKey{static_cast<size_t>(position), o.asc});
+      used[position] = true;
+    }
+  }
+  for (size_t s = 0; s < block.select_list.size(); ++s) {
+    if (!used[s]) keys.push_back(SortKey{s, true});
+  }
+  auto sort = NewPlanNode(PlanKind::kSort);
+  sort->left = std::move(input);
+  sort->sort_keys = std::move(keys);
+  sort->distinct = true;
+  sort->est_rows = std::max(1.0, rows / 2.0);
+  *est_cost += cost_model.SortCost(0, std::max(rows, 1.0), 32.0);
+  sort->est_cost = *est_cost;
+  sort->label = "distinct";
+  return PlanRef(sort);
+}
+
+StatusOr<Optimizer::BlockPlan> Optimizer::PlanBlock(
+    const BoundQueryBlock& block, SubplanMap* subplans,
+    OptimizedQuery* stats_sink) const {
+  CostModel cost_model(options_.cost);
+  SelectivityEstimator sel(catalog_, &block);
+  std::vector<BooleanFactor> factors = ExtractBooleanFactors(block);
+  for (BooleanFactor& f : factors) {
+    f.selectivity = sel.FactorSelectivity(*f.expr);
+  }
+  OrderClasses classes;
+  for (const BooleanFactor& f : factors) {
+    if (f.join.has_value() && f.join->is_equi()) {
+      classes.Union(f.join->t1, f.join->c1, f.join->t2, f.join->c2);
+    }
+  }
+
+  PlannerContext ctx;
+  ctx.block = &block;
+  ctx.catalog = catalog_;
+  ctx.cost = &cost_model;
+  ctx.sel = &sel;
+  ctx.factors = &factors;
+  ctx.classes = &classes;
+
+  JoinEnumerator enumerator(ctx, options_.join);
+  RETURN_IF_ERROR(enumerator.Run());
+
+  std::vector<SortKey> sort_keys;
+  OrderSpec required = RequiredOrder(block, &classes, &sort_keys);
+  ASSIGN_OR_RETURN(JoinSolution sol, enumerator.Best(required, sort_keys));
+
+  if (stats_sink != nullptr) {
+    stats_sink->solutions_stored = enumerator.solutions_stored();
+    stats_sink->solutions_generated = enumerator.solutions_generated();
+    stats_sink->search_bytes = enumerator.ApproxBytes();
+  }
+
+  return FinishBlockPlan(block, sol.plan, sol.cost, sol.rows, sol.order,
+                         required, subplans);
+}
+
+StatusOr<OptimizedQuery> Optimizer::Optimize(
+    std::unique_ptr<BoundQueryBlock> block) const {
+  OptimizedQuery out;
+  ASSIGN_OR_RETURN(BlockPlan plan,
+                   PlanBlock(*block, &out.subquery_plans, &out));
+  out.block = std::move(block);
+  out.root = plan.root;
+  out.est_cost = plan.est_cost;
+  out.est_rows = plan.est_rows;
+  return out;
+}
+
+}  // namespace systemr

@@ -1,0 +1,94 @@
+// The OPTIMIZER (§2/§4-§6): plans a bound statement — boolean factors,
+// selectivities, single-relation paths, DP join enumeration, residual
+// filters, aggregation, ORDER BY — and recursively plans nested query blocks.
+#ifndef SYSTEMR_OPTIMIZER_OPTIMIZER_H_
+#define SYSTEMR_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/join_enumerator.h"
+#include "optimizer/plan.h"
+
+namespace systemr {
+
+struct OptimizerOptions {
+  CostParams cost;
+  JoinEnumerator::Options join;
+};
+
+/// Plans for every nested query block, keyed by block identity.
+using SubplanMap = std::unordered_map<const BoundQueryBlock*, PlanRef>;
+
+struct OptimizedQuery {
+  std::unique_ptr<BoundQueryBlock> block;  // Owns all nested blocks too.
+  PlanRef root;
+  SubplanMap subquery_plans;
+  double est_cost = 0;
+  double est_rows = 0;
+
+  // Search statistics of the top-level block (§7 claims).
+  size_t solutions_stored = 0;
+  size_t solutions_generated = 0;
+  size_t search_bytes = 0;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Catalog* catalog, OptimizerOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  /// Full access path selection for a bound statement.
+  StatusOr<OptimizedQuery> Optimize(
+      std::unique_ptr<BoundQueryBlock> block) const;
+
+  /// Plans one block (recursively planning its subqueries into `subplans`).
+  /// `stats_sink`, if given, receives the block's enumeration statistics.
+  struct BlockPlan {
+    PlanRef root;
+    double est_cost = 0;
+    double est_rows = 0;
+  };
+  StatusOr<BlockPlan> PlanBlock(const BoundQueryBlock& block,
+                                SubplanMap* subplans,
+                                OptimizedQuery* stats_sink = nullptr) const;
+
+  /// Shared plan-top construction: residual filter for leftover factors
+  /// (subquery/correlated predicates), aggregation, output ORDER BY sort,
+  /// projection. Used by the DP optimizer and by the baselines, so all
+  /// strategies produce directly comparable full plans.
+  StatusOr<BlockPlan> FinishBlockPlan(const BoundQueryBlock& block,
+                                      PlanRef join_root, double join_cost,
+                                      double join_rows, OrderSpec join_order,
+                                      const OrderSpec& pre_agg_required,
+                                      SubplanMap* subplans) const;
+
+  /// Recursively plans every nested query block inside `e` into `subplans`
+  /// (used for SELECT filters and for DML WHERE clauses).
+  Status PlanSubqueries(const BoundExpr& e, SubplanMap* subplans) const {
+    return PlanSubqueriesIn(e, subplans);
+  }
+
+  const OptimizerOptions& options() const { return options_; }
+  const Catalog* catalog() const { return catalog_; }
+
+  /// The order specification the join phase must deliver: GROUP BY when
+  /// aggregating, else ORDER BY. Also emits the matching executor sort keys.
+  static OrderSpec RequiredOrder(const BoundQueryBlock& block,
+                                 OrderClasses* classes,
+                                 std::vector<SortKey>* sort_keys);
+
+ private:
+  Status PlanSubqueriesIn(const BoundExpr& e, SubplanMap* subplans) const;
+  StatusOr<PlanRef> AddDistinct(const BoundQueryBlock& block, PlanRef input,
+                                double* est_cost, double rows) const;
+
+  const Catalog* catalog_;
+  OptimizerOptions options_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,57 @@
+#include "optimizer/order_classes.h"
+
+#include <algorithm>
+
+namespace systemr {
+
+bool OrderSatisfies(const OrderSpec& produced, const OrderSpec& required) {
+  if (required.size() > produced.size()) return false;
+  for (size_t i = 0; i < required.size(); ++i) {
+    if (!(produced[i] == required[i])) return false;
+  }
+  return true;
+}
+
+std::string OrderSpecToString(const OrderSpec& spec) {
+  if (spec.empty()) return "unordered";
+  std::string s;
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (i > 0) s += ",";
+    s += "c" + std::to_string(spec[i].cls);
+    if (!spec[i].asc) s += " DESC";
+  }
+  return s;
+}
+
+int OrderClasses::ClassOf(int table_idx, size_t column) {
+  auto key = std::make_pair(table_idx, column);
+  auto it = ids_.find(key);
+  if (it == ids_.end()) {
+    int id = static_cast<int>(parent_.size());
+    parent_.push_back(id);
+    columns_.push_back(key);
+    ids_[key] = id;
+    return id;
+  }
+  return Find(it->second);
+}
+
+int OrderClasses::Find(int x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+void OrderClasses::Union(int t1, size_t c1, int t2, size_t c2) {
+  int a = ClassOf(t1, c1);
+  int b = ClassOf(t2, c2);
+  if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+}
+
+std::pair<int, size_t> OrderClasses::Representative(int cls) const {
+  return columns_[cls];
+}
+
+}  // namespace systemr

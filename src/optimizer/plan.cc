@@ -1,0 +1,42 @@
+#include "optimizer/plan.h"
+
+namespace systemr {
+
+std::shared_ptr<PlanNode> NewPlanNode(PlanKind kind) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = kind;
+  return node;
+}
+
+std::string PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSegScan:
+      return "SegScan";
+    case PlanKind::kIndexScan:
+      return "IndexScan";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case PlanKind::kMergeJoin:
+      return "MergeJoin";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+  }
+  return "?";
+}
+
+size_t PlanNode::ApproxBytes() const {
+  size_t bytes = sizeof(PlanNode) + label.size();
+  bytes += scan.eq_prefix.size() * sizeof(Value);
+  bytes += scan.sargs.size() * 64;
+  if (left != nullptr) bytes += left->ApproxBytes();
+  if (right != nullptr) bytes += right->ApproxBytes();
+  return bytes;
+}
+
+}  // namespace systemr

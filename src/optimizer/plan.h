@@ -1,0 +1,146 @@
+// Physical plans: the output of access path selection, interpreted by the
+// executor. This is our stand-in for the paper's ASL (Access Specification
+// Language) trees (§2).
+//
+// Plan nodes are immutable once built and shared between competing solutions
+// in the optimizer's search tree, mirroring the paper's "tree of alternate
+// path choices".
+//
+// Rows flowing between nodes are block-width rows (see bound_expr.h): each
+// scan fills its own table's column slots; joins merge the inner table's
+// columns into the outer composite row.
+#ifndef SYSTEMR_OPTIMIZER_PLAN_H_
+#define SYSTEMR_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/bound_expr.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/order_classes.h"
+#include "rss/sarg.h"
+
+namespace systemr {
+
+struct PlanNode;
+using PlanRef = std::shared_ptr<const PlanNode>;
+
+enum class PlanKind {
+  kSegScan,
+  kIndexScan,
+  kSort,           // Sorts child rows by sort_keys.
+  kNestedLoopJoin, // left = outer composite, right = inner scan.
+  kMergeJoin,      // left = outer (ordered), right = inner (ordered).
+  kFilter,         // Residual predicates (incl. subquery predicates).
+  kProject,        // Evaluates the SELECT list.
+  kAggregate,      // Grouped or scalar aggregation; emits projected rows.
+};
+
+/// One key-column bound of an index scan that is filled in at run time from
+/// the current outer row (the nested-loop "join predicate as search argument"
+/// mechanism, §5).
+struct DynamicEq {
+  size_t outer_offset = 0;  // Block-row offset of the outer join column.
+};
+
+/// A join predicate applied as a SARG on the inner scan with the outer
+/// value substituted at run time.
+struct DynamicSargTerm {
+  size_t inner_column = 0;  // Table-local column ordinal.
+  CompareOp op = CompareOp::kEq;
+  size_t outer_offset = 0;  // Block-row offset of the outer column.
+};
+
+/// Everything needed to open one RSS scan on one table.
+struct ScanSpec {
+  int table_idx = 0;
+  const TableInfo* table = nullptr;
+  const IndexInfo* index = nullptr;  // Null for a segment scan.
+
+  // Index bounds: literal equality values on the leading key columns, then
+  // dynamic equalities (outer join columns), then an optional range on the
+  // next key column.
+  std::vector<Value> eq_prefix;
+  std::vector<DynamicEq> dyn_eq;
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+
+  /// Static SARGs (conjunction of DNF boolean factors; table-local columns).
+  SargList sargs;
+  /// Join predicates bound as SARGs at run time.
+  std::vector<DynamicSargTerm> dyn_sargs;
+  /// Non-sargable single-table predicates, evaluated on the block row right
+  /// after this scan (no subqueries, no correlation).
+  std::vector<const BoundExpr*> residual;
+};
+
+struct SortKey {
+  size_t offset = 0;  // Offset into the row format flowing at this point.
+  bool asc = true;
+};
+
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  const BoundExpr* arg = nullptr;  // Null for COUNT(*).
+};
+
+struct PlanNode {
+  PlanKind kind = PlanKind::kSegScan;
+  PlanRef left;   // Outer child / only child.
+  PlanRef right;  // Inner child (joins).
+
+  // kSegScan / kIndexScan.
+  ScanSpec scan;
+
+  // kSort.
+  std::vector<SortKey> sort_keys;
+  /// kSort: drop consecutive rows equal on all sort keys (SELECT DISTINCT).
+  bool distinct = false;
+
+  // kNestedLoopJoin / kMergeJoin: the inner table's slot range in the block
+  // row, used to merge inner columns into the composite row.
+  size_t inner_offset = 0;
+  size_t inner_width = 0;
+
+  // kMergeJoin: block-row offsets of the outer and inner join columns.
+  size_t merge_outer_offset = 0;
+  size_t merge_inner_offset = 0;
+
+  // kFilter and join residual predicates.
+  std::vector<const BoundExpr*> residual;
+
+  // kProject.
+  std::vector<const BoundExpr*> project;
+
+  // kAggregate: grouping keys are block-row offsets; the node evaluates the
+  // whole select list per group (group columns + aggregates).
+  std::vector<size_t> group_offsets;
+  std::vector<const BoundExpr*> agg_select;  // The block's select list.
+  const BoundExpr* having = nullptr;         // Group filter (may be null).
+
+  // --- Optimizer annotations (estimates) ---
+  double est_cost = 0.0;
+  double est_pages = 0.0;
+  double est_rsi = 0.0;
+  double est_rows = 0.0;
+  OrderSpec order;
+  std::string label;  // Human-readable summary for EXPLAIN.
+
+  /// Memory the optimizer "stores" for this node (the §7 few-thousand-bytes
+  /// claim); computed recursively over the plan tree.
+  size_t ApproxBytes() const;
+};
+
+/// Builders (set common fields and annotations).
+std::shared_ptr<PlanNode> NewPlanNode(PlanKind kind);
+
+std::string PlanKindName(PlanKind kind);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_PLAN_H_

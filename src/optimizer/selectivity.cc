@@ -1,0 +1,257 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+
+namespace systemr {
+
+double ClampSelectivity(double f) {
+  if (f < 1e-9) return 1e-9;
+  if (f > 1.0) return 1.0;
+  return f;
+}
+
+double SelectivityEstimator::TableCardinality(int table_idx) const {
+  const TableInfo* t = block_->tables[table_idx].table;
+  return t->has_stats ? static_cast<double>(t->ncard) : kNoStatsCardinality;
+}
+
+const IndexInfo* SelectivityEstimator::LeadingIndexOn(int table_idx,
+                                                      size_t column) const {
+  const TableInfo* t = block_->tables[table_idx].table;
+  const IndexInfo* best = nullptr;
+  for (IndexId iid : t->indexes) {
+    const IndexInfo* info = catalog_->index(iid);
+    if (!info->key_columns.empty() && info->key_columns[0] == column) {
+      if (best == nullptr || (info->icard_leading > 0 && best->icard_leading == 0)) {
+        best = info;
+      }
+    }
+  }
+  return best;
+}
+
+double SelectivityEstimator::EqSelectivity(int table_idx,
+                                           size_t column) const {
+  const IndexInfo* idx = LeadingIndexOn(table_idx, column);
+  if (idx != nullptr && idx->icard_leading > 0) {
+    // "F = 1 / ICARD(column index): even distribution of tuples among the
+    // index key values."
+    return 1.0 / static_cast<double>(idx->icard_leading);
+  }
+  return kDefaultEqSelectivity;
+}
+
+double SelectivityEstimator::RangeSelectivity(const BoundExpr& col,
+                                              CompareOp op,
+                                              const Value& v) const {
+  // "Linear interpolation of the value in the range of key values yields F
+  // if the column is an arithmetic type and value is known at access path
+  // selection time; F = 1/3 otherwise."
+  if (col.kind == BoundExprKind::kColumn && col.outer_level == 0 &&
+      IsArithmetic(col.type) && IsArithmetic(v.type())) {
+    const IndexInfo* idx = LeadingIndexOn(col.table_idx, col.column);
+    if (idx != nullptr && IsArithmetic(idx->low_key.type()) &&
+        IsArithmetic(idx->high_key.type())) {
+      double lo = idx->low_key.AsNumber();
+      double hi = idx->high_key.AsNumber();
+      if (hi > lo) {
+        double x = v.AsNumber();
+        double f = (op == CompareOp::kGt || op == CompareOp::kGe)
+                       ? (hi - x) / (hi - lo)
+                       : (x - lo) / (hi - lo);
+        return ClampSelectivity(f);
+      }
+    }
+  }
+  return kDefaultRangeSelectivity;
+}
+
+double SelectivityEstimator::CompareSelectivity(const BoundExpr& e) const {
+  const BoundExpr* lhs = e.children[0].get();
+  const BoundExpr* rhs = e.children[1].get();
+  CompareOp op = e.op;
+  // Orient a literal/subquery to the right-hand side.
+  if (lhs->kind == BoundExprKind::kLiteral ||
+      lhs->kind == BoundExprKind::kSubquery) {
+    std::swap(lhs, rhs);
+    op = MirrorOp(op);
+  }
+
+  const bool lhs_col = lhs->kind == BoundExprKind::kColumn &&
+                       lhs->outer_level == 0;
+  const bool rhs_col = rhs->kind == BoundExprKind::kColumn &&
+                       rhs->outer_level == 0;
+
+  // column1 = column2 (Table 1 row 2).
+  if (lhs_col && rhs_col) {
+    if (op == CompareOp::kEq) {
+      const IndexInfo* i1 = LeadingIndexOn(lhs->table_idx, lhs->column);
+      const IndexInfo* i2 = LeadingIndexOn(rhs->table_idx, rhs->column);
+      double ic1 = (i1 != nullptr && i1->icard_leading > 0)
+                       ? static_cast<double>(i1->icard_leading)
+                       : 0.0;
+      double ic2 = (i2 != nullptr && i2->icard_leading > 0)
+                       ? static_cast<double>(i2->icard_leading)
+                       : 0.0;
+      if (ic1 > 0 && ic2 > 0) return 1.0 / std::max(ic1, ic2);
+      if (ic1 > 0) return 1.0 / ic1;
+      if (ic2 > 0) return 1.0 / ic2;
+      return kDefaultEqSelectivity;
+    }
+    if (op == CompareOp::kNe) {
+      return ClampSelectivity(1.0 - CompareSelectivityEqProxy(e));
+    }
+    return kDefaultRangeSelectivity;
+  }
+
+  // column op (literal | unknown-at-compile-time value): literal values give
+  // the Table-1 formulas; subquery/correlated/arith right sides fall back to
+  // the same defaults the paper uses when the value is not known.
+  if (lhs_col) {
+    const bool known = rhs->kind == BoundExprKind::kLiteral;
+    switch (op) {
+      case CompareOp::kEq:
+        return EqSelectivity(lhs->table_idx, lhs->column);
+      case CompareOp::kNe:
+        return ClampSelectivity(
+            1.0 - EqSelectivity(lhs->table_idx, lhs->column));
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        if (known) return RangeSelectivity(*lhs, op, rhs->literal);
+        return kDefaultRangeSelectivity;
+    }
+  }
+
+  // Arbitrary expression comparison.
+  return op == CompareOp::kEq ? kDefaultEqSelectivity
+                              : kDefaultRangeSelectivity;
+}
+
+// Helper for the `col1 <> col2` case above.
+double SelectivityEstimator::CompareSelectivityEqProxy(
+    const BoundExpr& e) const {
+  const BoundExpr* lhs = e.children[0].get();
+  const BoundExpr* rhs = e.children[1].get();
+  const IndexInfo* i1 = LeadingIndexOn(lhs->table_idx, lhs->column);
+  const IndexInfo* i2 = LeadingIndexOn(rhs->table_idx, rhs->column);
+  double ic1 = (i1 != nullptr && i1->icard_leading > 0)
+                   ? static_cast<double>(i1->icard_leading)
+                   : 0.0;
+  double ic2 = (i2 != nullptr && i2->icard_leading > 0)
+                   ? static_cast<double>(i2->icard_leading)
+                   : 0.0;
+  if (ic1 > 0 && ic2 > 0) return 1.0 / std::max(ic1, ic2);
+  if (ic1 > 0) return 1.0 / ic1;
+  if (ic2 > 0) return 1.0 / ic2;
+  return kDefaultEqSelectivity;
+}
+
+double SelectivityEstimator::BetweenSelectivity(const BoundExpr& e) const {
+  const BoundExpr* col = e.children[0].get();
+  const BoundExpr* lo = e.children[1].get();
+  const BoundExpr* hi = e.children[2].get();
+  // "A ratio of the BETWEEN value range to the entire key value range...
+  // if column is arithmetic and both values are known; F = 1/4 otherwise."
+  if (col->kind == BoundExprKind::kColumn && col->outer_level == 0 &&
+      IsArithmetic(col->type) && lo->kind == BoundExprKind::kLiteral &&
+      hi->kind == BoundExprKind::kLiteral &&
+      IsArithmetic(lo->literal.type()) && IsArithmetic(hi->literal.type())) {
+    const IndexInfo* idx = LeadingIndexOn(col->table_idx, col->column);
+    if (idx != nullptr && IsArithmetic(idx->low_key.type()) &&
+        IsArithmetic(idx->high_key.type())) {
+      double klo = idx->low_key.AsNumber();
+      double khi = idx->high_key.AsNumber();
+      if (khi > klo) {
+        double f = (hi->literal.AsNumber() - lo->literal.AsNumber()) /
+                   (khi - klo);
+        return ClampSelectivity(f);
+      }
+    }
+  }
+  return kDefaultBetweenSelectivity;
+}
+
+double SelectivityEstimator::InListSelectivity(const BoundExpr& e) const {
+  const BoundExpr* col = e.children[0].get();
+  double per_item = kDefaultEqSelectivity;
+  if (col->kind == BoundExprKind::kColumn && col->outer_level == 0) {
+    per_item = EqSelectivity(col->table_idx, col->column);
+  }
+  // "F = (number of items in the list) * (selectivity for column = value),
+  // allowed to be no more than 1/2."
+  double f = static_cast<double>(e.children.size() - 1) * per_item;
+  return std::min(f, kMaxInListSelectivity);
+}
+
+double SelectivityEstimator::InSubquerySelectivity(const BoundExpr& e) const {
+  // "F = (expected cardinality of the subquery result) / (product of the
+  // cardinalities of all the relations in the subquery's FROM-list)."
+  const BoundQueryBlock& sub = *e.subquery;
+  double qcard = EstimateBlockCardinality(catalog_, sub);
+  double denom = 1.0;
+  for (size_t t = 0; t < sub.tables.size(); ++t) {
+    const TableInfo* ti = sub.tables[t].table;
+    denom *= ti->has_stats ? static_cast<double>(ti->ncard)
+                           : kNoStatsCardinality;
+  }
+  if (denom <= 0) return kMaxInListSelectivity;
+  return ClampSelectivity(qcard / denom);
+}
+
+double SelectivityEstimator::FactorSelectivity(const BoundExpr& e) const {
+  switch (e.kind) {
+    case BoundExprKind::kCompare:
+      return ClampSelectivity(CompareSelectivity(e));
+    case BoundExprKind::kBetween:
+      return ClampSelectivity(BetweenSelectivity(e));
+    case BoundExprKind::kInList:
+      return ClampSelectivity(InListSelectivity(e));
+    case BoundExprKind::kInSubquery:
+      return InSubquerySelectivity(e);
+    case BoundExprKind::kOr: {
+      // F = F1 + F2 - F1*F2.
+      double f1 = FactorSelectivity(*e.children[0]);
+      double f2 = FactorSelectivity(*e.children[1]);
+      return ClampSelectivity(f1 + f2 - f1 * f2);
+    }
+    case BoundExprKind::kAnd: {
+      // F = F1 * F2 ("assumes column values are independent").
+      return ClampSelectivity(FactorSelectivity(*e.children[0]) *
+                              FactorSelectivity(*e.children[1]));
+    }
+    case BoundExprKind::kNot:
+      return ClampSelectivity(1.0 - FactorSelectivity(*e.children[0]));
+    case BoundExprKind::kIsNull:
+      // Not in Table 1; use the equal-predicate default guess.
+      return e.negated ? ClampSelectivity(1.0 - kDefaultEqSelectivity)
+                       : kDefaultEqSelectivity;
+    case BoundExprKind::kLike:
+      // Not in Table 1; LIKE behaves like an equal-predicate guess.
+      return e.negated ? ClampSelectivity(1.0 - kDefaultEqSelectivity)
+                       : kDefaultEqSelectivity;
+    default:
+      // Non-boolean expression used as a predicate: no estimate basis.
+      return kDefaultRangeSelectivity;
+  }
+}
+
+double SelectivityEstimator::EstimateBlockCardinality(
+    const Catalog* catalog, const BoundQueryBlock& block) {
+  // QCARD = product of FROM cardinalities * product of factor selectivities.
+  SelectivityEstimator est(catalog, &block);
+  double card = 1.0;
+  for (size_t t = 0; t < block.tables.size(); ++t) {
+    card *= est.TableCardinality(static_cast<int>(t));
+  }
+  for (const BooleanFactor& f : ExtractBooleanFactors(block)) {
+    card *= est.FactorSelectivity(*f.expr);
+  }
+  // An aggregate block returns one row per group; a scalar aggregate block
+  // returns exactly one row.
+  if (block.has_aggregates && block.group_by.empty()) return 1.0;
+  return std::max(card, 1.0);
+}
+
+}  // namespace systemr

@@ -1,0 +1,65 @@
+// Selectivity factors: a complete implementation of TABLE 1 (§4).
+// Each boolean factor gets a selectivity F, "the expected fraction of tuples
+// which will satisfy the predicate", computed from the catalog statistics
+// when they exist and from the paper's fixed default guesses when they do
+// not (1/10 for equal, 1/3 for range, 1/4 for BETWEEN, cap 1/2 for IN).
+#ifndef SYSTEMR_OPTIMIZER_SELECTIVITY_H_
+#define SYSTEMR_OPTIMIZER_SELECTIVITY_H_
+
+#include "catalog/catalog.h"
+#include "optimizer/bound_expr.h"
+#include "optimizer/cnf.h"
+
+namespace systemr {
+
+/// Paper default guesses (Table 1).
+inline constexpr double kDefaultEqSelectivity = 1.0 / 10.0;
+inline constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+inline constexpr double kDefaultBetweenSelectivity = 1.0 / 4.0;
+inline constexpr double kMaxInListSelectivity = 1.0 / 2.0;
+/// NCARD assumed when a relation has no statistics ("we assume that a lack
+/// of statistics implies that the relation is small").
+inline constexpr double kNoStatsCardinality = 100.0;
+
+class SelectivityEstimator {
+ public:
+  SelectivityEstimator(const Catalog* catalog, const BoundQueryBlock* block)
+      : catalog_(catalog), block_(block) {}
+
+  /// F for one boolean factor (any boolean expression).
+  double FactorSelectivity(const BoundExpr& e) const;
+
+  /// NCARD(T) of a FROM table, or the no-stats default.
+  double TableCardinality(int table_idx) const;
+
+  /// QCARD of an entire block: product of FROM cardinalities times the
+  /// product of all factor selectivities (used for the IN-subquery formula).
+  static double EstimateBlockCardinality(const Catalog* catalog,
+                                         const BoundQueryBlock& block);
+
+  /// The index whose *leading* key column is (table, column), if any — the
+  /// paper's "index on column". Prefers the one with statistics.
+  const IndexInfo* LeadingIndexOn(int table_idx, size_t column) const;
+
+  /// ICARD-based selectivity of `column = value` (Table 1 row 1).
+  double EqSelectivity(int table_idx, size_t column) const;
+
+ private:
+  double CompareSelectivity(const BoundExpr& e) const;
+  double CompareSelectivityEqProxy(const BoundExpr& e) const;
+  double RangeSelectivity(const BoundExpr& col, CompareOp op,
+                          const Value& v) const;
+  double BetweenSelectivity(const BoundExpr& e) const;
+  double InListSelectivity(const BoundExpr& e) const;
+  double InSubquerySelectivity(const BoundExpr& e) const;
+
+  const Catalog* catalog_;
+  const BoundQueryBlock* block_;
+};
+
+/// Clamps a selectivity into (0, 1].
+double ClampSelectivity(double f);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_SELECTIVITY_H_

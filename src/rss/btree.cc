@@ -1,0 +1,286 @@
+#include "rss/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace systemr {
+
+namespace {
+
+constexpr size_t kNodeHeader = 1 + 2 + 4;  // is_leaf, count, next.
+
+std::string MakeStoredKey(const std::string& user_key, Tid tid) {
+  std::string stored = user_key;
+  uint64_t packed = tid.Pack();
+  for (int i = 7; i >= 0; --i) {
+    stored.push_back(static_cast<char>((packed >> (8 * i)) & 0xff));
+  }
+  return stored;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void WriteU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+}  // namespace
+
+size_t BTree::Node::SerializedSize() const {
+  size_t size = kNodeHeader;
+  if (is_leaf) {
+    for (size_t i = 0; i < keys.size(); ++i) size += 2 + keys[i].size() + 8;
+  } else {
+    size += 4;  // Leftmost child.
+    for (size_t i = 0; i < keys.size(); ++i) size += 2 + keys[i].size() + 4;
+  }
+  return size;
+}
+
+BTree::BTree(BufferPool* pool, IndexId id, bool unique)
+    : pool_(pool), id_(id), unique_(unique) {
+  root_ = AllocNode(/*leaf=*/true);
+  Node empty;
+  WriteNode(root_, empty);
+}
+
+PageId BTree::AllocNode(bool leaf) {
+  PageId pid = pool_->NewPage();
+  ++num_pages_;
+  if (leaf) ++num_leaf_pages_;
+  return pid;
+}
+
+void BTree::ReadNode(PageId pid, Node* node) const {
+  const Page* page = pool_->Fetch(pid);
+  const char* p = page->bytes.data();
+  node->is_leaf = p[0] != 0;
+  uint16_t count;
+  std::memcpy(&count, p + 1, 2);
+  std::memcpy(&node->next, p + 3, 4);
+  size_t pos = kNodeHeader;
+  node->keys.clear();
+  node->tids.clear();
+  node->children.clear();
+  if (!node->is_leaf) {
+    PageId child;
+    std::memcpy(&child, p + pos, 4);
+    pos += 4;
+    node->children.push_back(child);
+  }
+  for (uint16_t i = 0; i < count; ++i) {
+    uint16_t klen;
+    std::memcpy(&klen, p + pos, 2);
+    pos += 2;
+    node->keys.emplace_back(p + pos, klen);
+    pos += klen;
+    if (node->is_leaf) {
+      node->tids.push_back(ReadU64(p + pos));
+      pos += 8;
+    } else {
+      PageId child;
+      std::memcpy(&child, p + pos, 4);
+      pos += 4;
+      node->children.push_back(child);
+    }
+  }
+}
+
+void BTree::WriteNode(PageId pid, const Node& node) {
+  assert(node.SerializedSize() <= kPageSize);
+  Page* page = pool_->Fetch(pid);
+  char* p = page->bytes.data();
+  p[0] = node.is_leaf ? 1 : 0;
+  uint16_t count = static_cast<uint16_t>(node.keys.size());
+  std::memcpy(p + 1, &count, 2);
+  std::memcpy(p + 3, &node.next, 4);
+  size_t pos = kNodeHeader;
+  if (!node.is_leaf) {
+    std::memcpy(p + pos, &node.children[0], 4);
+    pos += 4;
+  }
+  for (size_t i = 0; i < node.keys.size(); ++i) {
+    uint16_t klen = static_cast<uint16_t>(node.keys[i].size());
+    std::memcpy(p + pos, &klen, 2);
+    pos += 2;
+    std::memcpy(p + pos, node.keys[i].data(), klen);
+    pos += klen;
+    if (node.is_leaf) {
+      WriteU64(p + pos, node.tids[i]);
+      pos += 8;
+    } else {
+      std::memcpy(p + pos, &node.children[i + 1], 4);
+      pos += 4;
+    }
+  }
+}
+
+Status BTree::Insert(const std::string& user_key, Tid tid) {
+  if (unique_ && ContainsKey(user_key)) {
+    return Status::AlreadyExists("duplicate key in unique index");
+  }
+  std::string stored = MakeStoredKey(user_key, tid);
+  if (stored.size() + 32 > kPageSize / 4) {
+    return Status::InvalidArgument("index key too large");
+  }
+  auto split = InsertRec(root_, stored, tid.Pack());
+  if (split.has_value()) {
+    // Grow a new root.
+    Node new_root;
+    new_root.is_leaf = false;
+    new_root.children.push_back(root_);
+    new_root.keys.push_back(split->separator);
+    new_root.children.push_back(split->right);
+    PageId pid = AllocNode(/*leaf=*/false);
+    WriteNode(pid, new_root);
+    root_ = pid;
+    ++height_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+std::optional<BTree::SplitResult> BTree::InsertRec(PageId pid,
+                                                   const std::string& stored,
+                                                   uint64_t tid) {
+  Node node;
+  ReadNode(pid, &node);
+  if (node.is_leaf) {
+    auto it = std::upper_bound(node.keys.begin(), node.keys.end(), stored);
+    size_t idx = static_cast<size_t>(it - node.keys.begin());
+    node.keys.insert(it, stored);
+    node.tids.insert(node.tids.begin() + idx, tid);
+  } else {
+    auto it = std::upper_bound(node.keys.begin(), node.keys.end(), stored);
+    size_t child_idx = static_cast<size_t>(it - node.keys.begin());
+    auto split = InsertRec(node.children[child_idx], stored, tid);
+    if (!split.has_value()) return std::nullopt;
+    node.keys.insert(node.keys.begin() + child_idx, split->separator);
+    node.children.insert(node.children.begin() + child_idx + 1, split->right);
+  }
+
+  if (node.SerializedSize() <= kPageSize) {
+    WriteNode(pid, node);
+    return std::nullopt;
+  }
+
+  // Split: move the upper half into a fresh right sibling.
+  size_t mid = node.keys.size() / 2;
+  Node right;
+  right.is_leaf = node.is_leaf;
+  SplitResult result;
+  if (node.is_leaf) {
+    right.keys.assign(node.keys.begin() + mid, node.keys.end());
+    right.tids.assign(node.tids.begin() + mid, node.tids.end());
+    node.keys.resize(mid);
+    node.tids.resize(mid);
+    result.separator = right.keys.front();
+    result.right = AllocNode(/*leaf=*/true);
+    right.next = node.next;
+    node.next = result.right;
+  } else {
+    // The middle key moves up; it routes but is not stored in either half.
+    result.separator = node.keys[mid];
+    right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+    right.children.assign(node.children.begin() + mid + 1,
+                          node.children.end());
+    node.keys.resize(mid);
+    node.children.resize(mid + 1);
+    result.right = AllocNode(/*leaf=*/false);
+  }
+  WriteNode(pid, node);
+  WriteNode(result.right, right);
+  return result;
+}
+
+Status BTree::Delete(const std::string& user_key, Tid tid) {
+  std::string stored = MakeStoredKey(user_key, tid);
+  PageId leaf = FindLeaf(stored);
+  Node node;
+  ReadNode(leaf, &node);
+  auto it = std::lower_bound(node.keys.begin(), node.keys.end(), stored);
+  if (it == node.keys.end() || *it != stored) {
+    return Status::NotFound("index entry not found");
+  }
+  size_t idx = static_cast<size_t>(it - node.keys.begin());
+  node.keys.erase(it);
+  node.tids.erase(node.tids.begin() + idx);
+  WriteNode(leaf, node);
+  --num_entries_;
+  return Status::OK();
+}
+
+PageId BTree::FindLeaf(const std::string& target) const {
+  PageId pid = root_;
+  while (true) {
+    Node node;
+    ReadNode(pid, &node);
+    if (node.is_leaf) return pid;
+    // lower_bound routing: keys equal to a separator live in the right
+    // subtree (separators are first-keys of right siblings), but a *seek*
+    // target is a bare user key, always strictly shorter than any stored key
+    // with that user prefix, so lower_bound routing finds the leftmost
+    // candidate.
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), target);
+    size_t idx = static_cast<size_t>(it - node.keys.begin());
+    if (it != node.keys.end() && *it == target) ++idx;
+    pid = node.children[idx];
+  }
+}
+
+bool BTree::ContainsKey(const std::string& user_key) const {
+  Cursor c = NewCursor();
+  c.Seek(user_key);
+  return c.Valid() && c.user_key() == user_key;
+}
+
+void BTree::Cursor::LoadLeaf(PageId leaf) {
+  leaf_ = leaf;
+  Node node;
+  tree_->ReadNode(leaf, &node);
+  keys_ = std::move(node.keys);
+  tids_ = std::move(node.tids);
+  next_leaf_ = node.next;
+}
+
+void BTree::Cursor::LoadEntry() {
+  user_key_ = UserKeyOf(keys_[pos_]);
+  tid_ = Tid::Unpack(tids_[pos_]);
+}
+
+void BTree::Cursor::Seek(const std::string& start) {
+  PageId leaf = tree_->FindLeaf(start);
+  LoadLeaf(leaf);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), start);
+  pos_ = static_cast<size_t>(it - keys_.begin());
+  // The first matching entry may be at the start of the next leaf.
+  while (pos_ >= keys_.size()) {
+    if (next_leaf_ == kInvalidPage) {
+      valid_ = false;
+      return;
+    }
+    LoadLeaf(next_leaf_);
+    pos_ = 0;
+  }
+  valid_ = true;
+  LoadEntry();
+}
+
+void BTree::Cursor::Next() {
+  if (!valid_) return;
+  ++pos_;
+  while (pos_ >= keys_.size()) {
+    if (next_leaf_ == kInvalidPage) {
+      valid_ = false;
+      return;
+    }
+    LoadLeaf(next_leaf_);
+    pos_ = 0;
+  }
+  LoadEntry();
+}
+
+}  // namespace systemr

@@ -1,0 +1,137 @@
+// B+-tree index, as in the paper's RSS: "Indexes are implemented as B-trees,
+// whose leaves are pages containing sets of (key, identifiers of tuples which
+// contain that key)... Index leaf pages are chained together so that NEXTs
+// need not reference any upper level pages of the index" (§3).
+//
+// Keys are memcomparable byte strings produced by Value::EncodeKey /
+// EncodeCompositeKey. Internally each stored key is suffixed with the 8-byte
+// packed TID, which (a) makes stored keys unique, so splits and routing never
+// straddle duplicate runs, and (b) preserves user-key order because the value
+// encoding is prefix-free. All page accesses are metered via the BufferPool.
+#ifndef SYSTEMR_RSS_BTREE_H_
+#define SYSTEMR_RSS_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rss/buffer_pool.h"
+#include "rss/page.h"
+
+namespace systemr {
+
+using IndexId = uint32_t;
+
+class BTree {
+ public:
+  BTree(BufferPool* pool, IndexId id, bool unique);
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  IndexId id() const { return id_; }
+  bool unique() const { return unique_; }
+
+  /// Inserts (key, tid). For a unique index, returns AlreadyExists if a tuple
+  /// with the same user key is already present.
+  Status Insert(const std::string& user_key, Tid tid);
+
+  /// Removes the entry (key, tid). Leaves are never merged (lazy deletion,
+  /// as in the RSS; pages are reclaimed on index rebuild). Returns NotFound
+  /// if no such entry exists.
+  Status Delete(const std::string& user_key, Tid tid);
+
+  /// NINDX: number of pages in the index (leaves + internal nodes).
+  size_t num_pages() const { return num_pages_; }
+  size_t num_leaf_pages() const { return num_leaf_pages_; }
+  int height() const { return height_; }
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Forward cursor over leaf entries in key order. A series of Nexts does a
+  /// sequential read along the chained leaf pages (§3).
+  class Cursor {
+   public:
+    /// Positions at the first entry whose user key is >= `start`; an empty
+    /// `start` positions at the first entry of the index.
+    void Seek(const std::string& start);
+    /// Positions at the first entry of the index.
+    void SeekToFirst() { Seek(""); }
+
+    bool Valid() const { return valid_; }
+    void Next();
+
+    /// The user (search) key of the current entry, without the TID suffix.
+    const std::string& user_key() const { return user_key_; }
+    Tid tid() const { return tid_; }
+
+   private:
+    friend class BTree;
+    explicit Cursor(const BTree* tree) : tree_(tree) {}
+    void LoadEntry();
+    void LoadLeaf(PageId leaf);
+
+    const BTree* tree_;
+    bool valid_ = false;
+    PageId leaf_ = kInvalidPage;
+    // Deserialized copy of the current leaf.
+    std::vector<std::string> keys_;
+    std::vector<uint64_t> tids_;
+    PageId next_leaf_ = kInvalidPage;
+    size_t pos_ = 0;
+    std::string user_key_;
+    Tid tid_;
+  };
+
+  Cursor NewCursor() const { return Cursor(this); }
+
+  /// True if the index contains an entry with this exact user key.
+  bool ContainsKey(const std::string& user_key) const;
+
+ private:
+  friend class Cursor;
+
+  struct Node {
+    bool is_leaf = true;
+    PageId next = kInvalidPage;             // Leaf chain.
+    std::vector<std::string> keys;          // Stored keys (user||tid).
+    std::vector<uint64_t> tids;             // Leaf payloads.
+    std::vector<PageId> children;           // Internal: keys.size() + 1.
+
+    size_t SerializedSize() const;
+  };
+
+  void ReadNode(PageId pid, Node* node) const;
+  void WriteNode(PageId pid, const Node& node);
+  PageId AllocNode(bool leaf);
+
+  struct SplitResult {
+    std::string separator;  // First stored key of the right node.
+    PageId right;
+  };
+  /// Inserts into the subtree rooted at `pid`; returns a split if `pid`
+  /// overflowed.
+  std::optional<SplitResult> InsertRec(PageId pid, const std::string& stored,
+                                       uint64_t tid);
+
+  /// Descends to the leaf that may contain the first stored key >= target.
+  PageId FindLeaf(const std::string& target) const;
+
+  BufferPool* pool_;
+  IndexId id_;
+  bool unique_;
+  PageId root_;
+  size_t num_pages_ = 0;
+  size_t num_leaf_pages_ = 0;
+  int height_ = 1;
+  uint64_t num_entries_ = 0;
+};
+
+/// Strips the 8-byte TID suffix from a stored key.
+inline std::string UserKeyOf(const std::string& stored) {
+  return stored.substr(0, stored.size() - 8);
+}
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_RSS_BTREE_H_

@@ -1,0 +1,53 @@
+#include "rss/buffer_pool.h"
+
+namespace systemr {
+
+Page* BufferPool::Fetch(PageId id) {
+  ++stats_.logical_gets;
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return store_->Get(id);
+  }
+  ++stats_.fetches;
+  Touch(id);
+  return store_->Get(id);
+}
+
+PageId BufferPool::NewPage() {
+  PageId id = store_->Allocate();
+  ++stats_.writes;
+  Touch(id);
+  return id;
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    lru_.erase(it->second);
+    resident_.erase(it);
+  }
+  store_->Free(id);
+}
+
+void BufferPool::FlushAll() {
+  lru_.clear();
+  resident_.clear();
+}
+
+void BufferPool::Touch(PageId id) {
+  lru_.push_front(id);
+  resident_[id] = lru_.begin();
+  Shrink();
+}
+
+void BufferPool::Shrink() {
+  while (lru_.size() > capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+  }
+}
+
+}  // namespace systemr

@@ -1,0 +1,76 @@
+// BufferPool: the System R buffer manager stand-in. Pages live permanently
+// in the PageStore (memory is the "disk"); the pool tracks a bounded resident
+// set with LRU replacement and meters simulated I/O:
+//   - a Fetch of a non-resident page counts one page fetch (the paper's
+//     PAGE FETCHES cost term),
+//   - a newly created page (heap append, sort run, index split) counts one
+//     page write.
+// This reproduces the buffer-dependent behaviour Table 2 distinguishes: a
+// clustered-index scan faults each data page once, a non-clustered scan of a
+// relation larger than the pool faults roughly once per tuple.
+#ifndef SYSTEMR_RSS_BUFFER_POOL_H_
+#define SYSTEMR_RSS_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "rss/page.h"
+
+namespace systemr {
+
+struct BufferStats {
+  uint64_t fetches = 0;        // Misses: simulated reads from disk.
+  uint64_t writes = 0;         // Newly materialized pages (heap/sort/index).
+  uint64_t logical_gets = 0;   // All page requests, hit or miss.
+
+  BufferStats operator-(const BufferStats& o) const {
+    return {fetches - o.fetches, writes - o.writes,
+            logical_gets - o.logical_gets};
+  }
+};
+
+class BufferPool {
+ public:
+  /// `capacity` is the number of 4 KiB frames ("effective buffer pool per
+  /// user", §4).
+  BufferPool(PageStore* store, size_t capacity)
+      : store_(store), capacity_(capacity) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Metered page access. Counts a fetch if the page is not resident.
+  Page* Fetch(PageId id);
+
+  /// Allocates a page that is immediately resident and counts one write.
+  PageId NewPage();
+
+  /// Drops a page from the resident set (temp cleanup) and frees its memory.
+  void Discard(PageId id);
+
+  /// Empties the resident set (e.g. between benchmark measurements).
+  void FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t c) { capacity_ = c; Shrink(); }
+  size_t resident() const { return lru_.size(); }
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats(); }
+
+  PageStore* store() { return store_; }
+
+ private:
+  void Touch(PageId id);
+  void Shrink();
+
+  PageStore* store_;
+  size_t capacity_;
+  BufferStats stats_;
+  // MRU at front.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> resident_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_RSS_BUFFER_POOL_H_

@@ -1,0 +1,52 @@
+#include "rss/heap_file.h"
+
+namespace systemr {
+
+StatusOr<Tid> HeapFile::Insert(const Row& row) {
+  std::string record = EncodeTuple(relid_, row);
+  if (record.size() > kPageSize - 64) {
+    return Status::InvalidArgument("tuple does not fit on a 4K page");
+  }
+  // Try the segment's last page first.
+  if (!segment_->pages().empty()) {
+    PageId last = segment_->pages().back();
+    SlottedPage sp(pool_->Fetch(last));
+    int slot = sp.Insert(record);
+    if (slot >= 0) {
+      ++num_tuples_;
+      return Tid{last, static_cast<uint16_t>(slot)};
+    }
+  }
+  PageId fresh = pool_->NewPage();
+  segment_->AddPage(fresh);
+  SlottedPage sp(pool_->Fetch(fresh));
+  sp.Init();
+  int slot = sp.Insert(record);
+  if (slot < 0) return Status::Internal("insert into fresh page failed");
+  ++num_tuples_;
+  return Tid{fresh, static_cast<uint16_t>(slot)};
+}
+
+Status HeapFile::Delete(Tid tid) {
+  Row row;
+  RETURN_IF_ERROR(ReadTuple(tid, &row));  // Validates slot and relation tag.
+  SlottedPage sp(pool_->Fetch(tid.page));
+  if (!sp.Delete(tid.slot)) return Status::NotFound("slot already empty");
+  --num_tuples_;
+  return Status::OK();
+}
+
+Status HeapFile::ReadTuple(Tid tid, Row* row) const {
+  SlottedPage sp(pool_->Fetch(tid.page));
+  std::string_view record;
+  if (!sp.Read(tid.slot, &record)) {
+    return Status::NotFound("empty slot");
+  }
+  RelId rel;
+  if (!DecodeTuple(record, &rel, row) || rel != relid_) {
+    return Status::NotFound("tuple belongs to another relation");
+  }
+  return Status::OK();
+}
+
+}  // namespace systemr

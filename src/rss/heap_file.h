@@ -1,0 +1,46 @@
+// HeapFile: a relation's tuple storage inside a segment. Appends records to
+// the segment's last page, spilling to a fresh page when full — so a relation
+// loaded in key order stays physically clustered on that key, which is
+// exactly how the paper's "clustered index" property arises (§3).
+#ifndef SYSTEMR_RSS_HEAP_FILE_H_
+#define SYSTEMR_RSS_HEAP_FILE_H_
+
+#include "common/status.h"
+#include "rss/segment.h"
+
+namespace systemr {
+
+class HeapFile {
+ public:
+  HeapFile(Segment* segment, BufferPool* pool, RelId relid)
+      : segment_(segment), pool_(pool), relid_(relid) {}
+
+  RelId relid() const { return relid_; }
+  Segment* segment() { return segment_; }
+  const Segment* segment() const { return segment_; }
+
+  /// Appends a tuple; returns its TID.
+  StatusOr<Tid> Insert(const Row& row);
+
+  /// Fetches the tuple at `tid` (metered through the buffer pool). Returns
+  /// NotFound if the slot is empty or holds a tuple of another relation.
+  Status ReadTuple(Tid tid, Row* row) const;
+
+  /// Tombstones the tuple at `tid`. Returns NotFound if the slot is empty
+  /// or belongs to another relation.
+  Status Delete(Tid tid);
+
+  /// Number of live tuples (NCARD as of now; the catalog keeps the snapshot
+  /// the optimizer actually sees).
+  uint64_t num_tuples() const { return num_tuples_; }
+
+ private:
+  Segment* segment_;
+  BufferPool* pool_;
+  RelId relid_;
+  uint64_t num_tuples_ = 0;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_RSS_HEAP_FILE_H_

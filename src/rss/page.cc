@@ -1,0 +1,64 @@
+#include "rss/page.h"
+
+namespace systemr {
+
+PageId PageStore::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+namespace {
+constexpr size_t kHeaderSize = 4;   // slot_count + free_end.
+constexpr size_t kSlotSize = 4;     // off + len.
+}  // namespace
+
+void SlottedPage::Init() {
+  WriteU16(0, 0);                                  // slot_count
+  WriteU16(2, static_cast<uint16_t>(kPageSize));   // free_end
+}
+
+size_t SlottedPage::FreeSpace() const {
+  uint16_t count = ReadU16(0);
+  uint16_t free_end = ReadU16(2);
+  size_t dir_end = kHeaderSize + count * kSlotSize;
+  if (free_end <= dir_end) return 0;
+  size_t gap = free_end - dir_end;
+  return gap > kSlotSize ? gap - kSlotSize : 0;
+}
+
+int SlottedPage::Insert(std::string_view record) {
+  if (record.size() > FreeSpace()) return -1;
+  uint16_t count = ReadU16(0);
+  uint16_t free_end = ReadU16(2);
+  uint16_t off = static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(page_->bytes.data() + off, record.data(), record.size());
+  size_t slot_off = kHeaderSize + count * kSlotSize;
+  WriteU16(slot_off, off);
+  WriteU16(slot_off + 2, static_cast<uint16_t>(record.size()));
+  WriteU16(0, count + 1);
+  WriteU16(2, off);
+  return count;
+}
+
+bool SlottedPage::Delete(uint16_t slot) {
+  uint16_t count = ReadU16(0);
+  if (slot >= count) return false;
+  size_t slot_off = kHeaderSize + slot * kSlotSize;
+  if (ReadU16(slot_off) == 0 && ReadU16(slot_off + 2) == 0) return false;
+  WriteU16(slot_off, 0);
+  WriteU16(slot_off + 2, 0);
+  return true;
+}
+
+bool SlottedPage::Read(uint16_t slot, std::string_view* out) const {
+  uint16_t count = ReadU16(0);
+  if (slot >= count) return false;
+  size_t slot_off = kHeaderSize + slot * kSlotSize;
+  uint16_t off = ReadU16(slot_off);
+  uint16_t len = ReadU16(slot_off + 2);
+  if (off == 0 && len == 0) return false;  // Deleted.
+  *out = std::string_view(page_->bytes.data() + off, len);
+  return true;
+}
+
+}  // namespace systemr

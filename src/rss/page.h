@@ -1,0 +1,111 @@
+// 4 KiB pages, the unit of storage and of I/O accounting, exactly as in the
+// paper's Research Storage System: "tuples are stored on 4K byte pages; no
+// tuple spans a page" (§3).
+//
+// A Page is a raw byte buffer. Data pages use the slotted layout implemented
+// by SlottedPage; B+-tree pages use their own node layout (see btree.cc).
+// PageStore is the "disk": it owns every page ever allocated. All metered
+// access goes through the BufferPool.
+#ifndef SYSTEMR_RSS_PAGE_H_
+#define SYSTEMR_RSS_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace systemr {
+
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+struct Page {
+  std::array<char, kPageSize> bytes{};
+};
+
+/// Tuple identifier: (page, slot), packed to 8 bytes for index leaf entries.
+struct Tid {
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static Tid Unpack(uint64_t v) {
+    Tid t;
+    t.page = static_cast<PageId>(v >> 16);
+    t.slot = static_cast<uint16_t>(v & 0xffff);
+    return t;
+  }
+  bool operator==(const Tid& o) const {
+    return page == o.page && slot == o.slot;
+  }
+};
+
+/// The in-memory "disk": owns all pages. Never exposes metered access —
+/// callers other than BufferPool must not touch page contents directly.
+class PageStore {
+ public:
+  PageStore() = default;
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  PageId Allocate();
+  Page* Get(PageId id) { return pages_[id].get(); }
+  const Page* Get(PageId id) const { return pages_[id].get(); }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Releases a page's memory (temp-segment cleanup). The id is not reused.
+  void Free(PageId id) { pages_[id].reset(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// View over a data page with the classic slotted layout:
+///   [u16 slot_count][u16 free_end][slots: u16 off,u16 len ...]  ... records]
+/// Records grow down from the end; the slot directory grows up.
+class SlottedPage {
+ public:
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Zeroes the header of a fresh page.
+  void Init();
+
+  uint16_t slot_count() const { return ReadU16(0); }
+
+  /// Bytes still available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+
+  /// Appends a record; returns its slot number or -1 if it does not fit.
+  int Insert(std::string_view record);
+
+  /// Reads the record in `slot`; returns false if the slot is empty/invalid.
+  bool Read(uint16_t slot, std::string_view* out) const;
+
+  /// Tombstones the record in `slot` (space is not reclaimed until the
+  /// relation is reorganized, as in System R's RSS). Returns false if the
+  /// slot was already empty/invalid.
+  bool Delete(uint16_t slot);
+
+ private:
+  uint16_t ReadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, page_->bytes.data() + off, 2);
+    return v;
+  }
+  void WriteU16(size_t off, uint16_t v) {
+    std::memcpy(page_->bytes.data() + off, &v, 2);
+  }
+
+  Page* page_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_RSS_PAGE_H_

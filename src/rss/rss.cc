@@ -1,0 +1,38 @@
+#include "rss/rss.h"
+
+namespace systemr {
+
+SegmentId Rss::CreateSegment() {
+  SegmentId id = static_cast<SegmentId>(segments_.size());
+  segments_.push_back(std::make_unique<Segment>(id));
+  return id;
+}
+
+HeapFile* Rss::CreateHeap(SegmentId segment, RelId relid) {
+  auto heap = std::make_unique<HeapFile>(segments_[segment].get(), &pool_,
+                                         relid);
+  HeapFile* ptr = heap.get();
+  heaps_[relid] = std::move(heap);
+  return ptr;
+}
+
+BTree* Rss::CreateIndex(bool unique) {
+  IndexId id = static_cast<IndexId>(indexes_.size());
+  indexes_.push_back(std::make_unique<BTree>(&pool_, id, unique));
+  return indexes_.back().get();
+}
+
+std::unique_ptr<RsiScan> Rss::OpenSegmentScan(RelId relid, SargList sargs) {
+  const HeapFile* h = heap(relid);
+  return std::make_unique<SegmentScan>(&pool_, h->segment(), relid,
+                                       std::move(sargs), &counters_);
+}
+
+std::unique_ptr<RsiScan> Rss::OpenIndexScan(RelId relid, IndexId index_id,
+                                            KeyRange range, SargList sargs) {
+  return std::make_unique<IndexScan>(index(index_id), heap(relid),
+                                     std::move(range), std::move(sargs),
+                                     &counters_);
+}
+
+}  // namespace systemr

@@ -1,0 +1,77 @@
+// Rss: the Research Storage System facade (§3). Owns the page store, buffer
+// pool, segments, relation heaps, and B+-tree indexes, and opens RSI scans.
+#ifndef SYSTEMR_RSS_RSS_H_
+#define SYSTEMR_RSS_RSS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rss/btree.h"
+#include "rss/buffer_pool.h"
+#include "rss/heap_file.h"
+#include "rss/scan.h"
+#include "rss/segment.h"
+
+namespace systemr {
+
+/// Snapshot of all metered work; actual cost is computed from the delta of
+/// two snapshots as page I/O + W * RSI calls.
+struct RssSnapshot {
+  uint64_t page_fetches = 0;
+  uint64_t page_writes = 0;
+  uint64_t rsi_calls = 0;
+
+  uint64_t page_io() const { return page_fetches + page_writes; }
+};
+
+class Rss {
+ public:
+  /// `buffer_pages`: frames in the per-user buffer pool (§4's "effective
+  /// buffer pool per user").
+  explicit Rss(size_t buffer_pages = 128)
+      : pool_(&store_, buffer_pages) {}
+  Rss(const Rss&) = delete;
+  Rss& operator=(const Rss&) = delete;
+
+  SegmentId CreateSegment();
+  Segment* segment(SegmentId id) { return segments_[id].get(); }
+  const Segment* segment(SegmentId id) const { return segments_[id].get(); }
+
+  /// Creates the heap for relation `relid` inside `segment`.
+  HeapFile* CreateHeap(SegmentId segment, RelId relid);
+  HeapFile* heap(RelId relid) { return heaps_.at(relid).get(); }
+  const HeapFile* heap(RelId relid) const { return heaps_.at(relid).get(); }
+
+  /// Creates a B+-tree index; the caller records which relation/columns it
+  /// covers in the catalog.
+  BTree* CreateIndex(bool unique);
+  BTree* index(IndexId id) { return indexes_[id].get(); }
+  const BTree* index(IndexId id) const { return indexes_[id].get(); }
+
+  std::unique_ptr<RsiScan> OpenSegmentScan(RelId relid, SargList sargs);
+  std::unique_ptr<RsiScan> OpenIndexScan(RelId relid, IndexId index,
+                                         KeyRange range, SargList sargs);
+
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+  PageStore& store() { return store_; }
+  RssCounters& counters() { return counters_; }
+
+  RssSnapshot Snapshot() const {
+    const BufferStats& b = pool_.stats();
+    return RssSnapshot{b.fetches, b.writes, counters_.rsi_calls};
+  }
+
+ private:
+  PageStore store_;
+  BufferPool pool_;
+  RssCounters counters_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::unordered_map<RelId, std::unique_ptr<HeapFile>> heaps_;
+  std::vector<std::unique_ptr<BTree>> indexes_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_RSS_RSS_H_

@@ -1,0 +1,87 @@
+#include "rss/scan.h"
+
+namespace systemr {
+
+namespace {
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+Status SegmentScan::Open() {
+  page_idx_ = 0;
+  slot_ = 0;
+  at_end_ = segment_->pages().empty();
+  return Status::OK();
+}
+
+bool SegmentScan::Next(Row* row, Tid* tid) {
+  while (!at_end_) {
+    PageId pid = segment_->pages()[page_idx_];
+    SlottedPage sp(pool_->Fetch(pid));
+    if (slot_ >= sp.slot_count()) {
+      ++page_idx_;
+      slot_ = 0;
+      if (page_idx_ >= segment_->pages().size()) at_end_ = true;
+      continue;
+    }
+    uint16_t slot = slot_++;
+    std::string_view record;
+    if (!sp.Read(slot, &record)) continue;
+    RelId rel;
+    if (!DecodeRelId(record, &rel) || rel != relid_) continue;
+    Row candidate;
+    if (!DecodeTuple(record, &rel, &candidate)) continue;
+    if (!MatchesAll(sargs_, candidate)) continue;
+    *row = std::move(candidate);
+    if (tid != nullptr) *tid = Tid{pid, slot};
+    ++counters_->rsi_calls;
+    return true;
+  }
+  return false;
+}
+
+Status IndexScan::Open() {
+  if (range_.start.has_value()) {
+    cursor_.Seek(*range_.start);
+    if (!range_.start_inclusive) {
+      // Skip entries whose leading key column(s) equal the exclusive start.
+      while (cursor_.Valid() && HasPrefix(cursor_.user_key(), *range_.start)) {
+        cursor_.Next();
+      }
+    }
+  } else {
+    cursor_.SeekToFirst();
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+bool IndexScan::InRange() const {
+  if (!range_.stop.has_value()) return true;
+  const std::string& key = cursor_.user_key();
+  const std::string& stop = *range_.stop;
+  if (HasPrefix(key, stop)) return range_.stop_inclusive;
+  return key.compare(stop) < 0;
+}
+
+bool IndexScan::Next(Row* row, Tid* tid) {
+  while (cursor_.Valid() && InRange()) {
+    Tid t = cursor_.tid();
+    Row candidate;
+    Status st = heap_->ReadTuple(t, &candidate);
+    cursor_.Next();
+    if (!st.ok()) continue;  // Dangling entry; skip defensively.
+    if (!MatchesAll(sargs_, candidate)) continue;
+    *row = std::move(candidate);
+    if (tid != nullptr) *tid = t;
+    ++counters_->rsi_calls;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace systemr

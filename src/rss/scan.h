@@ -1,0 +1,118 @@
+// The RSI (RSS Interface): tuple-at-a-time scans with OPEN / NEXT / CLOSE
+// (§3). Two scan types exist, exactly as in the paper:
+//  - SegmentScan: touches every page of the segment once, returning tuples of
+//    the requested relation;
+//  - IndexScan: walks the chained B+-tree leaves between optional start and
+//    stop keys, fetching the data tuple for each qualifying entry.
+// Both apply SARGs below the interface: a tuple rejected by the SARGs costs
+// no RSI call.
+#ifndef SYSTEMR_RSS_SCAN_H_
+#define SYSTEMR_RSS_SCAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "rss/btree.h"
+#include "rss/heap_file.h"
+#include "rss/sarg.h"
+
+namespace systemr {
+
+/// Counters shared by all scans of one RSS instance. RSI calls approximate
+/// CPU cost in the paper's COST formula (§4).
+struct RssCounters {
+  uint64_t rsi_calls = 0;
+};
+
+/// A scan takes a *set* of SARGs — the conjunction of the sargable boolean
+/// factors, each of which is itself a DNF (§3/§4).
+using SargList = std::vector<Sarg>;
+
+inline bool MatchesAll(const SargList& sargs, const Row& row) {
+  for (const Sarg& s : sargs) {
+    if (!s.Matches(row)) return false;
+  }
+  return true;
+}
+
+class RsiScan {
+ public:
+  virtual ~RsiScan() = default;
+
+  virtual Status Open() = 0;
+
+  /// Advances to the next qualifying tuple. Returns false when exhausted.
+  /// Each successful call counts one RSI call.
+  virtual bool Next(Row* row, Tid* tid) = 0;
+
+  virtual void Close() = 0;
+};
+
+class SegmentScan : public RsiScan {
+ public:
+  SegmentScan(BufferPool* pool, const Segment* segment, RelId relid,
+              SargList sargs, RssCounters* counters)
+      : pool_(pool),
+        segment_(segment),
+        relid_(relid),
+        sargs_(std::move(sargs)),
+        counters_(counters) {}
+
+  Status Open() override;
+  bool Next(Row* row, Tid* tid) override;
+  void Close() override {}
+
+ private:
+  BufferPool* pool_;
+  const Segment* segment_;
+  RelId relid_;
+  SargList sargs_;
+  RssCounters* counters_;
+
+  size_t page_idx_ = 0;
+  uint16_t slot_ = 0;
+  bool at_end_ = false;
+};
+
+/// Key range for an index scan. Bounds are user-key encodings (possibly a
+/// prefix of the full index key).
+struct KeyRange {
+  std::optional<std::string> start;
+  bool start_inclusive = true;
+  std::optional<std::string> stop;
+  bool stop_inclusive = true;
+};
+
+class IndexScan : public RsiScan {
+ public:
+  IndexScan(const BTree* index, const HeapFile* heap, KeyRange range,
+            SargList sargs, RssCounters* counters)
+      : index_(index),
+        heap_(heap),
+        range_(std::move(range)),
+        sargs_(std::move(sargs)),
+        counters_(counters),
+        cursor_(index->NewCursor()) {}
+
+  Status Open() override;
+  bool Next(Row* row, Tid* tid) override;
+  void Close() override {}
+
+ private:
+  /// True if the cursor's current key is within the stop bound.
+  bool InRange() const;
+
+  const BTree* index_;
+  const HeapFile* heap_;
+  KeyRange range_;
+  SargList sargs_;
+  RssCounters* counters_;
+  BTree::Cursor cursor_;
+  bool opened_ = false;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_RSS_SCAN_H_

@@ -1,0 +1,129 @@
+#include "sql/ast.h"
+
+namespace systemr {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kSum: return "SUM";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeCompare(CompareOp op, std::unique_ptr<Expr> lhs,
+                                  std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kCompare:
+      return children[0]->ToString() + CompareOpName(op) +
+             children[1]->ToString();
+    case ExprKind::kAnd:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + children[0]->ToString() + " OR " + children[1]->ToString() +
+             ")";
+    case ExprKind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+    case ExprKind::kArith:
+      return "(" + children[0]->ToString() + arith_op +
+             children[1]->ToString() + ")";
+    case ExprKind::kBetween:
+      return children[0]->ToString() + " BETWEEN " + children[1]->ToString() +
+             " AND " + children[2]->ToString();
+    case ExprKind::kInList: {
+      std::string s = children[0]->ToString() + " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kInSubquery:
+      return children[0]->ToString() + " IN (" + subquery->ToString() + ")";
+    case ExprKind::kSubquery:
+      return "(" + subquery->ToString() + ")";
+    case ExprKind::kAggregate:
+      return std::string(AggFuncName(agg)) + "(" +
+             (children.empty() ? "*" : children[0]->ToString()) + ")";
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToString() const {
+  std::string s = "SELECT ";
+  if (distinct) s += "DISTINCT ";
+  if (select_star) {
+    s += "*";
+  } else {
+    for (size_t i = 0; i < select_list.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += select_list[i].expr->ToString();
+    }
+  }
+  s += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += from[i].table;
+    if (from[i].correlation != from[i].table) s += " " + from[i].correlation;
+  }
+  if (where != nullptr) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    s += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      if (!group_by[i].table.empty()) s += group_by[i].table + ".";
+      s += group_by[i].column;
+    }
+  }
+  if (having != nullptr) s += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    s += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      if (!order_by[i].table.empty()) s += order_by[i].table + ".";
+      s += order_by[i].column;
+      if (!order_by[i].asc) s += " DESC";
+    }
+  }
+  return s;
+}
+
+}  // namespace systemr

@@ -1,0 +1,166 @@
+// Abstract syntax tree for the SQL subset. A parsed SELECT is the paper's
+// "query block": a SELECT list, a FROM list, and a WHERE tree (§2). Nested
+// query blocks appear as subquery operands inside predicates.
+#ifndef SYSTEMR_SQL_AST_H_
+#define SYSTEMR_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "rss/sarg.h"
+
+namespace systemr {
+
+struct SelectStmt;
+
+enum class ExprKind {
+  kColumnRef,        // [table.]column
+  kLiteral,          // constant
+  kCompare,          // a op b
+  kAnd, kOr, kNot,   // boolean combinators
+  kArith,            // a (+|-|*|/) b
+  kBetween,          // a BETWEEN lo AND hi
+  kInList,           // a IN (v1, v2, ...)
+  kInSubquery,       // a IN (SELECT ...)
+  kSubquery,         // scalar subquery operand of a comparison
+  kAggregate,        // AVG/COUNT/MIN/MAX/SUM(arg) or COUNT(*)
+  kStar,             // * in SELECT list or COUNT(*)
+  kIsNull,           // a IS [NOT] NULL
+  kLike,             // a [NOT] LIKE 'pattern' (% and _ wildcards)
+};
+
+enum class AggFunc { kAvg, kCount, kMin, kMax, kSum };
+
+const char* AggFuncName(AggFunc f);
+
+struct Expr {
+  ExprKind kind;
+
+  // kColumnRef.
+  std::string table;   // Qualifier; empty if unqualified.
+  std::string column;
+
+  // kLiteral.
+  Value literal;
+
+  // kCompare.
+  CompareOp op = CompareOp::kEq;
+
+  // kArith: '+', '-', '*', '/'.
+  char arith_op = '+';
+
+  // kAggregate.
+  AggFunc agg = AggFunc::kCount;
+
+  // kIsNull.
+  bool negated = false;
+
+  // Children: kCompare/kArith/kAnd/kOr use [0] and [1]; kNot/kIsNull use [0];
+  // kBetween uses [0]=value, [1]=lo, [2]=hi; kInList uses [0]=value then the
+  // list items; kInSubquery uses [0]=value; kAggregate uses [0]=arg.
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // kSubquery / kInSubquery.
+  std::unique_ptr<SelectStmt> subquery;
+
+  std::string ToString() const;
+};
+
+std::unique_ptr<Expr> MakeColumnRef(std::string table, std::string column);
+std::unique_ptr<Expr> MakeLiteral(Value v);
+std::unique_ptr<Expr> MakeCompare(CompareOp op, std::unique_ptr<Expr> lhs,
+                                  std::unique_ptr<Expr> rhs);
+
+struct FromItem {
+  std::string table;        // Catalog table name.
+  std::string correlation;  // Alias; equals `table` if none given.
+};
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  // Output column name; derived if empty.
+};
+
+struct OrderItem {
+  std::string table;   // Optional qualifier.
+  std::string column;
+  bool asc = true;
+};
+
+/// One query block (§2). Nested blocks hang off subquery expressions.
+struct SelectStmt {
+  bool select_star = false;
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<FromItem> from;
+  std::unique_ptr<Expr> where;   // May be null.
+  std::vector<OrderItem> group_by;
+  std::unique_ptr<Expr> having;  // May be null.
+  std::vector<OrderItem> order_by;
+
+  std::string ToString() const;
+};
+
+// --- DDL / DML statements ---
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<std::pair<std::string, ValueType>> columns;
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+  bool clustered = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct UpdateStatisticsStmt {
+  std::string table;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::unique_ptr<Expr> where;  // May be null (delete all).
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> sets;
+  std::unique_ptr<Expr> where;  // May be null.
+};
+
+/// A parsed statement: exactly one member is set.
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kExplain,  // EXPLAIN SELECT ...
+    kCreateTable,
+    kCreateIndex,
+    kInsert,
+    kUpdateStatistics,
+    kDelete,
+    kUpdate,
+  };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;  // kSelect / kExplain.
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStatisticsStmt> update_statistics;
+  std::unique_ptr<DeleteStmt> delete_stmt;
+  std::unique_ptr<UpdateStmt> update_stmt;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_SQL_AST_H_

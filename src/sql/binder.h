@@ -1,0 +1,47 @@
+// Binder: resolves names against the catalog, types expressions, flags
+// correlation, and produces BoundQueryBlocks — the semantic-checking phase
+// of the OPTIMIZER (§2).
+#ifndef SYSTEMR_SQL_BINDER_H_
+#define SYSTEMR_SQL_BINDER_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "optimizer/bound_expr.h"
+#include "sql/ast.h"
+
+namespace systemr {
+
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Binds a top-level SELECT (recursively binding nested query blocks).
+  StatusOr<std::unique_ptr<BoundQueryBlock>> Bind(const SelectStmt& stmt);
+
+  /// Binds a scalar expression in the context of an existing block (used by
+  /// UPDATE ... SET right-hand sides). Aggregates are not allowed.
+  StatusOr<std::unique_ptr<BoundExpr>> BindExprInBlock(
+      const Expr& expr, BoundQueryBlock* block);
+
+ private:
+  StatusOr<std::unique_ptr<BoundQueryBlock>> BindBlock(const SelectStmt& stmt);
+  StatusOr<std::unique_ptr<BoundExpr>> BindExpr(const Expr& expr,
+                                                bool allow_aggregates);
+  StatusOr<std::unique_ptr<BoundExpr>> BindColumnRef(const Expr& expr);
+  StatusOr<BoundOrderItem> BindOrderItem(const OrderItem& item);
+  Status CheckComparable(const BoundExpr& a, const BoundExpr& b,
+                         const std::string& context);
+
+  /// Computes correlation_reach for `block` after binding.
+  static int ComputeReach(const BoundQueryBlock& block);
+
+  const Catalog* catalog_;
+  // Stack of blocks being bound; back() is the current block. Used for
+  // correlation resolution (§6).
+  std::vector<BoundQueryBlock*> stack_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_SQL_BINDER_H_

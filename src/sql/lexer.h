@@ -1,0 +1,20 @@
+// Hand-written SQL lexer. Identifiers and keywords are case-insensitive
+// (normalized to upper case, as in SEQUEL); string literals use single quotes
+// with '' as the escape for a quote.
+#ifndef SYSTEMR_SQL_LEXER_H_
+#define SYSTEMR_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace systemr {
+
+/// Tokenizes `sql`. The result always ends with a kEof token.
+StatusOr<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_SQL_LEXER_H_

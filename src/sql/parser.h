@@ -1,0 +1,24 @@
+// Recursive-descent parser for the System R SQL subset: SELECT queries
+// (joins, nested/correlated subqueries, GROUP BY / ORDER BY, aggregates),
+// plus the DDL/DML needed to build databases (CREATE TABLE / CREATE INDEX /
+// INSERT / UPDATE STATISTICS) and EXPLAIN.
+#ifndef SYSTEMR_SQL_PARSER_H_
+#define SYSTEMR_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace systemr {
+
+/// Parses a single statement (a trailing semicolon is allowed).
+StatusOr<Statement> Parse(const std::string& sql);
+
+/// Parses a semicolon-separated script.
+StatusOr<std::vector<Statement>> ParseScript(const std::string& sql);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_SQL_PARSER_H_

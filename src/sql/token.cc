@@ -1,0 +1,72 @@
+#include "sql/token.h"
+
+namespace systemr {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEof: return "end of input";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kIntLiteral: return "integer literal";
+    case TokenType::kRealLiteral: return "real literal";
+    case TokenType::kStringLiteral: return "string literal";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kFrom: return "FROM";
+    case TokenType::kWhere: return "WHERE";
+    case TokenType::kAnd: return "AND";
+    case TokenType::kOr: return "OR";
+    case TokenType::kNot: return "NOT";
+    case TokenType::kBetween: return "BETWEEN";
+    case TokenType::kIn: return "IN";
+    case TokenType::kGroup: return "GROUP";
+    case TokenType::kOrder: return "ORDER";
+    case TokenType::kBy: return "BY";
+    case TokenType::kAsc: return "ASC";
+    case TokenType::kDesc: return "DESC";
+    case TokenType::kCreate: return "CREATE";
+    case TokenType::kTable: return "TABLE";
+    case TokenType::kIndex: return "INDEX";
+    case TokenType::kUnique: return "UNIQUE";
+    case TokenType::kClustered: return "CLUSTERED";
+    case TokenType::kOn: return "ON";
+    case TokenType::kInsert: return "INSERT";
+    case TokenType::kInto: return "INTO";
+    case TokenType::kValues: return "VALUES";
+    case TokenType::kUpdate: return "UPDATE";
+    case TokenType::kStatistics: return "STATISTICS";
+    case TokenType::kExplain: return "EXPLAIN";
+    case TokenType::kInt: return "INT";
+    case TokenType::kReal: return "REAL";
+    case TokenType::kString: return "STRING";
+    case TokenType::kAvg: return "AVG";
+    case TokenType::kCount: return "COUNT";
+    case TokenType::kMin: return "MIN";
+    case TokenType::kMax: return "MAX";
+    case TokenType::kSum: return "SUM";
+    case TokenType::kAs: return "AS";
+    case TokenType::kNull: return "NULL";
+    case TokenType::kIs: return "IS";
+    case TokenType::kDelete: return "DELETE";
+    case TokenType::kSet: return "SET";
+    case TokenType::kHaving: return "HAVING";
+    case TokenType::kDistinct: return "DISTINCT";
+    case TokenType::kLike: return "LIKE";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kComma: return ",";
+    case TokenType::kDot: return ".";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace systemr

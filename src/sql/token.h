@@ -1,0 +1,39 @@
+// SQL token definitions for the System R subset grammar.
+#ifndef SYSTEMR_SQL_TOKEN_H_
+#define SYSTEMR_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace systemr {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,   // Unquoted name, upper-cased.
+  kIntLiteral,
+  kRealLiteral,
+  kStringLiteral,
+  // Keywords.
+  kSelect, kFrom, kWhere, kAnd, kOr, kNot, kBetween, kIn, kGroup, kOrder,
+  kBy, kAsc, kDesc, kCreate, kTable, kIndex, kUnique, kClustered, kOn,
+  kInsert, kInto, kValues, kUpdate, kStatistics, kExplain, kInt, kReal,
+  kString, kAvg, kCount, kMin, kMax, kSum, kAs, kNull, kIs, kDelete, kSet,
+  kHaving, kDistinct, kLike,
+  // Punctuation / operators.
+  kLParen, kRParen, kComma, kDot, kStar, kPlus, kMinus, kSlash, kSemicolon,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;      // Identifier or string literal body.
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t offset = 0;     // Byte offset in the statement, for error messages.
+};
+
+const char* TokenTypeName(TokenType t);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_SQL_TOKEN_H_

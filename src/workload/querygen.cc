@@ -1,0 +1,112 @@
+#include "workload/querygen.h"
+
+#include <algorithm>
+
+namespace systemr {
+
+Status BuildChainSchema(Database* db, const ChainSchemaSpec& spec,
+                        uint64_t seed) {
+  DataGen gen(db, seed);
+  int64_t rows = spec.base_rows;
+  for (int i = 0; i < spec.num_tables; ++i) {
+    int64_t next_rows = std::max<int64_t>(
+        1, static_cast<int64_t>(rows * spec.shrink));
+    TableSpec t;
+    t.name = "R" + std::to_string(i);
+    t.num_rows = rows;
+    // FK of the last table points into a domain of its own size (no
+    // successor), which is harmless: join queries never use it.
+    int64_t fk_domain =
+        i + 1 < spec.num_tables ? next_rows : std::max<int64_t>(rows, 1);
+    t.columns = {
+        {"PK", ValueType::kInt64, rows, 0, /*sequential=*/true},
+        {"FK", ValueType::kInt64, fk_domain, 0, false},
+        {"A", ValueType::kInt64, spec.a_domain, 0, false},
+        {"B", ValueType::kInt64, spec.b_domain, 0, false},
+    };
+    t.indexes = {
+        {t.name + "_PK", {"PK"}, /*unique=*/true, /*clustered=*/!spec.cluster_fk},
+        {t.name + "_FK", {"FK"}, false, spec.cluster_fk},
+        {t.name + "_A", {"A"}, false, false},
+    };
+    if (spec.cluster_fk) t.cluster_by = "FK";
+    RETURN_IF_ERROR(gen.CreateAndLoad(t));
+    rows = next_rows;
+  }
+  return Status::OK();
+}
+
+std::string QueryGen::RandomPredicate(const std::string& alias) {
+  // Column: A (indexed), B (not indexed), or PK.
+  int which = static_cast<int>(rng_.Uniform(0, 2));
+  std::string col = which == 0 ? "A" : (which == 1 ? "B" : "PK");
+  int64_t domain = which == 0   ? spec_.a_domain
+                   : which == 1 ? spec_.b_domain
+                                : spec_.base_rows;
+  std::string qual = alias + "." + col;
+  switch (rng_.Uniform(0, 4)) {
+    case 0:
+      return qual + " = " + std::to_string(rng_.Uniform(0, domain - 1));
+    case 1:
+      return qual + " > " + std::to_string(rng_.Uniform(0, domain - 1));
+    case 2:
+      return qual + " < " + std::to_string(rng_.Uniform(1, domain));
+    case 3: {
+      int64_t lo = rng_.Uniform(0, domain - 1);
+      int64_t hi = rng_.Uniform(lo, domain - 1);
+      return qual + " BETWEEN " + std::to_string(lo) + " AND " +
+             std::to_string(hi);
+    }
+    default: {
+      std::string in = qual + " IN (";
+      int n = static_cast<int>(rng_.Uniform(2, 4));
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) in += ", ";
+        in += std::to_string(rng_.Uniform(0, domain - 1));
+      }
+      return in + ")";
+    }
+  }
+}
+
+std::string QueryGen::RandomSingleTableQuery() {
+  int t = static_cast<int>(rng_.Uniform(0, spec_.num_tables - 1));
+  std::string name = TableName(t);
+  std::string sql = "SELECT PK, A, B FROM " + name;
+  int preds = static_cast<int>(rng_.Uniform(1, 3));
+  for (int p = 0; p < preds; ++p) {
+    sql += (p == 0 ? " WHERE " : " AND ") + RandomPredicate(name);
+  }
+  if (rng_.Bernoulli(0.3)) sql += " ORDER BY A";
+  return sql;
+}
+
+std::string QueryGen::RandomJoinQuery(int num_tables) {
+  num_tables = std::min(num_tables, spec_.num_tables);
+  int start = static_cast<int>(
+      rng_.Uniform(0, spec_.num_tables - num_tables));
+  std::string sql = "SELECT " + TableName(start) + ".PK FROM ";
+  for (int i = 0; i < num_tables; ++i) {
+    if (i > 0) sql += ", ";
+    sql += TableName(start + i);
+  }
+  std::vector<std::string> preds;
+  for (int i = 0; i + 1 < num_tables; ++i) {
+    preds.push_back(TableName(start + i) + ".FK = " +
+                    TableName(start + i + 1) + ".PK");
+  }
+  int extra = static_cast<int>(rng_.Uniform(1, 2));
+  for (int p = 0; p < extra; ++p) {
+    int t = start + static_cast<int>(rng_.Uniform(0, num_tables - 1));
+    preds.push_back(RandomPredicate(TableName(t)));
+  }
+  for (size_t i = 0; i < preds.size(); ++i) {
+    sql += (i == 0 ? " WHERE " : " AND ") + preds[i];
+  }
+  if (rng_.Bernoulli(0.25)) {
+    sql += " ORDER BY " + TableName(start) + ".FK";
+  }
+  return sql;
+}
+
+}  // namespace systemr

@@ -1,0 +1,54 @@
+// Random query generation over a synthetic "chain" schema, used for the §7
+// accuracy and optimization-cost studies (E7/E8): relations R0..Rk-1 where
+// Ri has a unique key PK, a foreign key FK referencing R(i+1).PK, and two
+// payload columns A (indexed) and B (not indexed).
+#ifndef SYSTEMR_WORKLOAD_QUERYGEN_H_
+#define SYSTEMR_WORKLOAD_QUERYGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "workload/datagen.h"
+
+namespace systemr {
+
+struct ChainSchemaSpec {
+  int num_tables = 3;
+  int64_t base_rows = 2000;    // R0 cardinality.
+  double shrink = 0.5;         // R(i+1) has shrink * |Ri| rows.
+  int64_t a_domain = 50;       // Domain of the indexed payload column.
+  int64_t b_domain = 50;       // Domain of the un-indexed payload column.
+  bool cluster_fk = true;      // Cluster each table on FK.
+};
+
+/// Builds the chain schema tables R0..R(n-1) with indexes on PK (unique),
+/// FK, and A.
+Status BuildChainSchema(Database* db, const ChainSchemaSpec& spec,
+                        uint64_t seed);
+
+class QueryGen {
+ public:
+  QueryGen(const ChainSchemaSpec& spec, uint64_t seed)
+      : spec_(spec), rng_(seed) {}
+
+  /// A single-table query on a random Ri with 1-3 random predicates
+  /// (equality, range, BETWEEN, IN-list) and an optional ORDER BY.
+  std::string RandomSingleTableQuery();
+
+  /// A join query over `num_tables` consecutive chain relations joined on
+  /// FK = PK, with random local predicates and an optional ORDER BY.
+  std::string RandomJoinQuery(int num_tables);
+
+ private:
+  std::string TableName(int i) const { return "R" + std::to_string(i); }
+  std::string RandomPredicate(const std::string& alias);
+
+  ChainSchemaSpec spec_;
+  Rng rng_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_WORKLOAD_QUERYGEN_H_

@@ -1,0 +1,248 @@
+#include "rss/btree.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/value.h"
+#include "rss/buffer_pool.h"
+
+namespace systemr {
+namespace {
+
+std::string IntKey(int64_t v) {
+  std::string k;
+  Value::Int(v).EncodeKey(&k);
+  return k;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : pool_(&store_, 1024) {}
+  PageStore store_;
+  BufferPool pool_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  BTree tree(&pool_, 0, /*unique=*/false);
+  auto cursor = tree.NewCursor();
+  cursor.SeekToFirst();
+  EXPECT_FALSE(cursor.Valid());
+  EXPECT_EQ(tree.num_pages(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST_F(BTreeTest, InsertAndScanInOrder) {
+  BTree tree(&pool_, 0, /*unique=*/false);
+  // Insert in scrambled order.
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 1000; ++i) keys.push_back(i);
+  Rng rng(3);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Uniform(0, i - 1)]);
+  }
+  for (int64_t k : keys) {
+    ASSERT_TRUE(tree.Insert(IntKey(k), Tid{static_cast<PageId>(k), 0}).ok());
+  }
+  EXPECT_EQ(tree.num_entries(), 1000u);
+  EXPECT_GT(tree.height(), 1);
+
+  auto cursor = tree.NewCursor();
+  int64_t expected = 0;
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next()) {
+    EXPECT_EQ(cursor.user_key(), IntKey(expected));
+    EXPECT_EQ(cursor.tid().page, static_cast<PageId>(expected));
+    ++expected;
+  }
+  EXPECT_EQ(expected, 1000);
+}
+
+TEST_F(BTreeTest, SeekFindsLowerBound) {
+  BTree tree(&pool_, 0, false);
+  for (int64_t k = 0; k < 500; k += 5) {
+    ASSERT_TRUE(tree.Insert(IntKey(k), Tid{0, 0}).ok());
+  }
+  auto cursor = tree.NewCursor();
+  cursor.Seek(IntKey(12));  // Next key present is 15.
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_EQ(cursor.user_key(), IntKey(15));
+  cursor.Seek(IntKey(15));  // Exact.
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_EQ(cursor.user_key(), IntKey(15));
+  cursor.Seek(IntKey(496));  // Past the end.
+  EXPECT_FALSE(cursor.Valid());
+}
+
+TEST_F(BTreeTest, DuplicateKeysAllRetained) {
+  BTree tree(&pool_, 0, /*unique=*/false);
+  for (int rep = 0; rep < 300; ++rep) {
+    for (int64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE(
+          tree.Insert(IntKey(k), Tid{static_cast<PageId>(rep), 0}).ok());
+    }
+  }
+  auto cursor = tree.NewCursor();
+  cursor.Seek(IntKey(7));
+  std::set<PageId> seen;
+  int count = 0;
+  while (cursor.Valid() && cursor.user_key() == IntKey(7)) {
+    seen.insert(cursor.tid().page);
+    ++count;
+    cursor.Next();
+  }
+  EXPECT_EQ(count, 300);
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST_F(BTreeTest, UniqueIndexRejectsDuplicates) {
+  BTree tree(&pool_, 0, /*unique=*/true);
+  ASSERT_TRUE(tree.Insert(IntKey(1), Tid{1, 0}).ok());
+  Status st = tree.Insert(IntKey(1), Tid{2, 0});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(tree.Insert(IntKey(2), Tid{3, 0}).ok());
+}
+
+TEST_F(BTreeTest, LeafChainCoversAllEntries) {
+  BTree tree(&pool_, 0, false);
+  const int kN = 5000;
+  for (int64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(tree.Insert(IntKey(k * 2), Tid{0, 0}).ok());
+  }
+  // A full scan must see every key despite many splits.
+  auto cursor = tree.NewCursor();
+  int count = 0;
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next()) ++count;
+  EXPECT_EQ(count, kN);
+  EXPECT_GE(tree.num_leaf_pages(), 2u);
+  EXPECT_GT(tree.num_pages(), tree.num_leaf_pages());
+}
+
+TEST_F(BTreeTest, StringKeys) {
+  BTree tree(&pool_, 0, false);
+  std::vector<std::string> names = {"SMITH", "JONES", "ADAMS", "ZHANG",
+                                    "MILLER"};
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::string k;
+    Value::Str(names[i]).EncodeKey(&k);
+    ASSERT_TRUE(tree.Insert(k, Tid{static_cast<PageId>(i), 0}).ok());
+  }
+  std::sort(names.begin(), names.end());
+  auto cursor = tree.NewCursor();
+  size_t i = 0;
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next(), ++i) {
+    std::string expect;
+    Value::Str(names[i]).EncodeKey(&expect);
+    EXPECT_EQ(cursor.user_key(), expect);
+  }
+  EXPECT_EQ(i, names.size());
+}
+
+// Property test: random inserts == sorted reference, across several sizes.
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesSortedReference) {
+  PageStore store;
+  BufferPool pool(&store, 4096);
+  BTree tree(&pool, 0, false);
+  Rng rng(GetParam());
+  int n = GetParam() * 700 + 50;
+  std::vector<int64_t> reference;
+  for (int i = 0; i < n; ++i) {
+    int64_t k = rng.Uniform(0, n / 2);  // Plenty of duplicates.
+    reference.push_back(k);
+    ASSERT_TRUE(tree.Insert(IntKey(k), Tid{static_cast<PageId>(i), 0}).ok());
+  }
+  std::sort(reference.begin(), reference.end());
+  auto cursor = tree.NewCursor();
+  size_t i = 0;
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next(), ++i) {
+    ASSERT_LT(i, reference.size());
+    EXPECT_EQ(cursor.user_key(), IntKey(reference[i]));
+  }
+  EXPECT_EQ(i, reference.size());
+
+  // Range check: count keys in [n/8, n/4] both ways.
+  int64_t lo = n / 8, hi = n / 4;
+  size_t expect = 0;
+  for (int64_t k : reference) {
+    if (k >= lo && k <= hi) ++expect;
+  }
+  cursor.Seek(IntKey(lo));
+  size_t got = 0;
+  while (cursor.Valid() && cursor.user_key() <= IntKey(hi)) {
+    ++got;
+    cursor.Next();
+  }
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// --- Deletion ---
+
+TEST_F(BTreeTest, DeleteRemovesExactEntry) {
+  BTree tree(&pool_, 0, false);
+  // Duplicate user keys with distinct TIDs: delete must hit the exact pair.
+  for (PageId p = 0; p < 5; ++p) {
+    ASSERT_TRUE(tree.Insert(IntKey(7), Tid{p, 0}).ok());
+  }
+  ASSERT_TRUE(tree.Delete(IntKey(7), Tid{2, 0}).ok());
+  auto cursor = tree.NewCursor();
+  cursor.Seek(IntKey(7));
+  std::set<PageId> left;
+  while (cursor.Valid() && cursor.user_key() == IntKey(7)) {
+    left.insert(cursor.tid().page);
+    cursor.Next();
+  }
+  EXPECT_EQ(left, (std::set<PageId>{0, 1, 3, 4}));
+  EXPECT_EQ(tree.Delete(IntKey(7), Tid{2, 0}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Delete(IntKey(8), Tid{0, 0}).code(), StatusCode::kNotFound);
+}
+
+// Fuzz insert/delete against a std::multiset reference.
+class BTreeDeleteFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeDeleteFuzzTest, MatchesMultisetReference) {
+  PageStore store;
+  BufferPool pool(&store, 4096);
+  BTree tree(&pool, 0, false);
+  Rng rng(GetParam() * 97 + 13);
+  // Reference: multiset of (key, tid-as-id).
+  std::multiset<std::pair<int64_t, uint32_t>> reference;
+  uint32_t next_id = 0;
+  for (int op = 0; op < 4000; ++op) {
+    if (reference.empty() || rng.Bernoulli(0.6)) {
+      int64_t k = rng.Uniform(0, 200);
+      uint32_t id = next_id++;
+      ASSERT_TRUE(tree.Insert(IntKey(k), Tid{id, 0}).ok());
+      reference.emplace(k, id);
+    } else {
+      // Delete a pseudo-random existing entry.
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(0, reference.size() - 1));
+      ASSERT_TRUE(tree.Delete(IntKey(it->first), Tid{it->second, 0}).ok());
+      reference.erase(it);
+    }
+  }
+  // Full scan must match the reference in (key) order and count.
+  EXPECT_EQ(tree.num_entries(), reference.size());
+  auto cursor = tree.NewCursor();
+  std::multiset<std::pair<int64_t, uint32_t>> seen;
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next()) {
+    size_t pos = 0;
+    Value v;
+    ASSERT_TRUE(Value::DecodeKey(cursor.user_key(), &pos, &v));
+    seen.emplace(v.AsInt(), cursor.tid().page);
+  }
+  EXPECT_EQ(seen, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeDeleteFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace systemr

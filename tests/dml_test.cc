@@ -1,0 +1,154 @@
+// DELETE / UPDATE tests: access-path-driven target location, index
+// maintenance, Halloween safety, subquery predicates, and the System R
+// statistics contract (stats stay stale until UPDATE STATISTICS).
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace systemr {
+namespace {
+
+class DmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(64);
+    ASSERT_TRUE(db_->ExecuteScript(R"(
+      CREATE TABLE EMP (EMPNO INT, NAME STRING, DNO INT, SAL INT);
+    )").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db_->Execute("INSERT INTO EMP VALUES (" +
+                               std::to_string(i) + ", 'E" +
+                               std::to_string(i) + "', " +
+                               std::to_string(i % 10) + ", " +
+                               std::to_string(1000 + 10 * i) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(db_->Execute("CREATE UNIQUE INDEX EMP_PK ON EMP (EMPNO)").ok());
+    ASSERT_TRUE(db_->Execute("CREATE INDEX EMP_DNO ON EMP (DNO)").ok());
+    ASSERT_TRUE(db_->Execute("UPDATE STATISTICS EMP").ok());
+  }
+
+  int64_t Count(const std::string& where = "") {
+    auto r = db_->Query("SELECT COUNT(*) FROM EMP" +
+                        (where.empty() ? "" : " WHERE " + where));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->rows[0][0].AsInt();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DmlTest, DeleteWithEqualityPredicate) {
+  auto affected = db_->Mutate("DELETE FROM EMP WHERE DNO = 3");
+  ASSERT_TRUE(affected.ok()) << affected.status().ToString();
+  EXPECT_EQ(*affected, 10u);
+  EXPECT_EQ(Count(), 90);
+  EXPECT_EQ(Count("DNO = 3"), 0);
+}
+
+TEST_F(DmlTest, DeleteMaintainsIndexes) {
+  ASSERT_TRUE(db_->Mutate("DELETE FROM EMP WHERE EMPNO = 42").ok());
+  // Both the unique PK index and the DNO index must no longer find it.
+  EXPECT_EQ(Count("EMPNO = 42"), 0);
+  EXPECT_EQ(Count("DNO = 2"), 9);
+  // And the PK can be reused now.
+  EXPECT_TRUE(
+      db_->Execute("INSERT INTO EMP VALUES (42, 'NEW', 2, 5555)").ok());
+  EXPECT_EQ(Count("EMPNO = 42"), 1);
+}
+
+TEST_F(DmlTest, DeleteAll) {
+  auto affected = db_->Mutate("DELETE FROM EMP");
+  ASSERT_TRUE(affected.ok());
+  EXPECT_EQ(*affected, 100u);
+  EXPECT_EQ(Count(), 0);
+}
+
+TEST_F(DmlTest, DeleteWithSubqueryPredicate) {
+  // Delete employees earning above average (avg = 1495 → 50 rows above).
+  auto affected = db_->Mutate(
+      "DELETE FROM EMP WHERE SAL > (SELECT AVG(SAL) FROM EMP)");
+  ASSERT_TRUE(affected.ok()) << affected.status().ToString();
+  EXPECT_EQ(*affected, 50u);
+  EXPECT_EQ(Count(), 50);
+}
+
+TEST_F(DmlTest, UpdateSimple) {
+  auto affected = db_->Mutate("UPDATE EMP SET SAL = 9999 WHERE DNO = 5");
+  ASSERT_TRUE(affected.ok()) << affected.status().ToString();
+  EXPECT_EQ(*affected, 10u);
+  EXPECT_EQ(Count("SAL = 9999"), 10);
+  EXPECT_EQ(Count(), 100) << "update must not change cardinality";
+}
+
+TEST_F(DmlTest, UpdateExpressionReferencesOldValues) {
+  ASSERT_TRUE(db_->Mutate("UPDATE EMP SET SAL = SAL + 100").ok());
+  // Old range was [1000, 1990]; new is [1100, 2090].
+  auto r = db_->Query("SELECT MIN(SAL), MAX(SAL) FROM EMP");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 1100);
+  EXPECT_EQ(r->rows[0][1].AsInt(), 2090);
+}
+
+TEST_F(DmlTest, UpdateMultipleColumns) {
+  auto affected = db_->Mutate(
+      "UPDATE EMP SET DNO = 99, NAME = 'MOVED' WHERE EMPNO < 5");
+  ASSERT_TRUE(affected.ok());
+  EXPECT_EQ(*affected, 5u);
+  EXPECT_EQ(Count("DNO = 99"), 5);
+  EXPECT_EQ(Count("NAME = 'MOVED'"), 5);
+}
+
+TEST_F(DmlTest, HalloweenSafety) {
+  // The classic case: raise the salary of everyone below a threshold, where
+  // the raise pushes them past other qualifying rows. Every row must be
+  // updated exactly once even though the driving scan's index is being
+  // mutated.
+  auto affected = db_->Mutate("UPDATE EMP SET SAL = SAL + 5000 "
+                              "WHERE SAL < 2000");
+  ASSERT_TRUE(affected.ok());
+  EXPECT_EQ(*affected, 100u);
+  auto r = db_->Query("SELECT MIN(SAL) FROM EMP");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 6000) << "exactly one raise per employee";
+}
+
+TEST_F(DmlTest, HalloweenSafetyOnIndexedColumn) {
+  // Update the indexed column itself through a predicate on that index.
+  auto affected = db_->Mutate("UPDATE EMP SET DNO = DNO + 10 WHERE DNO < 10");
+  ASSERT_TRUE(affected.ok());
+  EXPECT_EQ(*affected, 100u);
+  EXPECT_EQ(Count("DNO < 10"), 0);
+  EXPECT_EQ(Count("DNO >= 10"), 100);
+}
+
+TEST_F(DmlTest, UniqueViolationOnUpdateFails) {
+  EXPECT_FALSE(db_->Mutate("UPDATE EMP SET EMPNO = 1 WHERE EMPNO = 2").ok());
+}
+
+TEST_F(DmlTest, TypeCheckingInSet) {
+  EXPECT_FALSE(db_->Mutate("UPDATE EMP SET SAL = 'lots'").ok());
+  EXPECT_FALSE(db_->Mutate("UPDATE EMP SET NOPE = 1").ok());
+}
+
+TEST_F(DmlTest, StatisticsStayStaleUntilUpdateStatistics) {
+  ASSERT_TRUE(db_->Mutate("DELETE FROM EMP WHERE DNO < 5").ok());
+  const TableInfo* t = db_->catalog().FindTable("EMP");
+  EXPECT_EQ(t->ncard, 100u) << "NCARD is the pre-delete snapshot";
+  ASSERT_TRUE(db_->Execute("UPDATE STATISTICS EMP").ok());
+  EXPECT_EQ(t->ncard, 50u);
+}
+
+TEST_F(DmlTest, DeleteUsesSelectiveAccessPath) {
+  // A unique-key delete should not scan the whole relation: meter it.
+  db_->rss().pool().FlushAll();
+  RssSnapshot before = db_->rss().Snapshot();
+  ASSERT_TRUE(db_->Mutate("DELETE FROM EMP WHERE EMPNO = 7").ok());
+  RssSnapshot after = db_->rss().Snapshot();
+  // The whole EMP heap is only a couple of pages here, so just check the
+  // scan did not return every tuple across the RSI.
+  EXPECT_LT(after.rsi_calls - before.rsi_calls, 10u);
+}
+
+}  // namespace
+}  // namespace systemr

@@ -1,0 +1,76 @@
+#include "rss/page.h"
+
+#include <gtest/gtest.h>
+
+namespace systemr {
+namespace {
+
+TEST(SlottedPageTest, InsertAndRead) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  EXPECT_EQ(sp.slot_count(), 0);
+
+  int s0 = sp.Insert("hello");
+  int s1 = sp.Insert("world!");
+  ASSERT_EQ(s0, 0);
+  ASSERT_EQ(s1, 1);
+  EXPECT_EQ(sp.slot_count(), 2);
+
+  std::string_view rec;
+  ASSERT_TRUE(sp.Read(0, &rec));
+  EXPECT_EQ(rec, "hello");
+  ASSERT_TRUE(sp.Read(1, &rec));
+  EXPECT_EQ(rec, "world!");
+  EXPECT_FALSE(sp.Read(2, &rec));
+}
+
+TEST(SlottedPageTest, FillsUpAndRejects) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  std::string record(100, 'x');
+  int inserted = 0;
+  while (sp.Insert(record) >= 0) ++inserted;
+  // 4096 bytes / (100 record + 4 slot) ≈ 39 records.
+  EXPECT_GE(inserted, 35);
+  EXPECT_LE(inserted, 40);
+  // Small records may still fit.
+  EXPECT_LT(sp.FreeSpace(), 104u);
+}
+
+TEST(SlottedPageTest, RecordsSurviveManyInserts) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  std::vector<std::string> records;
+  for (int i = 0; i < 30; ++i) {
+    records.push_back("record-" + std::to_string(i * 17));
+    ASSERT_GE(sp.Insert(records.back()), 0);
+  }
+  for (int i = 0; i < 30; ++i) {
+    std::string_view rec;
+    ASSERT_TRUE(sp.Read(static_cast<uint16_t>(i), &rec));
+    EXPECT_EQ(rec, records[i]);
+  }
+}
+
+TEST(PageStoreTest, AllocateAndFree) {
+  PageStore store;
+  PageId a = store.Allocate();
+  PageId b = store.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_NE(store.Get(a), nullptr);
+  store.Free(a);
+  EXPECT_EQ(store.Get(a), nullptr);
+  EXPECT_NE(store.Get(b), nullptr);
+}
+
+TEST(TidTest, PackUnpackRoundTrip) {
+  Tid t{123456, 789};
+  Tid u = Tid::Unpack(t.Pack());
+  EXPECT_EQ(t, u);
+}
+
+}  // namespace
+}  // namespace systemr

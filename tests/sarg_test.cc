@@ -1,0 +1,89 @@
+#include "rss/sarg.h"
+
+#include <gtest/gtest.h>
+
+namespace systemr {
+namespace {
+
+TEST(CompareTest, AllOperators) {
+  Value a = Value::Int(3), b = Value::Int(5);
+  EXPECT_FALSE(EvalCompare(CompareOp::kEq, a, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kNe, a, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLt, a, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLe, a, b));
+  EXPECT_FALSE(EvalCompare(CompareOp::kGt, a, b));
+  EXPECT_FALSE(EvalCompare(CompareOp::kGe, a, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, a, a));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLe, a, a));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGe, a, a));
+}
+
+TEST(CompareTest, NullComparisonsAreFalse) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(EvalCompare(op, Value::Null(), Value::Int(1)));
+    EXPECT_FALSE(EvalCompare(op, Value::Int(1), Value::Null()));
+    EXPECT_FALSE(EvalCompare(op, Value::Null(), Value::Null()));
+  }
+}
+
+TEST(CompareTest, MirrorOpIsConsistent) {
+  Value a = Value::Int(3), b = Value::Int(5);
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_EQ(EvalCompare(op, a, b), EvalCompare(MirrorOp(op), b, a));
+  }
+}
+
+TEST(SargTest, EmptySargAcceptsEverything) {
+  Sarg sarg;
+  EXPECT_TRUE(sarg.Matches({Value::Int(1)}));
+  EXPECT_TRUE(sarg.Matches({}));
+}
+
+TEST(SargTest, SingleTerm) {
+  Sarg sarg;
+  sarg.AddConjunct({SargTerm{0, CompareOp::kGt, Value::Int(10)}});
+  EXPECT_TRUE(sarg.Matches({Value::Int(11)}));
+  EXPECT_FALSE(sarg.Matches({Value::Int(10)}));
+}
+
+TEST(SargTest, ConjunctionRequiresAll) {
+  Sarg sarg;
+  sarg.AddConjunct({SargTerm{0, CompareOp::kGe, Value::Int(5)},
+                    SargTerm{0, CompareOp::kLe, Value::Int(9)}});
+  EXPECT_TRUE(sarg.Matches({Value::Int(7)}));
+  EXPECT_FALSE(sarg.Matches({Value::Int(4)}));
+  EXPECT_FALSE(sarg.Matches({Value::Int(10)}));
+}
+
+TEST(SargTest, DisjunctionOfConjunctions) {
+  // (a=1 AND b=2) OR (a=9)
+  Sarg sarg;
+  sarg.AddConjunct({SargTerm{0, CompareOp::kEq, Value::Int(1)},
+                    SargTerm{1, CompareOp::kEq, Value::Int(2)}});
+  sarg.AddConjunct({SargTerm{0, CompareOp::kEq, Value::Int(9)}});
+  EXPECT_TRUE(sarg.Matches({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(sarg.Matches({Value::Int(1), Value::Int(3)}));
+  EXPECT_TRUE(sarg.Matches({Value::Int(9), Value::Int(42)}));
+  EXPECT_FALSE(sarg.Matches({Value::Int(2), Value::Int(2)}));
+}
+
+TEST(SargTest, StringValues) {
+  Sarg sarg;
+  sarg.AddConjunct({SargTerm{0, CompareOp::kEq, Value::Str("CLERK")}});
+  EXPECT_TRUE(sarg.Matches({Value::Str("CLERK")}));
+  EXPECT_FALSE(sarg.Matches({Value::Str("TYPIST")}));
+}
+
+TEST(SargTest, ToStringRendersReadably) {
+  Schema schema({{"JOB", ValueType::kString}, {"SAL", ValueType::kInt64}});
+  Sarg sarg;
+  sarg.AddConjunct({SargTerm{0, CompareOp::kEq, Value::Str("CLERK")},
+                    SargTerm{1, CompareOp::kGt, Value::Int(100)}});
+  EXPECT_EQ(sarg.ToString(schema), "JOB='CLERK' AND SAL>100");
+  EXPECT_EQ(Sarg().ToString(schema), "true");
+}
+
+}  // namespace
+}  // namespace systemr

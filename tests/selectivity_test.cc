@@ -1,0 +1,239 @@
+// TABLE 1 selectivity factors and boolean-factor extraction (CNF) tests.
+#include "optimizer/selectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "workload/datagen.h"
+
+namespace systemr {
+namespace {
+
+class SelectivityTest : public ::testing::Test {
+ protected:
+  SelectivityTest() : db_(256) {
+    DataGen gen(&db_, 1);
+    TableSpec t;
+    t.name = "T";
+    t.num_rows = 2000;
+    t.columns = {{"K", ValueType::kInt64, 2000, 0, /*sequential=*/true},
+                 {"A", ValueType::kInt64, 100, 0, false},  // Indexed.
+                 {"B", ValueType::kInt64, 50, 0, false},   // Not indexed.
+                 {"S", ValueType::kString, 20, 0, false}};
+    t.indexes = {{"T_K", {"K"}, true, false}, {"T_A", {"A"}, false, false}};
+    EXPECT_TRUE(gen.CreateAndLoad(t).ok());
+
+    TableSpec u;
+    u.name = "U";
+    u.num_rows = 500;
+    u.columns = {{"K", ValueType::kInt64, 500, 0, true},
+                 {"A", ValueType::kInt64, 25, 0, false}};
+    u.indexes = {{"U_A", {"A"}, false, false}};
+    EXPECT_TRUE(gen.CreateAndLoad(u).ok());
+  }
+
+  // Binds the query and returns F of the first boolean factor.
+  double FirstFactorF(const std::string& sql) {
+    auto stmt = Parse(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Binder binder(&db_.catalog());
+    auto block = binder.Bind(*stmt->select);
+    EXPECT_TRUE(block.ok()) << block.status().ToString();
+    block_ = std::move(*block);
+    auto factors = ExtractBooleanFactors(*block_);
+    EXPECT_FALSE(factors.empty());
+    SelectivityEstimator est(&db_.catalog(), block_.get());
+    return est.FactorSelectivity(*factors[0].expr);
+  }
+
+  Database db_;
+  std::unique_ptr<BoundQueryBlock> block_;
+};
+
+// Table 1 row: column = value, F = 1/ICARD with an index.
+TEST_F(SelectivityTest, EqWithIndex) {
+  EXPECT_NEAR(FirstFactorF("SELECT K FROM T WHERE A = 5"), 1.0 / 100, 1e-9);
+}
+
+// Table 1: F = 1/10 without an index.
+TEST_F(SelectivityTest, EqWithoutIndex) {
+  EXPECT_DOUBLE_EQ(FirstFactorF("SELECT K FROM T WHERE B = 5"), 0.1);
+}
+
+// Table 1: col1 = col2 with indexes on both → 1/max(ICARDs).
+TEST_F(SelectivityTest, ColEqColBothIndexed) {
+  EXPECT_NEAR(FirstFactorF("SELECT T.K FROM T, U WHERE T.A = U.A"),
+              1.0 / 100, 1e-9);
+}
+
+// col1 = col2 with one index → 1/ICARD of that index.
+TEST_F(SelectivityTest, ColEqColOneIndexed) {
+  EXPECT_NEAR(FirstFactorF("SELECT T.K FROM T, U WHERE T.B = U.A"),
+              1.0 / 25, 1e-9);
+}
+
+// col1 = col2 with no index → 1/10.
+TEST_F(SelectivityTest, ColEqColNoIndex) {
+  EXPECT_DOUBLE_EQ(FirstFactorF("SELECT T.K FROM T, U WHERE T.B = U.K"),
+                   0.1) << "neither B nor U.K is indexed";
+  EXPECT_DOUBLE_EQ(FirstFactorF("SELECT X.K FROM T X, T Y WHERE X.B = Y.B"),
+                   0.1);
+}
+
+// Range with interpolation: A uniform on [0,99], A > 49 → about half.
+TEST_F(SelectivityTest, RangeInterpolation) {
+  double f = FirstFactorF("SELECT K FROM T WHERE A > 49");
+  EXPECT_NEAR(f, 0.5, 0.05);
+  double g = FirstFactorF("SELECT K FROM T WHERE A < 25");
+  EXPECT_NEAR(g, 0.25, 0.05);
+}
+
+// Range without stats basis → 1/3.
+TEST_F(SelectivityTest, RangeDefault) {
+  EXPECT_DOUBLE_EQ(FirstFactorF("SELECT K FROM T WHERE B > 10"), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(FirstFactorF("SELECT K FROM T WHERE S > 'M'"), 1.0 / 3)
+      << "non-arithmetic column";
+}
+
+// BETWEEN with interpolation and default.
+TEST_F(SelectivityTest, Between) {
+  double f = FirstFactorF("SELECT K FROM T WHERE A BETWEEN 10 AND 29");
+  EXPECT_NEAR(f, 19.0 / 99.0, 0.03);
+  EXPECT_DOUBLE_EQ(
+      FirstFactorF("SELECT K FROM T WHERE B BETWEEN 10 AND 20"), 0.25);
+}
+
+// IN list: n * F(eq), capped at 1/2.
+TEST_F(SelectivityTest, InList) {
+  EXPECT_NEAR(FirstFactorF("SELECT K FROM T WHERE A IN (1,2,3)"), 3.0 / 100,
+              1e-9);
+  EXPECT_DOUBLE_EQ(
+      FirstFactorF("SELECT K FROM T WHERE B IN (1,2,3,4,5,6,7,8)"), 0.5)
+      << "8 * 1/10 capped at 1/2";
+}
+
+// OR / AND / NOT combinators.
+TEST_F(SelectivityTest, BooleanCombinators) {
+  double f_or = FirstFactorF("SELECT K FROM T WHERE B = 1 OR B = 2");
+  EXPECT_NEAR(f_or, 0.1 + 0.1 - 0.01, 1e-9);
+  double f_not = FirstFactorF("SELECT K FROM T WHERE NOT B = 1");
+  EXPECT_NEAR(f_not, 0.9, 1e-9);
+}
+
+// AND inside one boolean factor (parenthesized OR of ANDs).
+TEST_F(SelectivityTest, NestedAndInsideOr) {
+  double f =
+      FirstFactorF("SELECT K FROM T WHERE (B = 1 AND B = 2) OR B = 3");
+  EXPECT_NEAR(f, 0.01 + 0.1 - 0.001, 1e-9);
+}
+
+// IN subquery: QCARD(sub) / product of subquery FROM cardinalities.
+TEST_F(SelectivityTest, InSubquery) {
+  double f = FirstFactorF(
+      "SELECT K FROM T WHERE A IN (SELECT A FROM U WHERE U.A = 3)");
+  // Subquery QCARD = 500 * (1/25); denominator = 500 → F = 1/25.
+  EXPECT_NEAR(f, 1.0 / 25, 1e-9);
+}
+
+// Scalar-subquery comparison: value unknown at compile time → defaults.
+TEST_F(SelectivityTest, ScalarSubqueryComparison) {
+  double f = FirstFactorF(
+      "SELECT K FROM T WHERE A = (SELECT MIN(A) FROM U)");
+  EXPECT_NEAR(f, 1.0 / 100, 1e-9) << "eq uses 1/ICARD even if value unknown";
+  double g = FirstFactorF(
+      "SELECT K FROM T WHERE B > (SELECT MIN(A) FROM U)");
+  EXPECT_DOUBLE_EQ(g, 1.0 / 3);
+}
+
+// --- Boolean factor extraction ---
+
+class CnfTest : public SelectivityTest {
+ protected:
+  std::vector<BooleanFactor> Extract(const std::string& sql) {
+    auto stmt = Parse(sql);
+    EXPECT_TRUE(stmt.ok());
+    Binder binder(&db_.catalog());
+    auto block = binder.Bind(*stmt->select);
+    EXPECT_TRUE(block.ok()) << block.status().ToString();
+    block_ = std::move(*block);
+    return ExtractBooleanFactors(*block_);
+  }
+};
+
+TEST_F(CnfTest, SplitsConjuncts) {
+  auto factors =
+      Extract("SELECT K FROM T WHERE A = 1 AND B > 2 AND S = 'x'");
+  EXPECT_EQ(factors.size(), 3u);
+  for (const auto& f : factors) {
+    EXPECT_TRUE(f.sargable);
+    EXPECT_EQ(f.sarg_table, 0);
+  }
+}
+
+TEST_F(CnfTest, OrOfSargablesIsOneSargableFactor) {
+  auto factors = Extract("SELECT K FROM T WHERE A = 1 OR B = 2");
+  ASSERT_EQ(factors.size(), 1u);
+  EXPECT_TRUE(factors[0].sargable);
+  EXPECT_EQ(factors[0].dnf.size(), 2u);
+}
+
+TEST_F(CnfTest, InListIsSargableDnf) {
+  auto factors = Extract("SELECT K FROM T WHERE A IN (1, 2, 3)");
+  ASSERT_EQ(factors.size(), 1u);
+  EXPECT_TRUE(factors[0].sargable);
+  EXPECT_EQ(factors[0].dnf.size(), 3u);
+}
+
+TEST_F(CnfTest, BetweenIsSargableConjunct) {
+  auto factors = Extract("SELECT K FROM T WHERE A BETWEEN 2 AND 9");
+  ASSERT_EQ(factors.size(), 1u);
+  ASSERT_TRUE(factors[0].sargable);
+  ASSERT_EQ(factors[0].dnf.size(), 1u);
+  EXPECT_EQ(factors[0].dnf[0].size(), 2u);
+}
+
+TEST_F(CnfTest, JoinPredicateDetected) {
+  auto factors = Extract("SELECT T.K FROM T, U WHERE T.A = U.A AND T.B = 1");
+  ASSERT_EQ(factors.size(), 2u);
+  ASSERT_TRUE(factors[0].join.has_value());
+  EXPECT_TRUE(factors[0].join->is_equi());
+  EXPECT_FALSE(factors[0].sargable);
+  EXPECT_EQ(factors[0].tables_mask, 0b11u);
+  EXPECT_TRUE(factors[1].sargable);
+}
+
+TEST_F(CnfTest, NonEquiJoinPredicate) {
+  auto factors = Extract("SELECT T.K FROM T, U WHERE T.A < U.A");
+  ASSERT_EQ(factors.size(), 1u);
+  ASSERT_TRUE(factors[0].join.has_value());
+  EXPECT_FALSE(factors[0].join->is_equi());
+}
+
+TEST_F(CnfTest, CrossTableOrIsResidualNotSargable) {
+  auto factors = Extract("SELECT T.K FROM T, U WHERE T.A = 1 OR U.A = 2");
+  ASSERT_EQ(factors.size(), 1u);
+  EXPECT_FALSE(factors[0].sargable);
+  EXPECT_EQ(factors[0].tables_mask, 0b11u);
+}
+
+TEST_F(CnfTest, SubqueryAndCorrelationFlags) {
+  auto factors = Extract(
+      "SELECT K FROM T WHERE A IN (SELECT A FROM U) AND B = 1");
+  ASSERT_EQ(factors.size(), 2u);
+  EXPECT_TRUE(factors[0].has_subquery);
+  EXPECT_FALSE(factors[0].sargable);
+  EXPECT_FALSE(factors[1].has_subquery);
+}
+
+TEST_F(CnfTest, SameTableColumnComparisonIsResidual) {
+  auto factors = Extract("SELECT K FROM T WHERE A = B");
+  ASSERT_EQ(factors.size(), 1u);
+  EXPECT_FALSE(factors[0].sargable);
+  EXPECT_FALSE(factors[0].join.has_value());
+  EXPECT_EQ(factors[0].tables_mask, 0b1u);
+}
+
+}  // namespace
+}  // namespace systemr

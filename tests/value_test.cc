@@ -1,0 +1,143 @@
+#include "common/value.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace systemr {
+namespace {
+
+TEST(ValueTest, TypeAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Str("abc").AsStr(), "abc");
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(7).Compare(Value::Int(7)), 0);
+  EXPECT_GT(Value::Int(-1).Compare(Value::Int(-2)), 0);
+  EXPECT_LT(Value::Str("a").Compare(Value::Str("b")), 0);
+  EXPECT_LT(Value::Real(1.5).Compare(Value::Real(1.6)), 0);
+}
+
+TEST(ValueTest, CompareCrossNumeric) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+  EXPECT_GT(Value::Real(4.0).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-1000000)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, SerializeRoundTrip) {
+  std::vector<Value> values = {
+      Value::Null(),        Value::Int(0),
+      Value::Int(-1),       Value::Int(INT64_MAX),
+      Value::Int(INT64_MIN), Value::Real(0.0),
+      Value::Real(-3.25),   Value::Str(""),
+      Value::Str("hello"),  Value::Str(std::string("a\0b", 3)),
+  };
+  std::string buf;
+  for (const Value& v : values) v.Serialize(&buf);
+  size_t pos = 0;
+  for (const Value& v : values) {
+    Value out;
+    ASSERT_TRUE(Value::Deserialize(buf.data(), buf.size(), &pos, &out));
+    EXPECT_EQ(v.Compare(out), 0) << v.ToString() << " vs " << out.ToString();
+    EXPECT_EQ(v.type(), out.type());
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(ValueTest, SerializedSizeMatches) {
+  for (const Value& v : {Value::Null(), Value::Int(5), Value::Real(1.5),
+                         Value::Str("xyz")}) {
+    std::string buf;
+    v.Serialize(&buf);
+    EXPECT_EQ(buf.size(), v.SerializedSize());
+  }
+}
+
+TEST(ValueTest, KeyEncodingRoundTrip) {
+  std::vector<Value> values = {
+      Value::Null(),         Value::Int(-5),
+      Value::Int(12345678),  Value::Real(-0.5),
+      Value::Str("SMITH"),   Value::Str(std::string("a\0\0b", 4)),
+  };
+  std::string buf;
+  for (const Value& v : values) v.EncodeKey(&buf);
+  size_t pos = 0;
+  for (const Value& v : values) {
+    Value out;
+    ASSERT_TRUE(Value::DecodeKey(buf, &pos, &out));
+    EXPECT_EQ(v.Compare(out), 0);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+// Property: the memcomparable encoding preserves order for same-typed values.
+TEST(ValueProperty, IntKeyEncodingPreservesOrder) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t a = rng.Uniform(-1000000, 1000000);
+    int64_t b = rng.Uniform(-1000000, 1000000);
+    std::string ka, kb;
+    Value::Int(a).EncodeKey(&ka);
+    Value::Int(b).EncodeKey(&kb);
+    EXPECT_EQ(a < b, ka < kb) << a << " " << b;
+    EXPECT_EQ(a == b, ka == kb);
+  }
+}
+
+TEST(ValueProperty, DoubleKeyEncodingPreservesOrder) {
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    double a = (rng.NextDouble() - 0.5) * 1e6;
+    double b = (rng.NextDouble() - 0.5) * 1e6;
+    std::string ka, kb;
+    Value::Real(a).EncodeKey(&ka);
+    Value::Real(b).EncodeKey(&kb);
+    EXPECT_EQ(a < b, ka < kb) << a << " " << b;
+  }
+}
+
+TEST(ValueProperty, StringKeyEncodingPreservesOrder) {
+  Rng rng(13);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string a = rng.RandomString(rng.Uniform(0, 6));
+    std::string b = rng.RandomString(rng.Uniform(0, 6));
+    // Occasionally embed NULs to exercise the escape path.
+    if (rng.Bernoulli(0.2) && !a.empty()) a[0] = '\0';
+    if (rng.Bernoulli(0.2) && !b.empty()) b[0] = '\0';
+    std::string ka, kb;
+    Value::Str(a).EncodeKey(&ka);
+    Value::Str(b).EncodeKey(&kb);
+    EXPECT_EQ(a < b, ka < kb);
+    EXPECT_EQ(a == b, ka == kb);
+  }
+}
+
+TEST(ValueTest, CompositeKeyOrdersLexicographically) {
+  std::string k1 = EncodeCompositeKey({Value::Str("SMITH"), Value::Int(1)});
+  std::string k2 = EncodeCompositeKey({Value::Str("SMITH"), Value::Int(2)});
+  std::string k3 = EncodeCompositeKey({Value::Str("SMYTH"), Value::Int(0)});
+  EXPECT_LT(k1, k2);
+  EXPECT_LT(k2, k3);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Str("x").ToString(), "'x'");
+}
+
+}  // namespace
+}  // namespace systemr
