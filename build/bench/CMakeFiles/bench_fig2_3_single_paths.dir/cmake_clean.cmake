@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_3_single_paths.dir/bench_fig2_3_single_paths.cc.o"
+  "CMakeFiles/bench_fig2_3_single_paths.dir/bench_fig2_3_single_paths.cc.o.d"
+  "bench_fig2_3_single_paths"
+  "bench_fig2_3_single_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_3_single_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_queries.dir/bench_nested_queries.cc.o"
+  "CMakeFiles/bench_nested_queries.dir/bench_nested_queries.cc.o.d"
+  "bench_nested_queries"
+  "bench_nested_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_cost.dir/bench_optimizer_cost.cc.o"
+  "CMakeFiles/bench_optimizer_cost.dir/bench_optimizer_cost.cc.o.d"
+  "bench_optimizer_cost"
+  "bench_optimizer_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_w_sweep.dir/bench_w_sweep.cc.o"
+  "CMakeFiles/bench_w_sweep.dir/bench_w_sweep.cc.o.d"
+  "bench_w_sweep"
+  "bench_w_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_w_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/systemr.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/systemr.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/update_statistics.cc" "src/CMakeFiles/systemr.dir/catalog/update_statistics.cc.o" "gcc" "src/CMakeFiles/systemr.dir/catalog/update_statistics.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/systemr.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/systemr.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/systemr.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/systemr.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/systemr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/systemr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/systemr.dir/common/value.cc.o" "gcc" "src/CMakeFiles/systemr.dir/common/value.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/systemr.dir/db/database.cc.o" "gcc" "src/CMakeFiles/systemr.dir/db/database.cc.o.d"
+  "/root/repo/src/db/dml.cc" "src/CMakeFiles/systemr.dir/db/dml.cc.o" "gcc" "src/CMakeFiles/systemr.dir/db/dml.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/systemr.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/systemr.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/systemr.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/systemr.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/systemr.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/systemr.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/CMakeFiles/systemr.dir/exec/expr_eval.cc.o" "gcc" "src/CMakeFiles/systemr.dir/exec/expr_eval.cc.o.d"
+  "/root/repo/src/exec/joins.cc" "src/CMakeFiles/systemr.dir/exec/joins.cc.o" "gcc" "src/CMakeFiles/systemr.dir/exec/joins.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/systemr.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/systemr.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/systemr.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/systemr.dir/exec/sort.cc.o.d"
+  "/root/repo/src/exec/subquery_eval.cc" "src/CMakeFiles/systemr.dir/exec/subquery_eval.cc.o" "gcc" "src/CMakeFiles/systemr.dir/exec/subquery_eval.cc.o.d"
+  "/root/repo/src/optimizer/access_path_gen.cc" "src/CMakeFiles/systemr.dir/optimizer/access_path_gen.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/access_path_gen.cc.o.d"
+  "/root/repo/src/optimizer/baseline.cc" "src/CMakeFiles/systemr.dir/optimizer/baseline.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/baseline.cc.o.d"
+  "/root/repo/src/optimizer/bound_expr.cc" "src/CMakeFiles/systemr.dir/optimizer/bound_expr.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/bound_expr.cc.o.d"
+  "/root/repo/src/optimizer/cnf.cc" "src/CMakeFiles/systemr.dir/optimizer/cnf.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/cnf.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/systemr.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/explain.cc" "src/CMakeFiles/systemr.dir/optimizer/explain.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/explain.cc.o.d"
+  "/root/repo/src/optimizer/join_enumerator.cc" "src/CMakeFiles/systemr.dir/optimizer/join_enumerator.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/join_enumerator.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/systemr.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/order_classes.cc" "src/CMakeFiles/systemr.dir/optimizer/order_classes.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/order_classes.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/systemr.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/CMakeFiles/systemr.dir/optimizer/selectivity.cc.o" "gcc" "src/CMakeFiles/systemr.dir/optimizer/selectivity.cc.o.d"
+  "/root/repo/src/rss/btree.cc" "src/CMakeFiles/systemr.dir/rss/btree.cc.o" "gcc" "src/CMakeFiles/systemr.dir/rss/btree.cc.o.d"
+  "/root/repo/src/rss/buffer_pool.cc" "src/CMakeFiles/systemr.dir/rss/buffer_pool.cc.o" "gcc" "src/CMakeFiles/systemr.dir/rss/buffer_pool.cc.o.d"
+  "/root/repo/src/rss/heap_file.cc" "src/CMakeFiles/systemr.dir/rss/heap_file.cc.o" "gcc" "src/CMakeFiles/systemr.dir/rss/heap_file.cc.o.d"
+  "/root/repo/src/rss/page.cc" "src/CMakeFiles/systemr.dir/rss/page.cc.o" "gcc" "src/CMakeFiles/systemr.dir/rss/page.cc.o.d"
+  "/root/repo/src/rss/rss.cc" "src/CMakeFiles/systemr.dir/rss/rss.cc.o" "gcc" "src/CMakeFiles/systemr.dir/rss/rss.cc.o.d"
+  "/root/repo/src/rss/sarg.cc" "src/CMakeFiles/systemr.dir/rss/sarg.cc.o" "gcc" "src/CMakeFiles/systemr.dir/rss/sarg.cc.o.d"
+  "/root/repo/src/rss/scan.cc" "src/CMakeFiles/systemr.dir/rss/scan.cc.o" "gcc" "src/CMakeFiles/systemr.dir/rss/scan.cc.o.d"
+  "/root/repo/src/rss/segment.cc" "src/CMakeFiles/systemr.dir/rss/segment.cc.o" "gcc" "src/CMakeFiles/systemr.dir/rss/segment.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/systemr.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/systemr.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/systemr.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/systemr.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/systemr.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/systemr.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/systemr.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/systemr.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/systemr.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/systemr.dir/sql/token.cc.o.d"
+  "/root/repo/src/workload/datagen.cc" "src/CMakeFiles/systemr.dir/workload/datagen.cc.o" "gcc" "src/CMakeFiles/systemr.dir/workload/datagen.cc.o.d"
+  "/root/repo/src/workload/querygen.cc" "src/CMakeFiles/systemr.dir/workload/querygen.cc.o" "gcc" "src/CMakeFiles/systemr.dir/workload/querygen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

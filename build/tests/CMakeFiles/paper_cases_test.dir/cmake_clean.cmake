@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_cases_test.dir/paper_cases_test.cc.o"
+  "CMakeFiles/paper_cases_test.dir/paper_cases_test.cc.o.d"
+  "paper_cases_test"
+  "paper_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

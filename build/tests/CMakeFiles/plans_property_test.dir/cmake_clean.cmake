@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plans_property_test.dir/plans_property_test.cc.o"
+  "CMakeFiles/plans_property_test.dir/plans_property_test.cc.o.d"
+  "plans_property_test"
+  "plans_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plans_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

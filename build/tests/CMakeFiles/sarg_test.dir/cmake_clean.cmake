@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarg_test.dir/sarg_test.cc.o"
+  "CMakeFiles/sarg_test.dir/sarg_test.cc.o.d"
+  "sarg_test"
+  "sarg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
