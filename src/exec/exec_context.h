@@ -21,6 +21,8 @@ struct ExecStats {
   uint64_t page_fetches = 0;
   uint64_t page_writes = 0;
   uint64_t rsi_calls = 0;
+  uint64_t subquery_evals = 0;       // Nested blocks actually executed.
+  uint64_t subquery_cache_hits = 0;  // §6 same-outer-value cache reuses.
 
   uint64_t page_io() const { return page_fetches + page_writes; }
   /// The paper's COST formula applied to measured counters.
@@ -65,6 +67,11 @@ class ExecContext {
   };
   SubqueryCache& CacheFor(const BoundQueryBlock* block) {
     return caches_[block];
+  }
+  /// Read-only view of all subquery caches, for post-run metering.
+  const std::map<const BoundQueryBlock*, SubqueryCache>& subquery_caches()
+      const {
+    return caches_;
   }
 
   /// (levels-up, offset) pairs of the outer values `block` references; used

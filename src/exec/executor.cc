@@ -68,6 +68,10 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
   result.stats.page_fetches = after.page_fetches - before.page_fetches;
   result.stats.page_writes = after.page_writes - before.page_writes;
   result.stats.rsi_calls = after.rsi_calls - before.rsi_calls;
+  for (const auto& [sub_block, cache] : ctx->subquery_caches()) {
+    result.stats.subquery_evals += cache.evaluations;
+    result.stats.subquery_cache_hits += cache.hits;
+  }
   result.actual_cost = result.stats.ActualCost(ctx->w());
   return result;
 }

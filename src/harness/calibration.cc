@@ -1,0 +1,174 @@
+#include "harness/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace systemr {
+
+namespace {
+
+double ChildrenCost(const PlanNode& node) {
+  double c = 0;
+  if (node.left != nullptr) c += node.left->est_cost;
+  if (node.right != nullptr) c += node.right->est_cost;
+  return c;
+}
+
+PlanIo Walk(const PlanNode& node, double w) {
+  switch (node.kind) {
+    case PlanKind::kSegScan:
+    case PlanKind::kIndexScan:
+      return {node.est_pages, node.est_rsi};
+    case PlanKind::kNestedLoopJoin: {
+      // C-outer + N * C-inner (§5): the inner subtree's estimates are
+      // per-probe, scaled by the expected outer cardinality.
+      PlanIo outer = Walk(*node.left, w);
+      PlanIo inner = Walk(*node.right, w);
+      double n = node.left != nullptr ? std::max(1.0, node.left->est_rows) : 1;
+      return {outer.pages + n * inner.pages, outer.rsi + n * inner.rsi};
+    }
+    case PlanKind::kMergeJoin: {
+      PlanIo io = Walk(*node.left, w);
+      PlanIo inner = Walk(*node.right, w);
+      io.pages += inner.pages;
+      io.rsi += inner.rsi;
+      // Residual merge cost (repeat scans of matching groups): RSI work.
+      double delta = node.est_cost - ChildrenCost(node);
+      if (delta > 0 && w > 0) io.rsi += delta / w;
+      return io;
+    }
+    case PlanKind::kSort: {
+      PlanIo io = node.left != nullptr ? Walk(*node.left, w) : PlanIo{};
+      // SortCost = input + temp-page I/O + W * rows: the W*rows term is RSI,
+      // the rest of the delta is temp-page traffic.
+      double delta = node.est_cost - ChildrenCost(node);
+      io.rsi += node.est_rows;
+      io.pages += std::max(0.0, delta - w * node.est_rows);
+      return io;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kAggregate: {
+      // Pure evaluation work (plus, for filters, any nested subquery plans
+      // folded into est_cost): attributed to the RSI component.
+      PlanIo io = node.left != nullptr ? Walk(*node.left, w) : PlanIo{};
+      double delta = node.est_cost - ChildrenCost(node);
+      if (delta > 0 && w > 0) io.rsi += delta / w;
+      return io;
+    }
+  }
+  return {};
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * (v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+PlanIo EstimatePlanIo(const PlanNode& root, double w) {
+  PlanIo io = Walk(root, w);
+  // Normalize so the decomposition sums back to the root estimate exactly:
+  // the per-node attribution is heuristic, the total COST is not.
+  double combined = io.pages + w * io.rsi;
+  if (combined > 0 && root.est_cost > 0) {
+    double scale = root.est_cost / combined;
+    io.pages *= scale;
+    io.rsi *= scale;
+  }
+  return io;
+}
+
+double QError(double est, double actual) {
+  double e = std::max(est, 1.0);
+  double a = std::max(actual, 1.0);
+  return std::max(e / a, a / e);
+}
+
+Status WriteFuzzReport(const FuzzReport& report, const std::string& path) {
+  std::vector<double> q_cost, q_pages, q_rsi, q_rows;
+  for (const CalibrationRecord& r : report.records) {
+    q_cost.push_back(QError(r.est_cost, r.actual_cost));
+    q_pages.push_back(QError(r.est_pages, static_cast<double>(r.actual_pages)));
+    q_rsi.push_back(QError(r.est_rsi, static_cast<double>(r.actual_rsi)));
+    q_rows.push_back(QError(r.est_rows, static_cast<double>(r.actual_rows)));
+  }
+
+  std::string out = "{\n";
+  out += "  \"seeds\": " + std::to_string(report.seeds) + ",\n";
+  out += "  \"queries\": " + std::to_string(report.queries) + ",\n";
+  out += "  \"violations\": " + std::to_string(report.violations.size()) +
+         ",\n";
+  out += "  \"violation_messages\": [";
+  for (size_t i = 0; i < report.violations.size(); ++i) {
+    out += i > 0 ? ", " : "";
+    out += "\"";
+    AppendEscaped(&out, report.violations[i]);
+    out += "\"";
+  }
+  out += "],\n";
+  out += "  \"qerror\": {\n";
+  out += "    \"cost_median\": " + Num(Percentile(q_cost, 0.5)) + ",\n";
+  out += "    \"cost_p90\": " + Num(Percentile(q_cost, 0.9)) + ",\n";
+  out += "    \"pages_median\": " + Num(Percentile(q_pages, 0.5)) + ",\n";
+  out += "    \"pages_p90\": " + Num(Percentile(q_pages, 0.9)) + ",\n";
+  out += "    \"rsi_median\": " + Num(Percentile(q_rsi, 0.5)) + ",\n";
+  out += "    \"rsi_p90\": " + Num(Percentile(q_rsi, 0.9)) + ",\n";
+  out += "    \"rows_median\": " + Num(Percentile(q_rows, 0.5)) + ",\n";
+  out += "    \"rows_p90\": " + Num(Percentile(q_rows, 0.9)) + "\n";
+  out += "  },\n";
+  out += "  \"records\": [\n";
+  for (size_t i = 0; i < report.records.size(); ++i) {
+    const CalibrationRecord& r = report.records[i];
+    out += "    {\"seed\": " + std::to_string(r.seed) + ", \"sql\": \"";
+    AppendEscaped(&out, r.sql);
+    out += "\", \"est_cost\": " + Num(r.est_cost);
+    out += ", \"actual_cost\": " + Num(r.actual_cost);
+    out += ", \"est_pages\": " + Num(r.est_pages);
+    out += ", \"actual_pages\": " + std::to_string(r.actual_pages);
+    out += ", \"est_rsi\": " + Num(r.est_rsi);
+    out += ", \"actual_rsi\": " + std::to_string(r.actual_rsi);
+    out += ", \"est_rows\": " + Num(r.est_rows);
+    out += ", \"actual_rows\": " + std::to_string(r.actual_rows);
+    out += ", \"page_fetch_ratio\": " +
+           Num(r.actual_pages > 0 ? r.est_pages / r.actual_pages
+                                  : r.est_pages);
+    out += "}";
+    out += i + 1 < report.records.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open report file: " + path);
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace systemr

@@ -1,0 +1,59 @@
+// Cost-calibration oracle: decomposes a plan's estimated cost back into the
+// paper's two components (PAGE FETCHES and RSI CALLS), records them next to
+// the metered actuals, and serializes a JSON report so the q-error trajectory
+// can be tracked across PRs.
+#ifndef SYSTEMR_HARNESS_CALIBRATION_H_
+#define SYSTEMR_HARNESS_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/plan.h"
+
+namespace systemr {
+
+struct PlanIo {
+  double pages = 0;
+  double rsi = 0;
+};
+
+/// Estimated page I/O and RSI calls for the whole plan tree. Scan nodes carry
+/// exact per-component estimates; composite nodes only carry the combined
+/// COST, so their delta is attributed per node kind (sorts charge W*rows of
+/// RSI plus temp-page I/O; projections/aggregations are pure RSI work) and
+/// the total is then normalized so pages + w*rsi equals the root's est_cost.
+PlanIo EstimatePlanIo(const PlanNode& root, double w);
+
+/// One fuzzed query's estimated-vs-actual record.
+struct CalibrationRecord {
+  uint64_t seed = 0;
+  std::string sql;
+  double est_cost = 0;
+  double actual_cost = 0;
+  double est_pages = 0;
+  uint64_t actual_pages = 0;  // Metered fetches + writes.
+  double est_rsi = 0;
+  uint64_t actual_rsi = 0;
+  double est_rows = 0;
+  uint64_t actual_rows = 0;
+};
+
+struct FuzzReport {
+  uint64_t seeds = 0;
+  uint64_t queries = 0;
+  std::vector<std::string> violations;
+  std::vector<CalibrationRecord> records;
+};
+
+/// q-error of an estimate: max(est/actual, actual/est), with both sides
+/// clamped to 1 below so zero/near-zero counts do not explode the ratio.
+double QError(double est, double actual);
+
+/// Writes the report as JSON: a summary block (violation count, median and
+/// p90 q-error for cost / pages / rsi) plus one record per query.
+Status WriteFuzzReport(const FuzzReport& report, const std::string& path);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_HARNESS_CALIBRATION_H_

@@ -1,0 +1,79 @@
+#include "harness/differ.h"
+
+#include <algorithm>
+
+namespace systemr {
+
+bool RowLexLess(const Row& a, const Row& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+namespace {
+
+bool RowLexEq(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<Row> Sorted(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), RowLexLess);
+  return rows;
+}
+
+}  // namespace
+
+bool SameRowMultiset(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<Row> sa = Sorted(a), sb = Sorted(b);
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (!RowLexEq(sa[i], sb[i])) return false;
+  }
+  return true;
+}
+
+bool RowsSorted(const std::vector<Row>& rows,
+                const std::vector<std::pair<size_t, bool>>& keys) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    for (const auto& [pos, asc] : keys) {
+      if (pos >= rows[i].size()) return false;
+      int c = rows[i - 1][pos].Compare(rows[i][pos]);
+      if (!asc) c = -c;
+      if (c < 0) break;             // Strictly ordered on this key.
+      if (c > 0) return false;      // Out of order.
+    }
+  }
+  return true;
+}
+
+std::string DiffSummary(const std::vector<Row>& expected,
+                        const std::vector<Row>& actual, size_t max_rows) {
+  std::string s = "expected " + std::to_string(expected.size()) +
+                  " rows, got " + std::to_string(actual.size());
+  std::vector<Row> se = Sorted(expected), sa = Sorted(actual);
+  // Walk both sorted lists; report the first few one-sided rows.
+  size_t i = 0, j = 0, shown = 0;
+  while ((i < se.size() || j < sa.size()) && shown < max_rows) {
+    if (j >= sa.size() || (i < se.size() && RowLexLess(se[i], sa[j]))) {
+      s += "; missing " + RowToString(se[i]);
+      ++i;
+      ++shown;
+    } else if (i >= se.size() || RowLexLess(sa[j], se[i])) {
+      s += "; unexpected " + RowToString(sa[j]);
+      ++j;
+      ++shown;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return s;
+}
+
+}  // namespace systemr

@@ -1,0 +1,33 @@
+// Row-multiset comparison for differential testing: results are compared as
+// unordered multisets (sorted lexicographically by Value::Compare first), so
+// plan-dependent output order never causes a false mismatch.
+#ifndef SYSTEMR_HARNESS_DIFFER_H_
+#define SYSTEMR_HARNESS_DIFFER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+
+namespace systemr {
+
+/// Lexicographic row order over Value::Compare (shorter rows first on ties).
+bool RowLexLess(const Row& a, const Row& b);
+
+/// True iff `a` and `b` contain the same rows with the same multiplicities.
+bool SameRowMultiset(const std::vector<Row>& a, const std::vector<Row>& b);
+
+/// True iff `rows` is non-decreasing under the (select position, ascending)
+/// keys; ties may appear in any order.
+bool RowsSorted(const std::vector<Row>& rows,
+                const std::vector<std::pair<size_t, bool>>& keys);
+
+/// A short human-readable account of how two multisets differ (counts plus
+/// up to `max_rows` example rows present on one side only).
+std::string DiffSummary(const std::vector<Row>& expected,
+                        const std::vector<Row>& actual, size_t max_rows = 3);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_HARNESS_DIFFER_H_

@@ -1,0 +1,190 @@
+#include "harness/fuzz_session.h"
+
+#include <utility>
+
+#include "db/database.h"
+#include "harness/differ.h"
+#include "harness/ref_executor.h"
+#include "workload/querygen.h"
+
+namespace systemr {
+
+namespace {
+
+// Page lists per relation, read once from the catalog so the reference
+// executor can scan raw heap pages without touching any engine scan code.
+std::unordered_map<RelId, std::vector<PageId>> RelPageMap(Database* db) {
+  std::unordered_map<RelId, std::vector<PageId>> map;
+  const Catalog& catalog = db->catalog();
+  for (size_t i = 0; i < catalog.num_tables(); ++i) {
+    const TableInfo* t = catalog.table(static_cast<RelId>(i));
+    map[t->id] = db->rss().segment(t->segment)->pages();
+  }
+  return map;
+}
+
+struct Violation {
+  std::vector<std::string>* sink;
+  uint64_t seed;
+  const std::string* sql;
+
+  void Add(const std::string& oracle, const std::string& detail) {
+    sink->push_back("seed=" + std::to_string(seed) + " oracle=" + oracle +
+                    " sql=[" + *sql + "] " + detail);
+  }
+};
+
+// Runs `sql` through Prepare+Run and compares against the reference rows.
+// Returns true if the query executed (regardless of comparison outcome).
+bool RunAndCompare(Database* db, const std::string& sql,
+                   const std::vector<Row>& ref_rows, const std::string& oracle,
+                   Violation* v) {
+  auto prepared = db->Prepare(sql);
+  if (!prepared.ok()) {
+    v->Add(oracle, "prepare failed: " + prepared.status().message());
+    return false;
+  }
+  auto result = db->Run(*prepared);
+  if (!result.ok()) {
+    v->Add(oracle, "run failed: " + result.status().message());
+    return false;
+  }
+  if (!SameRowMultiset(ref_rows, result->rows)) {
+    v->Add(oracle, DiffSummary(ref_rows, result->rows));
+  }
+  return true;
+}
+
+}  // namespace
+
+SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
+                       FuzzReport* report) {
+  SeedResult out;
+  out.seed = seed;
+
+  auto family = static_cast<FuzzSchema::Family>(seed % 3);
+  FuzzSchema schema = MakeFuzzSchema(family, seed);
+
+  Database db(64);
+  Database twin(64);  // Identical data, no secondary indexes.
+  Status built = BuildFuzzSchema(&db, schema, seed, /*secondary_indexes=*/true);
+  if (built.ok()) {
+    built = BuildFuzzSchema(&twin, schema, seed, /*secondary_indexes=*/false);
+  }
+  if (!built.ok()) {
+    out.violations.push_back("seed=" + std::to_string(seed) +
+                             " oracle=schema-build " + built.message());
+    return out;
+  }
+
+  RefExecutor ref(&db.rss().store(), RelPageMap(&db));
+  FuzzQueryGen gen(schema, seed ^ 0x9e3779b97f4a7c15ULL);
+  Rng shuffle_rng(seed ^ 0xdeadbeefULL);
+
+  for (int qi = 0; qi < options.queries_per_seed; ++qi) {
+    GeneratedQuery q = gen.Next();
+    std::string sql = q.Sql();
+    ++out.queries;
+    Violation v{&out.violations, seed, &sql};
+
+    auto prepared = db.Prepare(sql);
+    if (!prepared.ok()) {
+      v.Add("prepare", prepared.status().message());
+      continue;
+    }
+    auto ref_rows = ref.Execute(*prepared->block);
+    if (!ref_rows.ok()) {
+      v.Add("reference", ref_rows.status().message());
+      continue;
+    }
+
+    // Differential oracle: DP plan vs. the reference executor.
+    auto dp = db.Run(*prepared);
+    if (!dp.ok()) {
+      v.Add("dp-run", dp.status().message());
+      continue;
+    }
+    if (!SameRowMultiset(*ref_rows, dp->rows)) {
+      v.Add("dp-diff", DiffSummary(*ref_rows, dp->rows));
+      continue;  // Downstream oracles would only repeat the mismatch.
+    }
+
+    // Ordering oracle: ORDER BY keys map to select positions by design.
+    if (!q.order_positions.empty() &&
+        !RowsSorted(dp->rows, q.order_positions)) {
+      v.Add("order-by", "engine output not sorted per ORDER BY");
+    }
+
+    if (options.record_calibration && report != nullptr) {
+      PlanIo est = EstimatePlanIo(*prepared->root, db.options().cost.w);
+      CalibrationRecord rec;
+      rec.seed = seed;
+      rec.sql = sql;
+      rec.est_cost = prepared->est_cost;
+      rec.actual_cost = dp->actual_cost;
+      rec.est_pages = est.pages;
+      rec.actual_pages = dp->stats.page_io();
+      rec.est_rsi = est.rsi;
+      rec.actual_rsi = dp->stats.rsi_calls;
+      rec.est_rows = prepared->est_rows;
+      rec.actual_rows = dp->rows.size();
+      report->records.push_back(std::move(rec));
+    }
+
+    // Differential oracle: every baseline join strategy.
+    if (options.check_baselines) {
+      for (BaselineKind kind :
+           {BaselineKind::kSyntacticNestedLoop, BaselineKind::kGreedy}) {
+        auto base = db.PrepareBaseline(sql, kind);
+        if (!base.ok()) {
+          v.Add("baseline-prepare", base.status().message());
+          continue;
+        }
+        auto run = db.Run(*base);
+        if (!run.ok()) {
+          v.Add("baseline-run", run.status().message());
+          continue;
+        }
+        if (!SameRowMultiset(*ref_rows, run->rows)) {
+          v.Add("baseline-diff", DiffSummary(*ref_rows, run->rows));
+        }
+      }
+    }
+
+    if (options.metamorphic) {
+      // Conjunct shuffling must not change results.
+      if (q.conjuncts.size() > 1) {
+        std::vector<size_t> perm(q.conjuncts.size());
+        for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+        for (size_t i = perm.size() - 1; i > 0; --i) {
+          std::swap(perm[i],
+                    perm[shuffle_rng.Uniform(0, static_cast<int64_t>(i))]);
+        }
+        std::string shuffled = q.Sql(&perm);
+        RunAndCompare(&db, shuffled, *ref_rows, "shuffle", &v);
+      }
+
+      // The W cost knob steers plan choice, never results.
+      double saved_w = db.options().cost.w;
+      for (double w : {0.0, 4.0}) {
+        db.options().cost.w = w;
+        RunAndCompare(&db, sql, *ref_rows, "w-variation", &v);
+      }
+      db.options().cost.w = saved_w;
+
+      // Dropping every secondary index (the twin database) forces different
+      // access paths over identical data.
+      RunAndCompare(&twin, sql, *ref_rows, "index-drop", &v);
+    }
+  }
+
+  if (report != nullptr) {
+    ++report->seeds;
+    report->queries += out.queries;
+    report->violations.insert(report->violations.end(),
+                              out.violations.begin(), out.violations.end());
+  }
+  return out;
+}
+
+}  // namespace systemr

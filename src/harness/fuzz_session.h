@@ -1,0 +1,45 @@
+// One fuzzing iteration: build a random schema family (chain / star /
+// snowflake, plus an empty table and an all-duplicates column), generate
+// random queries, and run every oracle against each:
+//
+//   differential — the reference executor, the DP plan, and every baseline
+//     strategy must return the same row multiset;
+//   metamorphic  — shuffling WHERE conjuncts, re-planning with W = 0 and a
+//     large W, and planning against a twin database loaded with identical
+//     data but no secondary indexes must never change the result;
+//   ordering     — when the query has ORDER BY, the engine's projected
+//     output must actually be sorted;
+//   calibration  — estimated cost / page fetches / RSI calls are recorded
+//     next to the metered actuals for the fuzz report.
+#ifndef SYSTEMR_HARNESS_FUZZ_SESSION_H_
+#define SYSTEMR_HARNESS_FUZZ_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/calibration.h"
+
+namespace systemr {
+
+struct FuzzOptions {
+  int queries_per_seed = 6;
+  bool check_baselines = true;   // Differential vs. every BaselineKind.
+  bool metamorphic = true;       // Shuffle / W-variation / index-drop.
+  bool record_calibration = true;
+};
+
+struct SeedResult {
+  uint64_t seed = 0;
+  uint64_t queries = 0;
+  std::vector<std::string> violations;  // Empty = all oracles passed.
+};
+
+/// Runs one fully deterministic fuzz iteration for `seed`, appending its
+/// violations and calibration records to `report` (which may be null).
+SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
+                       FuzzReport* report);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_HARNESS_FUZZ_SESSION_H_

@@ -49,6 +49,98 @@ class QueryGen {
   Rng rng_;
 };
 
+// ---------------------------------------------------------------------------
+// Fuzzing extension (src/harness): schema families beyond the chain, and a
+// query generator that emits *structured* queries so the harness can apply
+// metamorphic transformations (conjunct shuffling) without re-parsing SQL.
+// ---------------------------------------------------------------------------
+
+struct FuzzColumn {
+  std::string name;
+  int64_t domain = 8;  // Values drawn from [0, domain); domain 1 = all dups.
+};
+
+struct FuzzTable {
+  std::string name;
+  int64_t rows = 0;
+
+  struct Link {
+    std::string fk_column;  // Column of this table.
+    int target = 0;         // Index into FuzzSchema::tables; joins FK = PK.
+  };
+  std::vector<Link> links;
+  std::vector<FuzzColumn> payload;  // Non-key columns (A, B, D...).
+};
+
+/// A generated database shape: chain, star, or snowflake of F-tables plus a
+/// deliberately empty table, every table carrying a sequential unique PK.
+struct FuzzSchema {
+  enum class Family { kChain, kStar, kSnowflake };
+  Family family = Family::kChain;
+  std::vector<FuzzTable> tables;
+
+  const FuzzTable& table(int i) const { return tables[i]; }
+};
+
+/// Derives the table shapes (cardinalities, domains, link structure) for one
+/// family from `seed`. Purely descriptive; no database is touched.
+FuzzSchema MakeFuzzSchema(FuzzSchema::Family family, uint64_t seed);
+
+/// Creates and loads every table of `schema` into `db`. The row data drawn
+/// from `seed` is byte-identical whether or not `secondary_indexes` is set
+/// (only the PK index exists when false) — the basis for the harness's
+/// drop-the-indexes metamorphic oracle.
+Status BuildFuzzSchema(Database* db, const FuzzSchema& schema, uint64_t seed,
+                       bool secondary_indexes);
+
+/// A query in structured form: the WHERE clause is kept as a list of
+/// conjuncts so the harness can emit semantically identical permutations.
+struct GeneratedQuery {
+  std::string select_clause;           // Rendered list, without "SELECT".
+  bool distinct = false;
+  std::vector<std::string> from;       // Table names, FROM-list order.
+  std::vector<std::string> conjuncts;  // ANDed; OR groups pre-parenthesized.
+  std::vector<std::string> group_by;   // Qualified columns, or empty.
+  std::string having;                  // Without "HAVING", or empty.
+  std::string order_by;                // Without "ORDER BY", or empty.
+
+  /// (select-list position, ascending) for each ORDER BY key. The generator
+  /// only orders by selected columns, so the harness can check sortedness of
+  /// the engine's projected output directly.
+  std::vector<std::pair<size_t, bool>> order_positions;
+
+  /// Renders SQL. `perm`, if given, is a permutation of conjunct indexes.
+  std::string Sql(const std::vector<size_t>* perm = nullptr) const;
+};
+
+class FuzzQueryGen {
+ public:
+  FuzzQueryGen(const FuzzSchema& schema, uint64_t seed)
+      : schema_(schema), rng_(seed) {}
+
+  /// The next random query: single-table / join / aggregate / subquery
+  /// shapes with =, <>, ranges, BETWEEN, IN-list, IN-subquery, OR/NOT
+  /// mixes, DISTINCT, GROUP BY + HAVING, and ORDER BY.
+  GeneratedQuery Next();
+
+ private:
+  // A column usable in predicates: qualified name + its value domain.
+  struct ColRef {
+    std::string qualified;
+    int64_t domain = 0;
+  };
+  std::vector<ColRef> Columns(int table) const;
+  int64_t Literal(int64_t domain);
+  std::string SimpleCompare(const ColRef& c);
+  std::string Conjunct(const std::vector<int>& scope);
+  std::string SubqueryConjunct(int outer_table);
+  void AddSelectAndOrder(const std::vector<int>& scope, GeneratedQuery* q);
+  GeneratedQuery AggregateQuery();
+
+  FuzzSchema schema_;
+  Rng rng_;
+};
+
 }  // namespace systemr
 
 #endif  // SYSTEMR_WORKLOAD_QUERYGEN_H_

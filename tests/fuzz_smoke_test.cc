@@ -1,0 +1,79 @@
+// Tier-1 smoke run of the differential fuzzing harness: 50 fixed seeds with
+// every oracle enabled must produce zero violations, deterministically.
+#include <gtest/gtest.h>
+
+#include "harness/differ.h"
+#include "harness/fuzz_session.h"
+
+namespace systemr {
+namespace {
+
+TEST(FuzzSmokeTest, FiftySeedsAllOraclesClean) {
+  FuzzOptions options;
+  options.queries_per_seed = 4;
+  FuzzReport report;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    SeedResult result = RunFuzzSeed(seed, options, &report);
+    for (const std::string& v : result.violations) {
+      ADD_FAILURE() << v;
+    }
+  }
+  EXPECT_EQ(report.seeds, 50u);
+  EXPECT_EQ(report.queries, 200u);
+  EXPECT_FALSE(report.records.empty());
+  // Every calibration record carries a finite, non-negative cost estimate
+  // (empty-table queries may legitimately estimate zero).
+  bool any_positive = false;
+  for (const CalibrationRecord& r : report.records) {
+    EXPECT_GE(r.est_cost, 0.0) << r.sql;
+    any_positive |= r.est_cost > 0.0;
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(FuzzSmokeTest, Deterministic) {
+  FuzzOptions options;
+  options.queries_per_seed = 3;
+  FuzzReport a, b;
+  RunFuzzSeed(7, options, &a);
+  RunFuzzSeed(7, options, &b);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].sql, b.records[i].sql);
+    EXPECT_EQ(a.records[i].actual_rows, b.records[i].actual_rows);
+    EXPECT_DOUBLE_EQ(a.records[i].est_cost, b.records[i].est_cost);
+  }
+}
+
+// The oracles are only trustworthy if the comparator itself can fail: feed
+// it deliberate mismatches.
+TEST(FuzzSmokeTest, DifferDetectsMismatches) {
+  std::vector<Row> a = {{Value::Int(1), Value::Int(2)},
+                        {Value::Int(3), Value::Int(4)}};
+  std::vector<Row> reordered = {a[1], a[0]};
+  EXPECT_TRUE(SameRowMultiset(a, reordered));
+
+  std::vector<Row> missing = {a[0]};
+  EXPECT_FALSE(SameRowMultiset(a, missing));
+
+  std::vector<Row> duplicated = {a[0], a[0]};
+  EXPECT_FALSE(SameRowMultiset(a, duplicated));  // Multiplicities matter.
+
+  std::vector<Row> null_vs_zero = {{Value::Int(1), Value::Null()},
+                                   {Value::Int(3), Value::Int(4)}};
+  EXPECT_FALSE(SameRowMultiset(a, null_vs_zero));
+
+  EXPECT_NE(DiffSummary(a, missing), DiffSummary(a, a));
+}
+
+TEST(FuzzSmokeTest, SortednessOracleDetectsDisorder) {
+  std::vector<Row> asc = {{Value::Int(1)}, {Value::Int(2)}, {Value::Int(2)}};
+  EXPECT_TRUE(RowsSorted(asc, {{0, true}}));
+  EXPECT_FALSE(RowsSorted(asc, {{0, false}}));
+  std::vector<Row> desc = {{Value::Int(5)}, {Value::Int(3)}};
+  EXPECT_TRUE(RowsSorted(desc, {{0, false}}));
+  EXPECT_FALSE(RowsSorted(desc, {{0, true}}));
+}
+
+}  // namespace
+}  // namespace systemr

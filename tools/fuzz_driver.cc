@@ -1,0 +1,84 @@
+// fuzz_driver: differential + metamorphic fuzzing of the optimizer and
+// executor against the trusted reference executor.
+//
+//   fuzz_driver [--seeds N] [--queries M] [--start S] [--out PATH]
+//               [--no-baselines] [--no-metamorphic]
+//
+// Every iteration is fully determined by its seed: to reproduce a reported
+// failure run `fuzz_driver --seeds 1 --start <seed>`.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/fuzz_session.h"
+
+int main(int argc, char** argv) {
+  uint64_t seeds = 100;
+  uint64_t start = 1;
+  std::string out_path = "fuzz_report.json";
+  systemr::FuzzOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      seeds = std::strtoull(need_value("--seeds"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      options.queries_per_seed =
+          static_cast<int>(std::strtol(need_value("--queries"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--start") == 0) {
+      start = std::strtoull(need_value("--start"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = need_value("--out");
+    } else if (std::strcmp(argv[i], "--no-baselines") == 0) {
+      options.check_baselines = false;
+    } else if (std::strcmp(argv[i], "--no-metamorphic") == 0) {
+      options.metamorphic = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_driver [--seeds N] [--queries M] [--start S] "
+                   "[--out PATH] [--no-baselines] [--no-metamorphic]\n");
+      return 2;
+    }
+  }
+
+  systemr::FuzzReport report;
+  uint64_t failed_seeds = 0;
+  for (uint64_t seed = start; seed < start + seeds; ++seed) {
+    systemr::SeedResult result = systemr::RunFuzzSeed(seed, options, &report);
+    if (!result.violations.empty()) {
+      ++failed_seeds;
+      for (const std::string& v : result.violations) {
+        std::fprintf(stderr, "VIOLATION %s\n", v.c_str());
+      }
+    }
+    if ((seed - start + 1) % 50 == 0) {
+      std::printf("... %llu/%llu seeds, %zu violations\n",
+                  static_cast<unsigned long long>(seed - start + 1),
+                  static_cast<unsigned long long>(seeds),
+                  report.violations.size());
+      std::fflush(stdout);
+    }
+  }
+
+  systemr::Status st = systemr::WriteFuzzReport(report, out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n", st.message().c_str());
+    return 2;
+  }
+  std::printf(
+      "fuzz_driver: %llu seeds, %llu queries, %zu violations (%llu bad "
+      "seeds); report: %s\n",
+      static_cast<unsigned long long>(report.seeds),
+      static_cast<unsigned long long>(report.queries),
+      report.violations.size(),
+      static_cast<unsigned long long>(failed_seeds), out_path.c_str());
+  return report.violations.empty() ? 0 : 1;
+}
