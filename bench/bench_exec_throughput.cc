@@ -1,0 +1,234 @@
+// bench_exec_throughput — wall-clock executor throughput (BENCH_3.json).
+//
+// The paper's COST formula charges W per RSI call on the assumption that the
+// CPU side of a call is a small constant (§4). This bench measures what that
+// constant actually is for our executor, in nanoseconds per tuple, on three
+// workloads over the synthetic chain catalog:
+//
+//   scan  — segment scan of R0 with a non-sargable residual predicate, so
+//           every tuple pays one RSI call plus expression evaluation;
+//   join  — three-way FK=PK join with a cross-table residual, exercising the
+//           per-outer-row inner rebind and the composite-row path;
+//   subq  — correlated scalar-aggregate subquery re-evaluated per distinct
+//           outer value (§6).
+//
+// Each workload is prepared once and executed repeatedly for a fixed
+// minimum wall time; the report records output rows/sec and ns per RSI
+// tuple. Numbers are machine-dependent: the trajectory across PRs (and the
+// recorded pre-overhaul baseline) is the signal, not the absolute values.
+//
+//   bench_exec_throughput [--out PATH] [--min-ms N]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/querygen.h"
+
+namespace systemr {
+namespace bench {
+namespace {
+
+// Pre-overhaul (PR 2 executor) reference numbers, measured with this bench
+// at 600 ms/workload on the CI-class container that produced EXPERIMENTS.md
+// ("Wall-clock performance"). Kept in the report so every later BENCH_3.json
+// carries the trajectory origin.
+struct BaselineRef {
+  const char* name;
+  double rows_per_sec;
+  double ns_per_tuple;
+};
+constexpr BaselineRef kPrePrBaseline[] = {
+    {"scan", 656658.9, 463.1},
+    {"join", 47317.2, 3022.2},
+    {"subq", 1051.4, 229.8},
+};
+
+struct WorkloadResult {
+  std::string name;
+  std::string sql;
+  std::string plan;
+  uint64_t iters = 0;
+  uint64_t rows_per_iter = 0;
+  uint64_t rsi_per_iter = 0;
+  uint64_t subquery_evals_per_iter = 0;
+  double wall_ms = 0;
+  double rows_per_sec = 0;
+  double tuples_per_sec = 0;
+  double ns_per_tuple = 0;
+};
+
+std::string PlanSummary(const PlanRef& node) {
+  if (node == nullptr) return "";
+  std::string s = PlanKindName(node->kind);
+  std::string l = PlanSummary(node->left);
+  std::string r = PlanSummary(node->right);
+  if (!l.empty() || !r.empty()) {
+    s += "(" + l;
+    if (!r.empty()) s += "," + r;
+    s += ")";
+  }
+  return s;
+}
+
+WorkloadResult RunWorkload(Database* db, const std::string& name,
+                           const std::string& sql, int min_ms) {
+  WorkloadResult res;
+  res.name = name;
+  res.sql = sql;
+  OptimizedQuery q = Unwrap(db->Prepare(sql));
+  res.plan = PlanSummary(q.root);
+
+  // Warm-up run (also captures the per-iteration counters).
+  ExecResult warm = ExecuteCold(db, *q.block, q.root, &q.subquery_plans);
+  res.rows_per_iter = warm.rows.size();
+  res.rsi_per_iter = warm.stats.rsi_calls;
+  res.subquery_evals_per_iter = warm.stats.subquery_evals;
+
+  using Clock = std::chrono::steady_clock;
+  auto start = Clock::now();
+  auto deadline = start + std::chrono::milliseconds(min_ms);
+  uint64_t iters = 0;
+  do {
+    ExecResult r = ExecuteCold(db, *q.block, q.root, &q.subquery_plans);
+    if (r.rows.size() != res.rows_per_iter) {
+      std::fprintf(stderr, "unstable result size in %s\n", name.c_str());
+      std::abort();
+    }
+    ++iters;
+  } while (Clock::now() < deadline);
+  double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  res.iters = iters;
+  res.wall_ms = ns / 1e6;
+  double per_iter_ns = ns / static_cast<double>(iters);
+  res.rows_per_sec =
+      static_cast<double>(res.rows_per_iter) * 1e9 / per_iter_ns;
+  res.tuples_per_sec =
+      static_cast<double>(res.rsi_per_iter) * 1e9 / per_iter_ns;
+  res.ns_per_tuple =
+      res.rsi_per_iter == 0
+          ? 0
+          : per_iter_ns / static_cast<double>(res.rsi_per_iter);
+  return res;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_3.json";
+  std::string only;  // Empty = all workloads.
+  int min_ms = 600;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-ms") == 0 && i + 1 < argc) {
+      min_ms = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_exec_throughput [--out PATH] [--min-ms N] "
+                   "[--only WORKLOAD]\n");
+      return 2;
+    }
+  }
+
+  Database db(256);
+  ChainSchemaSpec spec;
+  spec.num_tables = 3;
+  spec.base_rows = 20000;
+  spec.shrink = 0.5;
+  spec.a_domain = 100;
+  spec.b_domain = 100;
+  Die(BuildChainSchema(&db, spec, 1979));
+
+  const struct {
+    const char* name;
+    const char* sql;
+  } kWorkloads[] = {
+      // Non-sargable residual (arithmetic + OR) over every R0 tuple.
+      {"scan",
+       "SELECT R0.PK, R0.A, R0.B FROM R0 "
+       "WHERE R0.A + R0.B < 60 OR R0.B BETWEEN 5 AND 25"},
+      // Three-way FK=PK chain join with a cross-table residual per pair.
+      {"join",
+       "SELECT R0.PK, R2.A FROM R0, R1, R2 "
+       "WHERE R0.FK = R1.PK AND R1.FK = R2.PK AND R0.A + R2.B < 70"},
+      // Correlated scalar-aggregate subquery (§6), one evaluation per
+      // distinct outer FK (the same-value cache absorbs repeats).
+      {"subq",
+       "SELECT X.PK FROM R1 X "
+       "WHERE X.B <= (SELECT MAX(R2.A) FROM R2 WHERE R2.PK = X.FK)"},
+  };
+
+  Header("BENCH 3 — executor wall-clock throughput");
+  std::printf("%6s | %10s %9s %8s | %12s %12s %9s\n", "wkld", "rows/iter",
+              "rsi/iter", "iters", "rows/sec", "tuples/sec", "ns/tuple");
+
+  std::vector<WorkloadResult> results;
+  for (const auto& w : kWorkloads) {
+    if (!only.empty() && only != w.name) continue;
+    WorkloadResult r = RunWorkload(&db, w.name, w.sql, min_ms);
+    std::printf("%6s | %10llu %9llu %8llu | %12s %12s %9s\n", r.name.c_str(),
+                (unsigned long long)r.rows_per_iter,
+                (unsigned long long)r.rsi_per_iter,
+                (unsigned long long)r.iters, Num(r.rows_per_sec).c_str(),
+                Num(r.tuples_per_sec).c_str(), Num(r.ns_per_tuple).c_str());
+    results.push_back(std::move(r));
+  }
+
+  std::string out = "{\n  \"bench\": \"exec_throughput\",\n";
+  out += "  \"min_ms_per_workload\": " + std::to_string(min_ms) + ",\n";
+  out += "  \"workloads\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    out += "    {\"name\": \"" + r.name + "\"";
+    out += ", \"plan\": \"" + r.plan + "\"";
+    out += ", \"iters\": " + std::to_string(r.iters);
+    out += ", \"rows_per_iter\": " + std::to_string(r.rows_per_iter);
+    out += ", \"rsi_calls_per_iter\": " + std::to_string(r.rsi_per_iter);
+    out += ", \"subquery_evals_per_iter\": " +
+           std::to_string(r.subquery_evals_per_iter);
+    out += ", \"wall_ms\": " + Num(r.wall_ms);
+    out += ", \"rows_per_sec\": " + Num(r.rows_per_sec);
+    out += ", \"tuples_per_sec\": " + Num(r.tuples_per_sec);
+    out += ", \"ns_per_tuple\": " + Num(r.ns_per_tuple);
+    out += "}";
+    out += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"baseline_pre_pr\": [\n";
+  for (size_t i = 0; i < 3; ++i) {
+    const BaselineRef& b = kPrePrBaseline[i];
+    out += "    {\"name\": \"" + std::string(b.name) + "\"";
+    out += ", \"rows_per_sec\": " + Num(b.rows_per_sec);
+    out += ", \"ns_per_tuple\": " + Num(b.ns_per_tuple);
+    out += "}";
+    out += i + 1 < 3 ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("\nreport: %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace systemr
+
+int main(int argc, char** argv) { return systemr::bench::Main(argc, argv); }

@@ -40,7 +40,8 @@ Status AggregateOp::Accumulator::Accept(ExecContext* ctx, const Row& row) {
     ++count;
     return Status::OK();
   }
-  ASSIGN_OR_RETURN(Value v, EvalExpr(*agg->children[0], ctx, row));
+  Value v;
+  RETURN_IF_ERROR(arg.EvalValue(ctx, row, &v));
   if (v.is_null()) return Status::OK();  // NULLs are ignored by aggregates.
   ++count;
   if (IsArithmetic(v.type())) {
@@ -156,9 +157,10 @@ bool AggregateOp::SameGroup(const Row& a, const Row& b) const {
   return true;
 }
 
-Status AggregateOp::Open() {
-  RETURN_IF_ERROR(child_->Open());
-  accs_.clear();
+AggregateOp::AggregateOp(ExecContext* ctx, const BoundQueryBlock* block,
+                         const PlanNode* node,
+                         std::unique_ptr<Operator> child)
+    : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {
   std::vector<const BoundExpr*> aggs;
   for (const BoundExpr* item : node_->agg_select) {
     CollectAggs(*item, &aggs);
@@ -166,18 +168,33 @@ Status AggregateOp::Open() {
   if (node_->having != nullptr) {
     CollectAggs(*node_->having, &aggs);
   }
-  for (const BoundExpr* a : aggs) {
-    Accumulator acc;
-    acc.agg = a;
-    acc.Reset();
-    accs_.push_back(acc);
+  accs_.resize(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    accs_[i].agg = aggs[i];
+    if (!aggs[i]->children.empty()) {
+      accs_[i].arg.CompileExpr(aggs[i]->children[0].get());
+    }
+    accs_[i].Reset();
   }
+}
+
+Status AggregateOp::Open() {
+  RETURN_IF_ERROR(child_->Open());
+  return Restart();
+}
+
+Status AggregateOp::Rebind(const Row* outer) {
+  RETURN_IF_ERROR(child_->Rebind(outer));
+  return Restart();
+}
+
+Status AggregateOp::Restart() {
+  for (Accumulator& a : accs_) a.Reset();
   group_open_ = false;
   pending_valid_ = false;
   done_ = false;
   emitted_any_ = false;
-  RETURN_IF_ERROR(child_->Next(&pending_, &pending_valid_));
-  return Status::OK();
+  return child_->Next(&pending_, &pending_valid_);
 }
 
 Status AggregateOp::EmitGroup(Row* out) {

@@ -14,16 +14,17 @@ namespace systemr {
 class AggregateOp : public Operator {
  public:
   AggregateOp(ExecContext* ctx, const BoundQueryBlock* block,
-              const PlanNode* node, std::unique_ptr<Operator> child)
-      : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
+              const PlanNode* node, std::unique_ptr<Operator> child);
 
   Status Open() override;
+  Status Rebind(const Row* outer) override;
   Status Next(Row* out, bool* has_row) override;
   void Close() override { child_->Close(); }
 
  private:
   struct Accumulator {
     const BoundExpr* agg = nullptr;
+    ExprProgram arg;  // Compiled argument expression (COUNT(*) has none).
     uint64_t count = 0;
     double sum = 0;
     int64_t isum = 0;
@@ -33,6 +34,9 @@ class AggregateOp : public Operator {
     Status Accept(ExecContext* ctx, const Row& row);
     Value Result() const;
   };
+
+  /// Shared tail of Open/Rebind: resets group state and pulls the first row.
+  Status Restart();
 
   /// Evaluates a SELECT item with aggregates replaced by accumulator results
   /// and plain columns taken from the group's first row.

@@ -2,9 +2,22 @@
 
 #include <functional>
 
+// For the Operator definition: the cached subquery operator trees are
+// destroyed here (the header only forward-declares Operator).
+#include "exec/operators.h"
+
 namespace systemr {
 
+ExecContext::ExecContext(Rss* rss, const Catalog* catalog,
+                         const SubplanMap* subplans, double w)
+    : rss_(rss), catalog_(catalog), subplans_(subplans), w_(w) {}
+
 ExecContext::~ExecContext() { ReleaseTempPages(); }
+
+std::unique_ptr<Operator>& ExecContext::SubqueryOpFor(
+    const BoundQueryBlock* block) {
+  return subquery_ops_[block];
+}
 
 const PlanRef* ExecContext::SubplanFor(const BoundQueryBlock* block) const {
   if (subplans_ == nullptr) return nullptr;

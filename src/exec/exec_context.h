@@ -16,6 +16,8 @@
 
 namespace systemr {
 
+class Operator;
+
 /// Metered work for one statement (delta of RSS snapshots).
 struct ExecStats {
   uint64_t page_fetches = 0;
@@ -23,8 +25,16 @@ struct ExecStats {
   uint64_t rsi_calls = 0;
   uint64_t subquery_evals = 0;       // Nested blocks actually executed.
   uint64_t subquery_cache_hits = 0;  // §6 same-outer-value cache reuses.
+  uint64_t buffer_gets = 0;          // All buffer-pool page requests.
+  uint64_t buffer_hits = 0;          // Requests served from the pool.
 
   uint64_t page_io() const { return page_fetches + page_writes; }
+  double BufferHitRatio() const {
+    return buffer_gets == 0
+               ? 0.0
+               : static_cast<double>(buffer_hits) /
+                     static_cast<double>(buffer_gets);
+  }
   /// The paper's COST formula applied to measured counters.
   double ActualCost(double w) const {
     return static_cast<double>(page_io()) + w * static_cast<double>(rsi_calls);
@@ -33,9 +43,11 @@ struct ExecStats {
 
 class ExecContext {
  public:
+  // Constructor and destructor are out-of-line: both would otherwise
+  // instantiate the subquery_ops_ map's cleanup, which needs Operator to be
+  // a complete type.
   ExecContext(Rss* rss, const Catalog* catalog, const SubplanMap* subplans,
-              double w)
-      : rss_(rss), catalog_(catalog), subplans_(subplans), w_(w) {}
+              double w);
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
   ~ExecContext();
@@ -79,6 +91,13 @@ class ExecContext {
   const std::vector<std::pair<int, size_t>>& OuterRefsFor(
       const BoundQueryBlock* block);
 
+  /// Cached operator tree for a nested block: built on the first evaluation
+  /// and re-opened via Rebind() thereafter, so correlated subqueries don't
+  /// rebuild their plan per outer row. Returns the owning slot (null until
+  /// the first evaluation fills it). Out-of-line: the map insertion needs
+  /// Operator to be a complete type.
+  std::unique_ptr<Operator>& SubqueryOpFor(const BoundQueryBlock* block);
+
   // --- Temp storage for sorts (metered through the buffer pool) ---
   /// Allocates a page owned by this statement's temp space.
   PageId NewTempPage();
@@ -93,6 +112,9 @@ class ExecContext {
   double w_;
   std::vector<const Row*> ancestors_;
   std::map<const BoundQueryBlock*, SubqueryCache> caches_;
+  // Node-based map: references returned by SubqueryOpFor stay valid while
+  // nested evaluations insert entries for deeper blocks.
+  std::map<const BoundQueryBlock*, std::unique_ptr<Operator>> subquery_ops_;
   std::map<const BoundQueryBlock*, std::vector<std::pair<int, size_t>>>
       outer_refs_;
   std::vector<PageId> temp_pages_;

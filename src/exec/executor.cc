@@ -68,6 +68,9 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
   result.stats.page_fetches = after.page_fetches - before.page_fetches;
   result.stats.page_writes = after.page_writes - before.page_writes;
   result.stats.rsi_calls = after.rsi_calls - before.rsi_calls;
+  result.stats.buffer_gets = after.logical_gets - before.logical_gets;
+  result.stats.buffer_hits = result.stats.buffer_gets -
+                             result.stats.page_fetches;
   for (const auto& [sub_block, cache] : ctx->subquery_caches()) {
     result.stats.subquery_evals += cache.evaluations;
     result.stats.subquery_cache_hits += cache.hits;

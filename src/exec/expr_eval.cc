@@ -10,30 +10,39 @@ namespace {
 
 Value BoolValue(bool b) { return Value::Int(b ? 1 : 0); }
 
-// SQL LIKE: '%' matches any sequence, '_' any single character.
-bool LikeMatch(const std::string& s, const std::string& pattern, size_t si,
-               size_t pi) {
-  while (pi < pattern.size()) {
-    char pc = pattern[pi];
-    if (pc == '%') {
-      // Collapse consecutive %; then try every suffix.
-      while (pi < pattern.size() && pattern[pi] == '%') ++pi;
-      if (pi == pattern.size()) return true;
-      for (size_t k = si; k <= s.size(); ++k) {
-        if (LikeMatch(s, pattern, k, pi)) return true;
-      }
+}  // namespace
+
+bool LikeMatch(const std::string& s, const std::string& pattern) {
+  size_t si = 0, pi = 0;
+  // Position of the last '%' seen and the subject index its current
+  // expansion resumes from; on a mismatch we back up here and let the '%'
+  // absorb one more character.
+  size_t star_pi = std::string::npos;
+  size_t star_si = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi != std::string::npos) {
+      pi = star_pi + 1;
+      si = ++star_si;
+    } else {
       return false;
     }
-    if (si >= s.size()) return false;
-    if (pc != '_' && pc != s[si]) return false;
-    ++si;
-    ++pi;
   }
-  return si == s.size();
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
 }
 
-StatusOr<Value> EvalArith(char op, const Value& a, const Value& b) {
-  if (a.is_null() || b.is_null()) return Value::Null();
+Status EvalArithInto(char op, const Value& a, const Value& b, Value* out) {
+  if (a.is_null() || b.is_null()) {
+    *out = Value::Null();
+    return Status::OK();
+  }
   if (!IsArithmetic(a.type()) || !IsArithmetic(b.type())) {
     return Status::InvalidArgument("arithmetic on non-numeric value");
   }
@@ -41,27 +50,25 @@ StatusOr<Value> EvalArith(char op, const Value& a, const Value& b) {
       a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64;
   if (op == '/') {
     double denom = b.AsNumber();
-    if (denom == 0) return Value::Null();
-    return Value::Real(a.AsNumber() / denom);
+    *out = denom == 0 ? Value::Null() : Value::Real(a.AsNumber() / denom);
+    return Status::OK();
   }
   if (both_int) {
     int64_t x = a.AsInt(), y = b.AsInt();
     switch (op) {
-      case '+': return Value::Int(x + y);
-      case '-': return Value::Int(x - y);
-      case '*': return Value::Int(x * y);
+      case '+': *out = Value::Int(x + y); return Status::OK();
+      case '-': *out = Value::Int(x - y); return Status::OK();
+      case '*': *out = Value::Int(x * y); return Status::OK();
     }
   }
   double x = a.AsNumber(), y = b.AsNumber();
   switch (op) {
-    case '+': return Value::Real(x + y);
-    case '-': return Value::Real(x - y);
-    case '*': return Value::Real(x * y);
+    case '+': *out = Value::Real(x + y); return Status::OK();
+    case '-': *out = Value::Real(x - y); return Status::OK();
+    case '*': *out = Value::Real(x * y); return Status::OK();
   }
   return Status::Internal("unknown arithmetic operator");
 }
-
-}  // namespace
 
 StatusOr<Value> EvalExpr(const BoundExpr& e, ExecContext* ctx,
                          const Row& row) {
@@ -111,7 +118,9 @@ StatusOr<Value> EvalExpr(const BoundExpr& e, ExecContext* ctx,
     case BoundExprKind::kArith: {
       ASSIGN_OR_RETURN(Value a, EvalExpr(*e.children[0], ctx, row));
       ASSIGN_OR_RETURN(Value b, EvalExpr(*e.children[1], ctx, row));
-      return EvalArith(e.arith_op, a, b);
+      Value v;
+      RETURN_IF_ERROR(EvalArithInto(e.arith_op, a, b, &v));
+      return v;
     }
     case BoundExprKind::kBetween: {
       ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], ctx, row));
@@ -152,7 +161,7 @@ StatusOr<Value> EvalExpr(const BoundExpr& e, ExecContext* ctx,
       ASSIGN_OR_RETURN(Value subject, EvalExpr(*e.children[0], ctx, row));
       ASSIGN_OR_RETURN(Value pattern, EvalExpr(*e.children[1], ctx, row));
       if (subject.is_null() || pattern.is_null()) return BoolValue(false);
-      bool match = LikeMatch(subject.AsStr(), pattern.AsStr(), 0, 0);
+      bool match = LikeMatch(subject.AsStr(), pattern.AsStr());
       return BoolValue(e.negated ? !match : match);
     }
   }

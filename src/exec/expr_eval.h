@@ -23,6 +23,17 @@ StatusOr<bool> EvalPredicate(const BoundExpr& e, ExecContext* ctx,
 StatusOr<bool> EvalAll(const std::vector<const BoundExpr*>& preds,
                        ExecContext* ctx, const Row& row);
 
+/// SQL LIKE: '%' matches any sequence, '_' any single character. Iterative
+/// two-pointer backtracking — O(|s|·|pattern|) worst case, so pathological
+/// patterns like "%a%a%a%a%a" stay cheap. Shared by the interpreter and the
+/// compiled predicate programs.
+bool LikeMatch(const std::string& s, const std::string& pattern);
+
+/// Arithmetic with the engine's NULL/typing rules, written into *out (no
+/// StatusOr temporary on the hot path). Shared by the interpreter and the
+/// compiled predicate programs.
+Status EvalArithInto(char op, const Value& a, const Value& b, Value* out);
+
 }  // namespace systemr
 
 #endif  // SYSTEMR_EXEC_EXPR_EVAL_H_

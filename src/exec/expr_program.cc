@@ -1,0 +1,461 @@
+#include "exec/expr_program.h"
+
+#include <algorithm>
+
+#include "exec/expr_eval.h"
+#include "exec/subquery_eval.h"
+
+namespace systemr {
+
+namespace {
+
+inline bool Truthy(const Value& v) { return !v.is_null() && v.AsInt() != 0; }
+
+// True if `e` depends on nothing but literals: no columns (local or outer),
+// no subqueries, no aggregates — safe to evaluate once at compile time.
+bool IsConstExpr(const BoundExpr& e) {
+  switch (e.kind) {
+    case BoundExprKind::kLiteral:
+      return true;
+    case BoundExprKind::kColumn:
+    case BoundExprKind::kSubquery:
+    case BoundExprKind::kInSubquery:
+    case BoundExprKind::kAggregate:
+      return false;
+    default:
+      break;
+  }
+  if (e.children.empty()) return false;
+  for (const auto& c : e.children) {
+    if (!IsConstExpr(*c)) return false;
+  }
+  return true;
+}
+
+const Row kEmptyRow;
+
+bool ValueLess(const Value& a, const Value& b) { return a.Compare(b) < 0; }
+
+}  // namespace
+
+uint32_t ExprProgram::AddConst(Value v) {
+  consts_.push_back(std::move(v));
+  return static_cast<uint32_t>(consts_.size() - 1);
+}
+
+bool ExprProgram::Emit(const BoundExpr& e) {
+  if (e.kind != BoundExprKind::kLiteral && IsConstExpr(e)) {
+    // Constant folding: a const subtree never touches ctx or the row.
+    StatusOr<Value> v = EvalExpr(e, nullptr, kEmptyRow);
+    if (v.ok()) {
+      Step s;
+      s.op = Op::kPushConst;
+      s.a = AddConst(std::move(*v));
+      steps_.push_back(s);
+      return true;
+    }
+    // Folding failed (e.g. arithmetic on a string literal): emit the steps so
+    // the same error surfaces at run time, as the interpreter would.
+  }
+  switch (e.kind) {
+    case BoundExprKind::kColumn: {
+      Step s;
+      if (e.outer_level == 0) {
+        s.op = Op::kPushColumn;
+        s.a = static_cast<uint32_t>(e.offset);
+      } else {
+        s.op = Op::kPushOuter;
+        s.a = static_cast<uint32_t>(e.outer_level);
+        s.b = static_cast<uint32_t>(e.offset);
+      }
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kLiteral: {
+      Step s;
+      s.op = Op::kPushConst;
+      s.a = AddConst(e.literal);
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kCompare: {
+      if (!Emit(*e.children[0]) || !Emit(*e.children[1])) return false;
+      Step s;
+      s.op = Op::kCompare;
+      s.cmp = e.op;
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kAnd: {
+      if (!Emit(*e.children[0])) return false;
+      size_t jump = steps_.size();
+      steps_.push_back(Step{});
+      steps_[jump].op = Op::kJumpIfFalse;
+      if (!Emit(*e.children[1])) return false;
+      Step s;
+      s.op = Op::kToBool;
+      steps_.push_back(s);
+      steps_[jump].a = static_cast<uint32_t>(steps_.size());
+      return true;
+    }
+    case BoundExprKind::kOr: {
+      if (!Emit(*e.children[0])) return false;
+      size_t jump = steps_.size();
+      steps_.push_back(Step{});
+      steps_[jump].op = Op::kJumpIfTrue;
+      if (!Emit(*e.children[1])) return false;
+      Step s;
+      s.op = Op::kToBool;
+      steps_.push_back(s);
+      steps_[jump].a = static_cast<uint32_t>(steps_.size());
+      return true;
+    }
+    case BoundExprKind::kNot: {
+      if (!Emit(*e.children[0])) return false;
+      Step s;
+      s.op = Op::kNot;
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kArith: {
+      if (!Emit(*e.children[0]) || !Emit(*e.children[1])) return false;
+      Step s;
+      s.op = Op::kArith;
+      s.arith = e.arith_op;
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kBetween: {
+      if (!Emit(*e.children[0]) || !Emit(*e.children[1]) ||
+          !Emit(*e.children[2])) {
+        return false;
+      }
+      Step s;
+      s.op = Op::kBetween;
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kInList: {
+      if (!Emit(*e.children[0])) return false;
+      bool all_const = true;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (!IsConstExpr(*e.children[i])) {
+          all_const = false;
+          break;
+        }
+      }
+      if (all_const) {
+        // Pre-evaluate and sort the list once; NULL items can never match
+        // (x = NULL is false), so they are dropped outright.
+        std::vector<Value> items;
+        items.reserve(e.children.size() - 1);
+        for (size_t i = 1; all_const && i < e.children.size(); ++i) {
+          StatusOr<Value> v = EvalExpr(*e.children[i], nullptr, kEmptyRow);
+          if (!v.ok()) {
+            all_const = false;
+            break;
+          }
+          if (!v->is_null()) items.push_back(std::move(*v));
+        }
+        if (all_const) {
+          std::sort(items.begin(), items.end(), ValueLess);
+          Step s;
+          s.op = Op::kInSortedConsts;
+          s.a = static_cast<uint32_t>(lists_.size());
+          lists_.push_back(std::move(items));
+          steps_.push_back(s);
+          return true;
+        }
+      }
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (!Emit(*e.children[i])) return false;
+      }
+      Step s;
+      s.op = Op::kInRow;
+      s.a = static_cast<uint32_t>(e.children.size() - 1);
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kInSubquery: {
+      if (!Emit(*e.children[0])) return false;
+      Step s;
+      s.op = Op::kInSubquery;
+      s.subquery = e.subquery.get();
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kSubquery: {
+      Step s;
+      s.op = Op::kScalarSubquery;
+      s.subquery = e.subquery.get();
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kAggregate:
+      // Aggregates resolve against accumulators inside AggregateOp; the
+      // caller falls back to the interpreter path.
+      return false;
+    case BoundExprKind::kIsNull: {
+      if (!Emit(*e.children[0])) return false;
+      Step s;
+      s.op = Op::kIsNull;
+      s.negated = e.negated;
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kLike: {
+      if (!Emit(*e.children[0]) || !Emit(*e.children[1])) return false;
+      Step s;
+      s.op = Op::kLike;
+      s.negated = e.negated;
+      steps_.push_back(s);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ExprProgram::CompileExpr(const BoundExpr* e) {
+  fallback_expr_ = e;
+  fallback_preds_ = nullptr;
+  steps_.clear();
+  consts_.clear();
+  lists_.clear();
+  compiled_ = Emit(*e);
+  if (!compiled_) {
+    steps_.clear();
+    consts_.clear();
+    lists_.clear();
+  }
+  // Each step pushes at most one net slot, so this bound never reallocates.
+  stack_.resize(steps_.size() + 1);
+}
+
+void ExprProgram::CompilePreds(const std::vector<const BoundExpr*>* preds) {
+  fallback_expr_ = nullptr;
+  fallback_preds_ = preds;
+  steps_.clear();
+  consts_.clear();
+  lists_.clear();
+  compiled_ = true;
+  if (preds->empty()) {
+    Step s;
+    s.op = Op::kPushConst;
+    s.a = AddConst(Value::Int(1));
+    steps_.push_back(s);
+  } else {
+    std::vector<size_t> jumps;
+    for (size_t i = 0; compiled_ && i < preds->size(); ++i) {
+      if (!Emit(*(*preds)[i])) {
+        compiled_ = false;
+        break;
+      }
+      if (i + 1 < preds->size()) {
+        jumps.push_back(steps_.size());
+        steps_.push_back(Step{});
+        steps_[jumps.back()].op = Op::kJumpIfFalse;
+      }
+    }
+    if (compiled_) {
+      Step s;
+      s.op = Op::kToBool;
+      steps_.push_back(s);
+      for (size_t j : jumps) {
+        steps_[j].a = static_cast<uint32_t>(steps_.size());
+      }
+    }
+  }
+  if (!compiled_) {
+    steps_.clear();
+    consts_.clear();
+    lists_.clear();
+  }
+  stack_.resize(steps_.size() + 1);
+}
+
+Status ExprProgram::Run(ExecContext* ctx, const Row& row, const Value** top) {
+  Slot* stack = stack_.data();
+  size_t sp = 0;
+  const size_t n = steps_.size();
+  for (size_t pc = 0; pc < n; ++pc) {
+    const Step& s = steps_[pc];
+    switch (s.op) {
+      case Op::kPushColumn:
+        if (s.a >= row.size()) {
+          return Status::Internal("column offset out of range");
+        }
+        stack[sp++].ref = &row[s.a];
+        break;
+      case Op::kPushOuter:
+        stack[sp++].ref = &ctx->OuterValue(static_cast<int>(s.a), s.b);
+        break;
+      case Op::kPushConst:
+        stack[sp++].ref = &consts_[s.a];
+        break;
+      case Op::kCompare: {
+        const Value& rhs = *stack[--sp].ref;
+        const Value& lhs = *stack[--sp].ref;
+        Slot& dst = stack[sp++];
+        dst.owned = Value::Int(EvalCompare(s.cmp, lhs, rhs) ? 1 : 0);
+        dst.ref = &dst.owned;
+        break;
+      }
+      case Op::kArith: {
+        const Value& rhs = *stack[--sp].ref;
+        const Value& lhs = *stack[--sp].ref;
+        Slot& dst = stack[sp++];
+        RETURN_IF_ERROR(EvalArithInto(s.arith, lhs, rhs, &dst.owned));
+        dst.ref = &dst.owned;
+        break;
+      }
+      case Op::kNot: {
+        Slot& slot = stack[sp - 1];
+        slot.owned = Value::Int(Truthy(*slot.ref) ? 0 : 1);
+        slot.ref = &slot.owned;
+        break;
+      }
+      case Op::kToBool: {
+        Slot& slot = stack[sp - 1];
+        slot.owned = Value::Int(Truthy(*slot.ref) ? 1 : 0);
+        slot.ref = &slot.owned;
+        break;
+      }
+      case Op::kIsNull: {
+        Slot& slot = stack[sp - 1];
+        bool isnull = slot.ref->is_null();
+        slot.owned = Value::Int((s.negated ? !isnull : isnull) ? 1 : 0);
+        slot.ref = &slot.owned;
+        break;
+      }
+      case Op::kBetween: {
+        const Value& hi = *stack[--sp].ref;
+        const Value& lo = *stack[--sp].ref;
+        Slot& dst = stack[sp - 1];
+        bool ok = EvalCompare(CompareOp::kGe, *dst.ref, lo) &&
+                  EvalCompare(CompareOp::kLe, *dst.ref, hi);
+        dst.owned = Value::Int(ok ? 1 : 0);
+        dst.ref = &dst.owned;
+        break;
+      }
+      case Op::kLike: {
+        const Value& pattern = *stack[--sp].ref;
+        Slot& dst = stack[sp - 1];
+        const Value& subject = *dst.ref;
+        bool match = !subject.is_null() && !pattern.is_null() &&
+                     LikeMatch(subject.AsStr(), pattern.AsStr());
+        if (s.negated && !subject.is_null() && !pattern.is_null()) {
+          match = !match;
+        }
+        dst.owned = Value::Int(match ? 1 : 0);
+        dst.ref = &dst.owned;
+        break;
+      }
+      case Op::kInSortedConsts: {
+        Slot& dst = stack[sp - 1];
+        const Value& v = *dst.ref;
+        bool found =
+            !v.is_null() && std::binary_search(lists_[s.a].begin(),
+                                               lists_[s.a].end(), v, ValueLess);
+        dst.owned = Value::Int(found ? 1 : 0);
+        dst.ref = &dst.owned;
+        break;
+      }
+      case Op::kInRow: {
+        size_t items = sp - s.a;
+        Slot& dst = stack[items - 1];
+        const Value& v = *dst.ref;
+        bool found = false;
+        for (size_t i = items; !found && i < sp; ++i) {
+          found = EvalCompare(CompareOp::kEq, v, *stack[i].ref);
+        }
+        sp = items;
+        dst.owned = Value::Int(found ? 1 : 0);
+        dst.ref = &dst.owned;
+        break;
+      }
+      case Op::kJumpIfFalse: {
+        const Value& v = *stack[--sp].ref;
+        if (!Truthy(v)) {
+          Slot& dst = stack[sp++];
+          dst.owned = Value::Int(0);
+          dst.ref = &dst.owned;
+          pc = s.a - 1;  // -1: the loop increment lands on the target.
+        }
+        break;
+      }
+      case Op::kJumpIfTrue: {
+        const Value& v = *stack[--sp].ref;
+        if (Truthy(v)) {
+          Slot& dst = stack[sp++];
+          dst.owned = Value::Int(1);
+          dst.ref = &dst.owned;
+          pc = s.a - 1;
+        }
+        break;
+      }
+      case Op::kScalarSubquery: {
+        StatusOr<Value> v = EvalScalarSubquery(ctx, s.subquery, row);
+        if (!v.ok()) return v.status();
+        Slot& dst = stack[sp++];
+        dst.owned = std::move(*v);
+        dst.ref = &dst.owned;
+        break;
+      }
+      case Op::kInSubquery: {
+        Slot& dst = stack[sp - 1];
+        const Value& v = *dst.ref;
+        bool found = false;
+        if (!v.is_null()) {
+          StatusOr<const std::vector<Value>*> list =
+              EvalInSubqueryList(ctx, s.subquery, row);
+          if (!list.ok()) return list.status();
+          found = std::binary_search((*list)->begin(), (*list)->end(), v,
+                                     ValueLess);
+        }
+        dst.owned = Value::Int(found ? 1 : 0);
+        dst.ref = &dst.owned;
+        break;
+      }
+    }
+  }
+  if (sp != 1) return Status::Internal("expression program stack imbalance");
+  *top = stack[0].ref;
+  return Status::OK();
+}
+
+Status ExprProgram::EvalBool(ExecContext* ctx, const Row& row, bool* out) {
+  if (!compiled_) {
+    if (fallback_preds_ != nullptr) {
+      StatusOr<bool> r = EvalAll(*fallback_preds_, ctx, row);
+      if (!r.ok()) return r.status();
+      *out = *r;
+      return Status::OK();
+    }
+    StatusOr<bool> r = EvalPredicate(*fallback_expr_, ctx, row);
+    if (!r.ok()) return r.status();
+    *out = *r;
+    return Status::OK();
+  }
+  const Value* top = nullptr;
+  RETURN_IF_ERROR(Run(ctx, row, &top));
+  *out = Truthy(*top);
+  return Status::OK();
+}
+
+Status ExprProgram::EvalValue(ExecContext* ctx, const Row& row, Value* out) {
+  if (!compiled_) {
+    if (fallback_expr_ == nullptr) {
+      return Status::Internal("value program compiled from a predicate list");
+    }
+    StatusOr<Value> r = EvalExpr(*fallback_expr_, ctx, row);
+    if (!r.ok()) return r.status();
+    *out = std::move(*r);
+    return Status::OK();
+  }
+  const Value* top = nullptr;
+  RETURN_IF_ERROR(Run(ctx, row, &top));
+  *out = *top;
+  return Status::OK();
+}
+
+}  // namespace systemr

@@ -1,0 +1,99 @@
+// Compiled predicate/value programs — the executor's stand-in for System R's
+// generated access-module code (§2). A BoundExpr tree is flattened ONCE, at
+// operator construction, into a postfix array of small steps evaluated with
+// an explicit value stack: no recursion, no StatusOr<Value> temporaries on
+// the hot path, constant sub-expressions folded at compile time, and AND/OR
+// short-circuiting via jump steps. Column and constant operands are pushed
+// by reference, so a comparison over two columns touches no Value copies at
+// all.
+//
+// Anything the program evaluator cannot express (aggregate leaves, which are
+// resolved against accumulators inside AggregateOp) falls back to the
+// recursive interpreter in expr_eval — semantics are identical either way,
+// which the differential fuzz harness checks.
+#ifndef SYSTEMR_EXEC_EXPR_PROGRAM_H_
+#define SYSTEMR_EXEC_EXPR_PROGRAM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "optimizer/bound_expr.h"
+
+namespace systemr {
+
+class ExprProgram {
+ public:
+  ExprProgram() = default;
+
+  /// Compiles `e` (owned by the plan, which outlives the operator) for
+  /// repeated evaluation.
+  void CompileExpr(const BoundExpr* e);
+
+  /// Compiles the conjunction of `preds` with EvalAll semantics: conjuncts
+  /// are evaluated left to right, NULL counts as false, and the first false
+  /// conjunct short-circuits the rest.
+  void CompilePreds(const std::vector<const BoundExpr*>* preds);
+
+  /// True if the flattened program is in use (false = interpreter fallback).
+  bool compiled() const { return compiled_; }
+
+  /// Predicate evaluation; NULL is false.
+  Status EvalBool(ExecContext* ctx, const Row& row, bool* out);
+
+  /// Value evaluation (SELECT items, aggregate arguments).
+  Status EvalValue(ExecContext* ctx, const Row& row, Value* out);
+
+ private:
+  enum class Op : uint8_t {
+    kPushColumn,      // push &row[a]
+    kPushOuter,       // push outer value (a = levels up, b = offset)
+    kPushConst,       // push &consts_[a]
+    kCompare,         // pop rhs, lhs; push lhs cmp rhs (NULL -> false)
+    kArith,           // pop rhs, lhs; push lhs arith rhs
+    kNot,             // pop v; push !truthy(v)
+    kToBool,          // pop v; push truthy(v)
+    kIsNull,          // pop v; push v IS [NOT] NULL
+    kBetween,         // pop hi, lo, v; push lo <= v <= hi
+    kLike,            // pop pattern, subject; push [NOT] LIKE
+    kInSortedConsts,  // pop v; binary-search lists_[a]
+    kInRow,           // pop a items + v; linear membership test
+    kJumpIfFalse,     // pop v; if !truthy(v): push false, jump to a
+    kJumpIfTrue,      // pop v; if truthy(v): push true, jump to a
+    kScalarSubquery,  // push the (cached, §6) scalar subquery result
+    kInSubquery,      // pop v; membership in the subquery's sorted list
+  };
+
+  struct Step {
+    Op op = Op::kPushConst;
+    bool negated = false;
+    CompareOp cmp = CompareOp::kEq;
+    char arith = '+';
+    uint32_t a = 0;
+    uint32_t b = 0;
+    const BoundQueryBlock* subquery = nullptr;
+  };
+
+  // A stack slot either references a row/constant/outer value (no copy) or
+  // owns a computed intermediate; `ref` always points at the live value.
+  struct Slot {
+    const Value* ref = nullptr;
+    Value owned;
+  };
+
+  bool Emit(const BoundExpr& e);
+  uint32_t AddConst(Value v);
+  Status Run(ExecContext* ctx, const Row& row, const Value** top);
+
+  bool compiled_ = false;
+  const BoundExpr* fallback_expr_ = nullptr;
+  const std::vector<const BoundExpr*>* fallback_preds_ = nullptr;
+  std::vector<Step> steps_;
+  std::vector<Value> consts_;
+  std::vector<std::vector<Value>> lists_;  // kInSortedConsts operands.
+  std::vector<Slot> stack_;                // Reused across evaluations.
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_EXPR_PROGRAM_H_

@@ -2,38 +2,37 @@
 
 namespace systemr {
 
-namespace {
-
-// Merges the inner table's columns into a copy of the outer composite row.
-Row Combine(const Row& outer, const Row& inner, size_t inner_offset,
-            size_t inner_width) {
-  Row merged = outer;
-  for (size_t i = 0; i < inner_width; ++i) {
-    merged[inner_offset + i] = inner[inner_offset + i];
-  }
-  return merged;
-}
-
-}  // namespace
-
 // --- Nested loops ---
 
 Status NestedLoopJoinOp::Open() {
+  if (composite_.size() != block_->row_width) {
+    composite_.assign(block_->row_width, Value());
+  }
   RETURN_IF_ERROR(outer_->Open());
   outer_valid_ = false;
-  inner_.reset();
+  return Status::OK();
+}
+
+Status NestedLoopJoinOp::Rebind(const Row* outer) {
+  if (composite_.size() != block_->row_width) {
+    composite_.assign(block_->row_width, Value());
+  }
+  RETURN_IF_ERROR(outer_->Rebind(outer));
+  outer_valid_ = false;
   return Status::OK();
 }
 
 Status NestedLoopJoinOp::AdvanceOuter(bool* has) {
-  RETURN_IF_ERROR(outer_->Next(&outer_row_, has));
+  RETURN_IF_ERROR(outer_->Next(&composite_, has));
   outer_valid_ = *has;
-  if (outer_valid_) {
-    // (Re)open the inner scan with the new outer bindings.
-    inner_ = BuildOperator(ctx_, block_, node_->right.get(), &outer_row_);
-    RETURN_IF_ERROR(inner_->Open());
+  if (!outer_valid_) return Status::OK();
+  if (inner_ == nullptr) {
+    // First outer tuple: build the inner subtree once, bound to the
+    // composite buffer (the outer row is already in place).
+    inner_ = BuildOperator(ctx_, block_, node_->right.get(), &composite_);
+    return inner_->Open();
   }
-  return Status::OK();
+  return inner_->Rebind(&composite_);
 }
 
 Status NestedLoopJoinOp::Next(Row* out, bool* has_row) {
@@ -46,18 +45,17 @@ Status NestedLoopJoinOp::Next(Row* out, bool* has_row) {
         return Status::OK();
       }
     }
-    Row inner_row;
+    // The inner scan writes its table slice straight into the composite row.
     bool has_inner;
-    RETURN_IF_ERROR(inner_->Next(&inner_row, &has_inner));
+    RETURN_IF_ERROR(inner_->Next(&composite_, &has_inner));
     if (!has_inner) {
       outer_valid_ = false;  // Exhausted: move to the next outer tuple.
       continue;
     }
-    Row merged = Combine(outer_row_, inner_row, node_->inner_offset,
-                         node_->inner_width);
-    ASSIGN_OR_RETURN(bool ok, EvalAll(node_->residual, ctx_, merged));
+    bool ok;
+    RETURN_IF_ERROR(residual_.EvalBool(ctx_, composite_, &ok));
     if (!ok) continue;
-    *out = std::move(merged);
+    *out = composite_;
     *has_row = true;
     return Status::OK();
   }
@@ -68,15 +66,29 @@ Status NestedLoopJoinOp::Next(Row* out, bool* has_row) {
 Status MergeJoinOp::Open() {
   RETURN_IF_ERROR(outer_->Open());
   RETURN_IF_ERROR(inner_->Open());
-  RETURN_IF_ERROR(AdvanceOuter());
-  RETURN_IF_ERROR(AdvanceInner());
+  return Prime();
+}
+
+Status MergeJoinOp::Rebind(const Row* outer) {
+  RETURN_IF_ERROR(outer_->Rebind(outer));
+  RETURN_IF_ERROR(inner_->Rebind(outer));
+  return Prime();
+}
+
+Status MergeJoinOp::Prime() {
+  if (composite_.size() != block_->row_width) {
+    composite_.assign(block_->row_width, Value());
+  }
+  group_.clear();
+  group_pos_ = 0;
   group_valid_ = false;
-  return Status::OK();
+  RETURN_IF_ERROR(AdvanceOuter());
+  return AdvanceInner();
 }
 
 Status MergeJoinOp::AdvanceOuter() {
   bool has;
-  RETURN_IF_ERROR(outer_->Next(&outer_row_, &has));
+  RETURN_IF_ERROR(outer_->Next(&composite_, &has));
   outer_valid_ = has;
   return Status::OK();
 }
@@ -103,12 +115,14 @@ Status MergeJoinOp::LoadGroup() {
 }
 
 Status MergeJoinOp::Next(Row* out, bool* has_row) {
+  const size_t inner_offset = node_->inner_offset;
+  const size_t inner_width = node_->inner_width;
   while (true) {
     if (!outer_valid_) {
       *has_row = false;
       return Status::OK();
     }
-    const Value& outer_key = outer_row_[node_->merge_outer_offset];
+    const Value& outer_key = composite_[node_->merge_outer_offset];
     // NULL keys never join.
     if (outer_key.is_null()) {
       RETURN_IF_ERROR(AdvanceOuter());
@@ -141,11 +155,15 @@ Status MergeJoinOp::Next(Row* out, bool* has_row) {
       group_pos_ = 0;
       continue;
     }
-    Row merged = Combine(outer_row_, group_[group_pos_++],
-                         node_->inner_offset, node_->inner_width);
-    ASSIGN_OR_RETURN(bool ok, EvalAll(node_->residual, ctx_, merged));
+    // Copy only the inner table's slice into the composite row.
+    const Row& g = group_[group_pos_++];
+    for (size_t i = 0; i < inner_width; ++i) {
+      composite_[inner_offset + i] = g[inner_offset + i];
+    }
+    bool ok;
+    RETURN_IF_ERROR(residual_.EvalBool(ctx_, composite_, &ok));
     if (!ok) continue;
-    *out = std::move(merged);
+    *out = composite_;
     *has_row = true;
     return Status::OK();
   }

@@ -2,6 +2,11 @@
 // with dynamically bound key values and SARGs) and merging scans (both
 // inputs in join-column order; the current inner join group is buffered so
 // the inner relation is never rescanned).
+//
+// Both operators own one reusable composite-row buffer sized to the block's
+// total width. Child scans write their table's column slice directly into
+// it (see operators.h), so candidate pairs cost no Row allocation — a full
+// row copy happens only for pairs that survive the residual predicates.
 #ifndef SYSTEMR_EXEC_JOINS_H_
 #define SYSTEMR_EXEC_JOINS_H_
 
@@ -15,11 +20,17 @@ class NestedLoopJoinOp : public Operator {
  public:
   NestedLoopJoinOp(ExecContext* ctx, const BoundQueryBlock* block,
                    const PlanNode* node, std::unique_ptr<Operator> outer)
-      : ctx_(ctx), block_(block), node_(node), outer_(std::move(outer)) {}
+      : ctx_(ctx), block_(block), node_(node), outer_(std::move(outer)) {
+    residual_.CompilePreds(&node->residual);
+  }
 
   Status Open() override;
+  Status Rebind(const Row* outer) override;
   Status Next(Row* out, bool* has_row) override;
-  void Close() override { outer_->Close(); }
+  void Close() override {
+    outer_->Close();
+    if (inner_ != nullptr) inner_->Close();
+  }
 
  private:
   Status AdvanceOuter(bool* has);
@@ -28,9 +39,12 @@ class NestedLoopJoinOp : public Operator {
   const BoundQueryBlock* block_;
   const PlanNode* node_;
   std::unique_ptr<Operator> outer_;
-  Row outer_row_;
+  /// Built once on the first outer tuple (bound to &composite_, whose
+  /// address is stable), then re-opened per outer tuple via Rebind.
+  std::unique_ptr<Operator> inner_;
+  ExprProgram residual_;
+  Row composite_;  // Reusable block-width buffer; outer + inner slices.
   bool outer_valid_ = false;
-  std::unique_ptr<Operator> inner_;  // Rebuilt per outer row.
 };
 
 class MergeJoinOp : public Operator {
@@ -42,9 +56,12 @@ class MergeJoinOp : public Operator {
         block_(block),
         node_(node),
         outer_(std::move(outer)),
-        inner_(std::move(inner)) {}
+        inner_(std::move(inner)) {
+    residual_.CompilePreds(&node->residual);
+  }
 
   Status Open() override;
+  Status Rebind(const Row* outer) override;
   Status Next(Row* out, bool* has_row) override;
   void Close() override {
     outer_->Close();
@@ -52,6 +69,8 @@ class MergeJoinOp : public Operator {
   }
 
  private:
+  /// Shared tail of Open/Rebind: resets merge state and primes both inputs.
+  Status Prime();
   Status AdvanceOuter();
   Status AdvanceInner();
   /// Loads the group of inner rows whose key equals inner_pending_'s key.
@@ -62,8 +81,9 @@ class MergeJoinOp : public Operator {
   const PlanNode* node_;
   std::unique_ptr<Operator> outer_;
   std::unique_ptr<Operator> inner_;
+  ExprProgram residual_;
 
-  Row outer_row_;
+  Row composite_;  // Current outer row + the inner slice of the current pair.
   bool outer_valid_ = false;
   Row inner_pending_;
   bool inner_pending_valid_ = false;

@@ -1,26 +1,48 @@
 #include "exec/operators.h"
 
+#include <algorithm>
+
 namespace systemr {
 
-Status ScanOp::Open() {
+ScanOp::ScanOp(ExecContext* ctx, const BoundQueryBlock* block,
+               const PlanNode* node, const Row* binding)
+    : ctx_(ctx), block_(block), node_(node), binding_(binding) {
   const ScanSpec& spec = node_->scan;
-  // Bind dynamic SARG terms from the current outer row.
+  offset_ = block_->tables[spec.table_idx].offset;
+  static_sargs_ = spec.sargs.size();
+  residual_.CompilePreds(&spec.residual);
+
+  // Build the scan once, with placeholder values in the dynamic SARG slots;
+  // Open()/Rebind() fill them in before the scan position is reset.
   SargList sargs = spec.sargs;
+  for (const DynamicSargTerm& d : spec.dyn_sargs) {
+    Sarg s;
+    s.AddConjunct({SargTerm{d.inner_column, d.op, Value::Null()}});
+    sargs.push_back(std::move(s));
+  }
+  if (spec.index == nullptr) {
+    scan_ = ctx_->rss()->OpenSegmentScan(spec.table->id, std::move(sargs));
+  } else {
+    scan_ = ctx_->rss()->OpenIndexScan(spec.table->id, spec.index->id,
+                                       KeyRange{}, std::move(sargs));
+  }
+}
+
+Status ScanOp::BindDynamic() {
+  const ScanSpec& spec = node_->scan;
   if (!spec.dyn_sargs.empty() || !spec.dyn_eq.empty()) {
     if (binding_ == nullptr) {
       return Status::Internal("dynamic scan opened without an outer row");
     }
   }
-  for (const DynamicSargTerm& d : spec.dyn_sargs) {
-    Sarg s;
-    s.AddConjunct({SargTerm{d.inner_column, d.op, (*binding_)[d.outer_offset]}});
-    sargs.push_back(std::move(s));
+  if (!spec.dyn_sargs.empty()) {
+    SargList* sargs = scan_->mutable_sargs();
+    for (size_t i = 0; i < spec.dyn_sargs.size(); ++i) {
+      (*sargs)[static_sargs_ + i].disjuncts[0][0].value =
+          (*binding_)[spec.dyn_sargs[i].outer_offset];
+    }
   }
-
-  if (spec.index == nullptr) {
-    scan_ = ctx_->rss()->OpenSegmentScan(spec.table->id, std::move(sargs));
-    return scan_->Open();
-  }
+  if (spec.index == nullptr) return Status::OK();
 
   // Index bounds: literal prefix, then dynamic prefix, then optional range.
   std::string prefix;
@@ -49,25 +71,34 @@ Status ScanOp::Open() {
     range.stop = prefix;
     range.stop_inclusive = true;
   }
-  scan_ = ctx_->rss()->OpenIndexScan(spec.table->id, spec.index->id,
-                                     std::move(range), std::move(sargs));
+  static_cast<IndexScan*>(scan_.get())->set_range(std::move(range));
+  return Status::OK();
+}
+
+Status ScanOp::Open() {
+  RETURN_IF_ERROR(BindDynamic());
+  return scan_->Open();
+}
+
+Status ScanOp::Rebind(const Row* outer) {
+  if (outer != nullptr) binding_ = outer;
+  RETURN_IF_ERROR(BindDynamic());
   return scan_->Open();
 }
 
 Status ScanOp::Next(Row* out, bool* has_row) {
-  const ScanSpec& spec = node_->scan;
-  size_t offset = block_->tables[spec.table_idx].offset;
-  Row base;
+  if (out->size() != block_->row_width) out->resize(block_->row_width);
   Tid tid;
-  while (scan_->Next(&base, &tid)) {
-    Row row(block_->row_width);
-    for (size_t i = 0; i < base.size() && offset + i < row.size(); ++i) {
-      row[offset + i] = std::move(base[i]);
+  while (scan_->Next(&base_, &tid)) {
+    size_t limit = out->size() > offset_ ? out->size() - offset_ : 0;
+    size_t n = std::min(base_.size(), limit);
+    for (size_t i = 0; i < n; ++i) {
+      (*out)[offset_ + i] = std::move(base_[i]);
     }
-    ASSIGN_OR_RETURN(bool ok, EvalAll(spec.residual, ctx_, row));
+    bool ok;
+    RETURN_IF_ERROR(residual_.EvalBool(ctx_, *out, &ok));
     if (!ok) continue;
     last_tid_ = tid;
-    *out = std::move(row);
     *has_row = true;
     return Status::OK();
   }
@@ -77,37 +108,44 @@ Status ScanOp::Next(Row* out, bool* has_row) {
 
 Status FilterOp::Next(Row* out, bool* has_row) {
   while (true) {
-    Row row;
     bool has;
-    RETURN_IF_ERROR(child_->Next(&row, &has));
+    RETURN_IF_ERROR(child_->Next(out, &has));
     if (!has) {
       *has_row = false;
       return Status::OK();
     }
-    ASSIGN_OR_RETURN(bool ok, EvalAll(node_->residual, ctx_, row));
+    bool ok;
+    RETURN_IF_ERROR(residual_.EvalBool(ctx_, *out, &ok));
     if (ok) {
-      *out = std::move(row);
       *has_row = true;
       return Status::OK();
     }
   }
 }
 
+ProjectOp::ProjectOp(ExecContext* ctx, const BoundQueryBlock* block,
+                     const PlanNode* node, std::unique_ptr<Operator> child)
+    : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {
+  items_.resize(node_->project.size());
+  for (size_t i = 0; i < node_->project.size(); ++i) {
+    items_[i].CompileExpr(node_->project[i]);
+  }
+}
+
 Status ProjectOp::Next(Row* out, bool* has_row) {
-  Row row;
   bool has;
-  RETURN_IF_ERROR(child_->Next(&row, &has));
+  RETURN_IF_ERROR(child_->Next(&in_, &has));
   if (!has) {
     *has_row = false;
     return Status::OK();
   }
-  Row projected;
-  projected.reserve(node_->project.size());
-  for (const BoundExpr* e : node_->project) {
-    ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx_, row));
-    projected.push_back(std::move(v));
+  out->clear();
+  out->reserve(items_.size());
+  Value v;
+  for (ExprProgram& item : items_) {
+    RETURN_IF_ERROR(item.EvalValue(ctx_, in_, &v));
+    out->push_back(std::move(v));
   }
-  *out = std::move(projected);
   *has_row = true;
   return Status::OK();
 }

@@ -1,6 +1,14 @@
 // Pull-based physical operators (OPEN/NEXT/CLOSE), interpreting the plan
 // trees produced by the optimizer — our stand-in for System R's generated
 // machine code (§2).
+//
+// Hot-path contract: an operator tree is built ONCE per statement (or per
+// nested block) and re-opened with new outer bindings via Rebind(), so the
+// per-outer-row cost of a nested-loop inner or a correlated subquery is a
+// scan reset, not a tree rebuild. Scan operators write only their own
+// table's column slice of the block-width output row, leaving the other
+// slots untouched — join operators exploit this by handing every child the
+// same reusable composite-row buffer.
 #ifndef SYSTEMR_EXEC_OPERATORS_H_
 #define SYSTEMR_EXEC_OPERATORS_H_
 
@@ -8,6 +16,7 @@
 
 #include "exec/exec_context.h"
 #include "exec/expr_eval.h"
+#include "exec/expr_program.h"
 #include "optimizer/plan.h"
 
 namespace systemr {
@@ -16,6 +25,12 @@ class Operator {
  public:
   virtual ~Operator() = default;
   virtual Status Open() = 0;
+  /// Re-opens the operator for a new outer binding without rebuilding the
+  /// tree. `outer` replaces the binding row captured at construction when
+  /// non-null (its address must stay stable across calls); null keeps the
+  /// current binding (correlated subqueries resolve outer references through
+  /// the ExecContext ancestor stack instead).
+  virtual Status Rebind(const Row* outer) = 0;
   /// Produces the next row. Sets *has_row=false at end of stream.
   virtual Status Next(Row* out, bool* has_row) = 0;
   virtual void Close() {}
@@ -30,24 +45,34 @@ std::unique_ptr<Operator> BuildOperator(ExecContext* ctx,
 
 /// RSS scan bridging the RSI into block-width rows; applies dynamic bounds
 /// and dynamic SARGs from `binding`, then residual single-table predicates.
+/// The underlying RSI scan object is created once; Open()/Rebind() re-derive
+/// the dynamic SARG values and index bounds in place and reset its position.
 class ScanOp : public Operator {
  public:
   ScanOp(ExecContext* ctx, const BoundQueryBlock* block, const PlanNode* node,
-         const Row* binding)
-      : ctx_(ctx), block_(block), node_(node), binding_(binding) {}
+         const Row* binding);
 
   Status Open() override;
+  Status Rebind(const Row* outer) override;
   Status Next(Row* out, bool* has_row) override;
 
   /// TID of the most recently returned tuple (for DML).
   Tid last_tid() const { return last_tid_; }
 
  private:
+  /// Writes the current binding's values into the scan's dynamic SARG slots
+  /// and (for index scans) recomputes the key range.
+  Status BindDynamic();
+
   ExecContext* ctx_;
   const BoundQueryBlock* block_;
   const PlanNode* node_;
   const Row* binding_;
   std::unique_ptr<RsiScan> scan_;
+  ExprProgram residual_;
+  size_t offset_ = 0;        // Block-row offset of this table's slice.
+  size_t static_sargs_ = 0;  // Dynamic SARGs start at this index.
+  Row base_;                 // Scratch tuple the RSI scan decodes into.
   Tid last_tid_;
 };
 
@@ -55,9 +80,12 @@ class FilterOp : public Operator {
  public:
   FilterOp(ExecContext* ctx, const BoundQueryBlock* block,
            const PlanNode* node, std::unique_ptr<Operator> child)
-      : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
+      : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {
+    residual_.CompilePreds(&node->residual);
+  }
 
   Status Open() override { return child_->Open(); }
+  Status Rebind(const Row* outer) override { return child_->Rebind(outer); }
   Status Next(Row* out, bool* has_row) override;
   void Close() override { child_->Close(); }
 
@@ -66,15 +94,16 @@ class FilterOp : public Operator {
   const BoundQueryBlock* block_;
   const PlanNode* node_;
   std::unique_ptr<Operator> child_;
+  ExprProgram residual_;
 };
 
 class ProjectOp : public Operator {
  public:
   ProjectOp(ExecContext* ctx, const BoundQueryBlock* block,
-            const PlanNode* node, std::unique_ptr<Operator> child)
-      : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
+            const PlanNode* node, std::unique_ptr<Operator> child);
 
   Status Open() override { return child_->Open(); }
+  Status Rebind(const Row* outer) override { return child_->Rebind(outer); }
   Status Next(Row* out, bool* has_row) override;
   void Close() override { child_->Close(); }
 
@@ -83,6 +112,8 @@ class ProjectOp : public Operator {
   const BoundQueryBlock* block_;
   const PlanNode* node_;
   std::unique_ptr<Operator> child_;
+  std::vector<ExprProgram> items_;
+  Row in_;  // Reusable block-width input buffer.
 };
 
 }  // namespace systemr

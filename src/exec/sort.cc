@@ -111,6 +111,17 @@ Status SortOp::MergePass(std::vector<std::unique_ptr<TempRowFile>>* runs) {
 
 Status SortOp::Open() {
   RETURN_IF_ERROR(child_->Open());
+  return Fill();
+}
+
+Status SortOp::Rebind(const Row* outer) {
+  RETURN_IF_ERROR(child_->Rebind(outer));
+  return Fill();
+}
+
+Status SortOp::Fill() {
+  runs_.clear();
+  emitted_any_ = false;
   std::vector<Row> buffer;
   size_t buffered_bytes = 0;
   size_t limit = RunLimitBytes();

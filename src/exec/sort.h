@@ -49,6 +49,7 @@ class SortOp : public Operator {
       : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
 
   Status Open() override;
+  Status Rebind(const Row* outer) override;
   Status Next(Row* out, bool* has_row) override;
   void Close() override { child_->Close(); }
 
@@ -57,6 +58,8 @@ class SortOp : public Operator {
   size_t RunLimitBytes() const;
 
  private:
+  /// Drains the (re-opened) child into sorted runs and arms the final merge.
+  Status Fill();
   Status SpillRun(std::vector<Row>* rows);
   /// Merges `inputs` into one output file (or, for the final pass, leaves
   /// the merge to the Next() iterator).

@@ -36,7 +36,10 @@ bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
 }
 
 // Runs the subquery plan, returning its projected rows. The current outer
-// row is pushed onto the ancestor stack for correlated references.
+// row is pushed onto the ancestor stack for correlated references. The
+// operator tree is built once per statement and cached in the ExecContext;
+// re-evaluations only Rebind() it (reset scan positions, re-derive dynamic
+// bounds) instead of rebuilding the whole tree per outer row.
 Status RunSubquery(ExecContext* ctx, const BoundQueryBlock* block,
                    const Row& outer_row, std::vector<Row>* rows) {
   const PlanRef* plan = ctx->SubplanFor(block);
@@ -44,9 +47,14 @@ Status RunSubquery(ExecContext* ctx, const BoundQueryBlock* block,
     return Status::Internal("no plan recorded for nested query block");
   }
   ctx->ancestors().push_back(&outer_row);
-  std::unique_ptr<Operator> op =
-      BuildOperator(ctx, block, plan->get(), nullptr);
-  Status st = op->Open();
+  std::unique_ptr<Operator>& op = ctx->SubqueryOpFor(block);
+  Status st;
+  if (op == nullptr) {
+    op = BuildOperator(ctx, block, plan->get(), nullptr);
+    st = op->Open();
+  } else {
+    st = op->Rebind(nullptr);
+  }
   while (st.ok()) {
     Row row;
     bool has;

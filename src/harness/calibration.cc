@@ -118,9 +118,24 @@ Status WriteFuzzReport(const FuzzReport& report, const std::string& path) {
     q_rows.push_back(QError(r.est_rows, static_cast<double>(r.actual_rows)));
   }
 
+  uint64_t total_gets = 0, total_hits = 0;
+  for (const CalibrationRecord& r : report.records) {
+    total_gets += r.buffer_gets;
+    total_hits += r.buffer_hits;
+  }
+
   std::string out = "{\n";
   out += "  \"seeds\": " + std::to_string(report.seeds) + ",\n";
   out += "  \"queries\": " + std::to_string(report.queries) + ",\n";
+  out += "  \"buffer\": {\n";
+  out += "    \"gets\": " + std::to_string(total_gets) + ",\n";
+  out += "    \"hits\": " + std::to_string(total_hits) + ",\n";
+  out += "    \"hit_ratio\": " +
+         Num(total_gets > 0
+                 ? static_cast<double>(total_hits) / total_gets
+                 : 0) +
+         "\n";
+  out += "  },\n";
   out += "  \"violations\": " + std::to_string(report.violations.size()) +
          ",\n";
   out += "  \"violation_messages\": [";
@@ -154,6 +169,8 @@ Status WriteFuzzReport(const FuzzReport& report, const std::string& path) {
     out += ", \"actual_rsi\": " + std::to_string(r.actual_rsi);
     out += ", \"est_rows\": " + Num(r.est_rows);
     out += ", \"actual_rows\": " + std::to_string(r.actual_rows);
+    out += ", \"buffer_gets\": " + std::to_string(r.buffer_gets);
+    out += ", \"buffer_hits\": " + std::to_string(r.buffer_hits);
     out += ", \"page_fetch_ratio\": " +
            Num(r.actual_pages > 0 ? r.est_pages / r.actual_pages
                                   : r.est_pages);

@@ -37,6 +37,8 @@ struct CalibrationRecord {
   uint64_t actual_rsi = 0;
   double est_rows = 0;
   uint64_t actual_rows = 0;
+  uint64_t buffer_gets = 0;  // Buffer-pool requests during execution.
+  uint64_t buffer_hits = 0;  // Requests served without a simulated fetch.
 };
 
 struct FuzzReport {

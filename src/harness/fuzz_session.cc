@@ -128,6 +128,8 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
       rec.actual_rsi = dp->stats.rsi_calls;
       rec.est_rows = prepared->est_rows;
       rec.actual_rows = dp->rows.size();
+      rec.buffer_gets = dp->stats.buffer_gets;
+      rec.buffer_hits = dp->stats.buffer_hits;
       report->records.push_back(std::move(rec));
     }
 

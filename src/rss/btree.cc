@@ -54,22 +54,32 @@ PageId BTree::AllocNode(bool leaf) {
   return pid;
 }
 
-void BTree::ReadNode(PageId pid, Node* node) const {
+const BTree::Node* BTree::GetNode(PageId pid) const {
+  // The fetch is issued unconditionally so metering (buffer gets, simulated
+  // page fetches, LRU state) is identical whether or not the decoded form is
+  // cached; the cache only skips re-deserialization.
   const Page* page = pool_->Fetch(pid);
+  auto [it, inserted] = node_cache_.try_emplace(pid);
+  if (!inserted) return &it->second;
+
+  Node* node = &it->second;
   const char* p = page->bytes.data();
   node->is_leaf = p[0] != 0;
   uint16_t count;
   std::memcpy(&count, p + 1, 2);
   std::memcpy(&node->next, p + 3, 4);
   size_t pos = kNodeHeader;
-  node->keys.clear();
-  node->tids.clear();
-  node->children.clear();
   if (!node->is_leaf) {
     PageId child;
     std::memcpy(&child, p + pos, 4);
     pos += 4;
     node->children.push_back(child);
+  }
+  node->keys.reserve(count);
+  if (node->is_leaf) {
+    node->tids.reserve(count);
+  } else {
+    node->children.reserve(count + 1);
   }
   for (uint16_t i = 0; i < count; ++i) {
     uint16_t klen;
@@ -87,10 +97,18 @@ void BTree::ReadNode(PageId pid, Node* node) const {
       node->children.push_back(child);
     }
   }
+  return node;
 }
 
 void BTree::WriteNode(PageId pid, const Node& node) {
   assert(node.SerializedSize() <= kPageSize);
+  // Keep the decoded cache coherent (updated in place: stable addresses).
+  auto it = node_cache_.find(pid);
+  if (it == node_cache_.end()) {
+    node_cache_.emplace(pid, node);
+  } else if (&it->second != &node) {
+    it->second = node;
+  }
   Page* page = pool_->Fetch(pid);
   char* p = page->bytes.data();
   p[0] = node.is_leaf ? 1 : 0;
@@ -146,8 +164,7 @@ Status BTree::Insert(const std::string& user_key, Tid tid) {
 std::optional<BTree::SplitResult> BTree::InsertRec(PageId pid,
                                                    const std::string& stored,
                                                    uint64_t tid) {
-  Node node;
-  ReadNode(pid, &node);
+  Node node = *GetNode(pid);  // Mutable working copy.
   if (node.is_leaf) {
     auto it = std::upper_bound(node.keys.begin(), node.keys.end(), stored);
     size_t idx = static_cast<size_t>(it - node.keys.begin());
@@ -199,8 +216,7 @@ std::optional<BTree::SplitResult> BTree::InsertRec(PageId pid,
 Status BTree::Delete(const std::string& user_key, Tid tid) {
   std::string stored = MakeStoredKey(user_key, tid);
   PageId leaf = FindLeaf(stored);
-  Node node;
-  ReadNode(leaf, &node);
+  Node node = *GetNode(leaf);  // Mutable working copy.
   auto it = std::lower_bound(node.keys.begin(), node.keys.end(), stored);
   if (it == node.keys.end() || *it != stored) {
     return Status::NotFound("index entry not found");
@@ -216,18 +232,17 @@ Status BTree::Delete(const std::string& user_key, Tid tid) {
 PageId BTree::FindLeaf(const std::string& target) const {
   PageId pid = root_;
   while (true) {
-    Node node;
-    ReadNode(pid, &node);
-    if (node.is_leaf) return pid;
+    const Node* node = GetNode(pid);
+    if (node->is_leaf) return pid;
     // lower_bound routing: keys equal to a separator live in the right
     // subtree (separators are first-keys of right siblings), but a *seek*
     // target is a bare user key, always strictly shorter than any stored key
     // with that user prefix, so lower_bound routing finds the leftmost
     // candidate.
-    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), target);
-    size_t idx = static_cast<size_t>(it - node.keys.begin());
-    if (it != node.keys.end() && *it == target) ++idx;
-    pid = node.children[idx];
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), target);
+    size_t idx = static_cast<size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == target) ++idx;
+    pid = node->children[idx];
   }
 }
 
@@ -239,30 +254,27 @@ bool BTree::ContainsKey(const std::string& user_key) const {
 
 void BTree::Cursor::LoadLeaf(PageId leaf) {
   leaf_ = leaf;
-  Node node;
-  tree_->ReadNode(leaf, &node);
-  keys_ = std::move(node.keys);
-  tids_ = std::move(node.tids);
-  next_leaf_ = node.next;
+  node_ = tree_->GetNode(leaf);
 }
 
 void BTree::Cursor::LoadEntry() {
-  user_key_ = UserKeyOf(keys_[pos_]);
-  tid_ = Tid::Unpack(tids_[pos_]);
+  const std::string& stored = node_->keys[pos_];
+  user_key_.assign(stored, 0, stored.size() - 8);
+  tid_ = Tid::Unpack(node_->tids[pos_]);
 }
 
 void BTree::Cursor::Seek(const std::string& start) {
   PageId leaf = tree_->FindLeaf(start);
   LoadLeaf(leaf);
-  auto it = std::lower_bound(keys_.begin(), keys_.end(), start);
-  pos_ = static_cast<size_t>(it - keys_.begin());
+  auto it = std::lower_bound(node_->keys.begin(), node_->keys.end(), start);
+  pos_ = static_cast<size_t>(it - node_->keys.begin());
   // The first matching entry may be at the start of the next leaf.
-  while (pos_ >= keys_.size()) {
-    if (next_leaf_ == kInvalidPage) {
+  while (pos_ >= node_->keys.size()) {
+    if (node_->next == kInvalidPage) {
       valid_ = false;
       return;
     }
-    LoadLeaf(next_leaf_);
+    LoadLeaf(node_->next);
     pos_ = 0;
   }
   valid_ = true;
@@ -272,12 +284,12 @@ void BTree::Cursor::Seek(const std::string& start) {
 void BTree::Cursor::Next() {
   if (!valid_) return;
   ++pos_;
-  while (pos_ >= keys_.size()) {
-    if (next_leaf_ == kInvalidPage) {
+  while (pos_ >= node_->keys.size()) {
+    if (node_->next == kInvalidPage) {
       valid_ = false;
       return;
     }
-    LoadLeaf(next_leaf_);
+    LoadLeaf(node_->next);
     pos_ = 0;
   }
   LoadEntry();

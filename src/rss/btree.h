@@ -12,6 +12,7 @@
 #define SYSTEMR_RSS_BTREE_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +49,10 @@ class BTree {
   int height() const { return height_; }
   uint64_t num_entries() const { return num_entries_; }
 
+ private:
+  struct Node;  // Declared below; cursors point into the decoded-node cache.
+
+ public:
   /// Forward cursor over leaf entries in key order. A series of Nexts does a
   /// sequential read along the chained leaf pages (§3).
   class Cursor {
@@ -74,10 +79,11 @@ class BTree {
     const BTree* tree_;
     bool valid_ = false;
     PageId leaf_ = kInvalidPage;
-    // Deserialized copy of the current leaf.
-    std::vector<std::string> keys_;
-    std::vector<uint64_t> tids_;
-    PageId next_leaf_ = kInvalidPage;
+    // Current leaf in the tree's decoded-node cache. Stable: the cache is
+    // node-based, entries are updated in place and never evicted, and no
+    // cursor is ever live across an index write (DML collects its targets
+    // before mutating).
+    const Node* node_ = nullptr;
     size_t pos_ = 0;
     std::string user_key_;
     Tid tid_;
@@ -101,7 +107,12 @@ class BTree {
     size_t SerializedSize() const;
   };
 
-  void ReadNode(PageId pid, Node* node) const;
+  /// Returns the decoded node for `pid`, decoding and caching it on first
+  /// access. Every call is metered as one buffer-pool fetch, exactly like the
+  /// raw page read it replaces; the cache only elides re-deserialization.
+  /// Entries are updated in place by WriteNode and never evicted, so the
+  /// returned pointer stays valid for the lifetime of the tree.
+  const Node* GetNode(PageId pid) const;
   void WriteNode(PageId pid, const Node& node);
   PageId AllocNode(bool leaf);
 
@@ -121,6 +132,9 @@ class BTree {
   IndexId id_;
   bool unique_;
   PageId root_;
+  // Decoded-node cache, keyed by page id. std::map so node addresses are
+  // stable across inserts (cursors and descent loops hold raw pointers).
+  mutable std::map<PageId, Node> node_cache_;
   size_t num_pages_ = 0;
   size_t num_leaf_pages_ = 0;
   int height_ = 1;

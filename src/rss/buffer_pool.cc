@@ -3,15 +3,19 @@
 namespace systemr {
 
 Page* BufferPool::Fetch(PageId id) {
+  // One hash lookup for both outcomes: try_emplace either finds the resident
+  // entry (hit) or inserts the slot the miss path fills in.
   ++stats_.logical_gets;
-  auto it = resident_.find(id);
-  if (it != resident_.end()) {
+  auto [it, inserted] = resident_.try_emplace(id);
+  if (!inserted) {
     // Hit: move to MRU position.
     lru_.splice(lru_.begin(), lru_, it->second);
     return store_->Get(id);
   }
   ++stats_.fetches;
-  Touch(id);
+  lru_.push_front(id);
+  it->second = lru_.begin();
+  Shrink();
   return store_->Get(id);
 }
 

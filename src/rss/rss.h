@@ -21,6 +21,7 @@ struct RssSnapshot {
   uint64_t page_fetches = 0;
   uint64_t page_writes = 0;
   uint64_t rsi_calls = 0;
+  uint64_t logical_gets = 0;  // All buffer requests; hits = gets - fetches.
 
   uint64_t page_io() const { return page_fetches + page_writes; }
 };
@@ -60,7 +61,8 @@ class Rss {
 
   RssSnapshot Snapshot() const {
     const BufferStats& b = pool_.stats();
-    return RssSnapshot{b.fetches, b.writes, counters_.rsi_calls};
+    return RssSnapshot{b.fetches, b.writes, counters_.rsi_calls,
+                       b.logical_gets};
   }
 
  private:

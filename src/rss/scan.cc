@@ -33,10 +33,9 @@ bool SegmentScan::Next(Row* row, Tid* tid) {
     if (!sp.Read(slot, &record)) continue;
     RelId rel;
     if (!DecodeRelId(record, &rel) || rel != relid_) continue;
-    Row candidate;
-    if (!DecodeTuple(record, &rel, &candidate)) continue;
-    if (!MatchesAll(sargs_, candidate)) continue;
-    *row = std::move(candidate);
+    // Decode straight into the caller's buffer — no per-tuple Row.
+    if (!DecodeTuple(record, &rel, row)) continue;
+    if (!MatchesAll(sargs_, *row)) continue;
     if (tid != nullptr) *tid = Tid{pid, slot};
     ++counters_->rsi_calls;
     return true;
@@ -71,12 +70,11 @@ bool IndexScan::InRange() const {
 bool IndexScan::Next(Row* row, Tid* tid) {
   while (cursor_.Valid() && InRange()) {
     Tid t = cursor_.tid();
-    Row candidate;
-    Status st = heap_->ReadTuple(t, &candidate);
+    // Decode straight into the caller's buffer — no per-tuple Row.
+    Status st = heap_->ReadTuple(t, row);
     cursor_.Next();
     if (!st.ok()) continue;  // Dangling entry; skip defensively.
-    if (!MatchesAll(sargs_, candidate)) continue;
-    *row = std::move(candidate);
+    if (!MatchesAll(sargs_, *row)) continue;
     if (tid != nullptr) *tid = t;
     ++counters_->rsi_calls;
     return true;

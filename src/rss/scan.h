@@ -41,11 +41,21 @@ class RsiScan {
  public:
   virtual ~RsiScan() = default;
 
+  /// Positions the scan at the start. May be called repeatedly: a re-Open
+  /// resets the position, so one scan object serves every probe of a
+  /// nested-loop inner or correlated subquery.
   virtual Status Open() = 0;
 
   /// Advances to the next qualifying tuple. Returns false when exhausted.
-  /// Each successful call counts one RSI call.
+  /// Each successful call counts one RSI call. `*row` is used as a decode
+  /// buffer: it may be overwritten even for tuples the SARGs reject, and
+  /// holds the accepted tuple only when the call returns true.
   virtual bool Next(Row* row, Tid* tid) = 0;
+
+  /// Mutable view of the scan's SARGs, so dynamically-bound terms (§5 join
+  /// SARGs) can be updated in place between re-Opens instead of rebuilding
+  /// the scan.
+  virtual SargList* mutable_sargs() = 0;
 
   virtual void Close() = 0;
 };
@@ -62,6 +72,7 @@ class SegmentScan : public RsiScan {
 
   Status Open() override;
   bool Next(Row* row, Tid* tid) override;
+  SargList* mutable_sargs() override { return &sargs_; }
   void Close() override {}
 
  private:
@@ -98,7 +109,11 @@ class IndexScan : public RsiScan {
 
   Status Open() override;
   bool Next(Row* row, Tid* tid) override;
+  SargList* mutable_sargs() override { return &sargs_; }
   void Close() override {}
+
+  /// Replaces the key range before a re-Open (nested-loop rebinding).
+  void set_range(KeyRange range) { range_ = std::move(range); }
 
  private:
   /// True if the cursor's current key is within the stop bound.

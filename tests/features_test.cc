@@ -1,10 +1,12 @@
 // HAVING, SELECT DISTINCT, and LIKE (including the prefix-pattern
 // sargability that turns LIKE 'ABC%' into index bounds).
+#include <chrono>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "db/database.h"
+#include "exec/expr_eval.h"
 
 namespace systemr {
 namespace {
@@ -153,6 +155,26 @@ TEST_F(FeaturesTest, InnerWildcardLikeStaysResidual) {
   // Still answers correctly: ADAMS only.
   EXPECT_EQ(Q("SELECT EMPNO FROM EMP WHERE NAME LIKE 'A%S'").rows.size(),
             10u);
+}
+
+// Regression: the matcher must stay iterative. The recursive formulation
+// backtracked exponentially on repeated-wildcard patterns, so a pattern like
+// '%a%a%a%a%a' against a long all-'a' subject that fails only at the last
+// literal would effectively hang.
+TEST(LikeMatchTest, PathologicalPatternFinishesInstantly) {
+  std::string subject(20000, 'a');
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(LikeMatch(subject, "%a%a%a%a%a%a%a%a%a%ab"));
+  EXPECT_TRUE(LikeMatch(subject, "%a%a%a%a%a"));
+  EXPECT_TRUE(LikeMatch(subject, "%a%a%a%a%a%"));
+  EXPECT_FALSE(LikeMatch(subject + "b", "%a%a%a%a%a"));
+  EXPECT_TRUE(LikeMatch(subject + "b", "%a%a%a%a%ab"));
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  // The iterative two-pointer matcher is O(subject * pattern); these five
+  // calls are microseconds. Give three orders of magnitude of slack.
+  EXPECT_LT(ms, 1000.0);
 }
 
 TEST_F(FeaturesTest, LikeTypeChecked) {
