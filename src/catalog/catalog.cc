@@ -62,7 +62,10 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(
   RETURN_IF_ERROR(scan->Open());
   Row row;
   Tid tid;
-  while (scan->Next(&row, &tid)) {
+  while (true) {
+    bool has;
+    RETURN_IF_ERROR(scan->Next(&row, &tid, &has));
+    if (!has) break;
     RETURN_IF_ERROR(btree->Insert(ExtractKey(*info, row), tid));
   }
   scan->Close();

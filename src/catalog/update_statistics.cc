@@ -22,14 +22,29 @@ Status Catalog::UpdateStatistics(const std::string& table_name) {
   std::set<PageId> pages_with_t;
   uint64_t non_empty_pages = 0;
   for (PageId pid : segment->pages()) {
-    SlottedPage sp(pool.Fetch(pid));
+    ASSIGN_OR_RETURN(Page * page, pool.Fetch(pid));
+    SlottedPage sp(page);
+    if (!sp.ValidateHeader()) {
+      return Status::DataLoss("corrupt slotted page " + std::to_string(pid));
+    }
     bool page_non_empty = false;
     for (uint16_t slot = 0; slot < sp.slot_count(); ++slot) {
       std::string_view record;
-      if (!sp.Read(slot, &record)) continue;
+      switch (sp.ReadSlot(slot, &record)) {
+        case SlotState::kEmpty:
+          continue;
+        case SlotState::kCorrupt:
+          return Status::DataLoss("corrupt slot directory on page " +
+                                  std::to_string(pid));
+        case SlotState::kLive:
+          break;
+      }
       page_non_empty = true;
       RelId rel;
-      if (!DecodeRelId(record, &rel)) continue;
+      if (!DecodeRelId(record, &rel)) {
+        return Status::DataLoss("undecodable record on page " +
+                                std::to_string(pid));
+      }
       if (rel == table->id) {
         ++ncard;
         pages_with_t.insert(pid);
@@ -61,7 +76,8 @@ Status Catalog::UpdateStatistics(const std::string& table_name) {
     PageId prev_page = kInvalidPage;
 
     BTree::Cursor cursor = btree->NewCursor();
-    for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next()) {
+    RETURN_IF_ERROR(cursor.SeekToFirst());
+    while (cursor.Valid()) {
       const std::string& key = cursor.user_key();
       // Leading key column: decode to find its encoding boundary and value.
       size_t pos = 0;
@@ -89,6 +105,7 @@ Status Catalog::UpdateStatistics(const std::string& table_name) {
       prev_full = key;
       prev_leading = std::move(leading_prefix);
       first = false;
+      RETURN_IF_ERROR(cursor.Next());
     }
 
     info->icard = icard;

@@ -4,6 +4,7 @@
 #define SYSTEMR_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
@@ -19,7 +20,15 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  // Storage-fault propagation (RSS integrity layer):
+  kDataLoss,            // Corrupt page/record detected (checksum/structure).
+  kIoError,             // Simulated device read failure (retries exhausted).
+  kResourceExhausted,   // Per-statement budget (page fetches, rows) exceeded.
+  kCancelled,           // Cooperative cancellation or statement deadline.
 };
+
+/// Name of a code as it appears in Status::ToString (e.g. "DATA_LOSS").
+const char* StatusCodeName(StatusCode code);
 
 /// Result of an operation that may fail. Cheap to copy when OK.
 class Status {
@@ -46,6 +55,18 @@ class Status {
   }
   static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -96,6 +117,12 @@ class StatusOr {
  private:
   void CheckOk() const {
     if (!status_.ok()) {
+      // Diagnosable abort: fuzzer and test crashes must name the status that
+      // was dereferenced, not die silently.
+      std::fprintf(stderr,
+                   "FATAL: StatusOr::value() called on non-OK status: %s\n",
+                   status_.ToString().c_str());
+      std::fflush(stderr);
       std::abort();
     }
   }

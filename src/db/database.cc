@@ -39,6 +39,7 @@ StatusOr<OptimizedQuery> Database::PrepareBaseline(const std::string& sql,
 
 StatusOr<QueryResult> Database::Run(const OptimizedQuery& query) {
   ExecContext ctx(&rss_, &catalog_, &query.subquery_plans, options_.cost.w);
+  ctx.set_limits(exec_limits_);
   ASSIGN_OR_RETURN(ExecResult exec, ExecutePlan(&ctx, *query.block,
                                                 query.root));
   QueryResult result;

@@ -62,6 +62,12 @@ class Database {
   OptimizerOptions& options() { return options_; }
   const OptimizerOptions& options() const { return options_; }
 
+  /// Per-statement resource limits applied to every subsequent SELECT run
+  /// through this database. A statement that trips a limit aborts with
+  /// kResourceExhausted/kCancelled; the database stays usable.
+  void set_exec_limits(const ExecLimits& limits) { exec_limits_ = limits; }
+  const ExecLimits& exec_limits() const { return exec_limits_; }
+
  private:
   StatusOr<std::unique_ptr<BoundQueryBlock>> BindSql(const std::string& sql);
   Status ExecuteStatement(Statement& stmt);
@@ -70,6 +76,7 @@ class Database {
   OptimizerOptions options_;
   Rss rss_;
   Catalog catalog_;
+  ExecLimits exec_limits_;
 };
 
 }  // namespace systemr

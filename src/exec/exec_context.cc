@@ -47,6 +47,39 @@ const std::vector<std::pair<int, size_t>>& ExecContext::OuterRefsFor(
   return outer_refs_[block] = std::move(refs);
 }
 
+void ExecContext::ArmLimits() {
+  limits_baseline_gets_ = rss_->pool().stats().logical_gets;
+}
+
+Status ExecContext::CheckInterruptsSlow() {
+  if (limits_.cancel != nullptr &&
+      limits_.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("statement cancelled");
+  }
+  if (limits_.max_buffer_gets > 0) {
+    uint64_t used = rss_->pool().stats().logical_gets - limits_baseline_gets_;
+    if (used > limits_.max_buffer_gets) {
+      return Status::ResourceExhausted(
+          "statement page-access budget exceeded (" +
+          std::to_string(limits_.max_buffer_gets) + " buffer gets)");
+    }
+  }
+  if (limits_.has_deadline &&
+      std::chrono::steady_clock::now() >= limits_.deadline) {
+    return Status::Cancelled("statement deadline exceeded");
+  }
+  return Status::OK();
+}
+
+Status ExecContext::CheckRowLimit(uint64_t rows_produced) const {
+  if (limits_.max_rows > 0 && rows_produced > limits_.max_rows) {
+    return Status::ResourceExhausted("statement row limit exceeded (" +
+                                     std::to_string(limits_.max_rows) +
+                                     " rows)");
+  }
+  return Status::OK();
+}
+
 PageId ExecContext::NewTempPage() {
   PageId pid = rss_->pool().NewPage();
   temp_pages_.push_back(pid);

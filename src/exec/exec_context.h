@@ -6,6 +6,8 @@
 #ifndef SYSTEMR_EXEC_EXEC_CONTEXT_H_
 #define SYSTEMR_EXEC_EXEC_CONTEXT_H_
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <vector>
@@ -17,6 +19,19 @@
 namespace systemr {
 
 class Operator;
+
+/// Per-statement resource limits — graceful degradation instead of runaway
+/// queries. Zero/absent fields mean unlimited. Budget and row limits are
+/// deterministic (they count metered work, not time) so fault-injection runs
+/// stay reproducible; the deadline and cancel flag are the cooperative
+/// wall-clock controls.
+struct ExecLimits {
+  uint64_t max_buffer_gets = 0;  // Logical page accesses per statement.
+  uint64_t max_rows = 0;         // Result rows per statement.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  const std::atomic<bool>* cancel = nullptr;  // Not owned; may be null.
+};
 
 /// Metered work for one statement (delta of RSS snapshots).
 struct ExecStats {
@@ -98,6 +113,26 @@ class ExecContext {
   /// Operator to be a complete type.
   std::unique_ptr<Operator>& SubqueryOpFor(const BoundQueryBlock* block);
 
+  // --- Per-statement limits (graceful degradation) ---
+  void set_limits(const ExecLimits& limits) {
+    limits_ = limits;
+    interruptible_ = limits.cancel != nullptr || limits.max_buffer_gets > 0 ||
+                     limits.has_deadline;
+  }
+  const ExecLimits& limits() const { return limits_; }
+  /// Snapshots the buffer-get baseline; the budget counts work from here.
+  void ArmLimits();
+  /// Cancellation/budget point, called per candidate tuple by the scans:
+  /// kCancelled on cancel flag or expired deadline, kResourceExhausted once
+  /// the statement's buffer-get budget is spent. Inline fast path: an
+  /// unlimited statement pays one predictable branch per tuple.
+  Status CheckInterrupts() {
+    if (!interruptible_) return Status::OK();
+    return CheckInterruptsSlow();
+  }
+  /// kResourceExhausted once the statement has produced > max_rows rows.
+  Status CheckRowLimit(uint64_t rows_produced) const;
+
   // --- Temp storage for sorts (metered through the buffer pool) ---
   /// Allocates a page owned by this statement's temp space.
   PageId NewTempPage();
@@ -117,7 +152,12 @@ class ExecContext {
   std::map<const BoundQueryBlock*, std::unique_ptr<Operator>> subquery_ops_;
   std::map<const BoundQueryBlock*, std::vector<std::pair<int, size_t>>>
       outer_refs_;
+  Status CheckInterruptsSlow();
+
   std::vector<PageId> temp_pages_;
+  ExecLimits limits_;
+  bool interruptible_ = false;
+  uint64_t limits_baseline_gets_ = 0;
 };
 
 }  // namespace systemr

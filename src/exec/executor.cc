@@ -53,6 +53,7 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
   std::unique_ptr<Operator> op =
       BuildOperator(ctx, &block, root.get(), nullptr);
   if (op == nullptr) return Status::Internal("unbuildable plan");
+  ctx->ArmLimits();
   RETURN_IF_ERROR(op->Open());
   while (true) {
     Row row;
@@ -60,6 +61,7 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
     RETURN_IF_ERROR(op->Next(&row, &has));
     if (!has) break;
     result.rows.push_back(std::move(row));
+    RETURN_IF_ERROR(ctx->CheckRowLimit(result.rows.size()));
   }
   op->Close();
   ctx->ReleaseTempPages();

@@ -89,7 +89,13 @@ Status ScanOp::Rebind(const Row* outer) {
 Status ScanOp::Next(Row* out, bool* has_row) {
   if (out->size() != block_->row_width) out->resize(block_->row_width);
   Tid tid;
-  while (scan_->Next(&base_, &tid)) {
+  while (true) {
+    // Every candidate tuple is a cancellation/budget point: a runaway scan
+    // aborts within one tuple of the limit being hit.
+    RETURN_IF_ERROR(ctx_->CheckInterrupts());
+    bool has;
+    RETURN_IF_ERROR(scan_->Next(&base_, &tid, &has));
+    if (!has) break;
     size_t limit = out->size() > offset_ ? out->size() - offset_ : 0;
     size_t n = std::min(base_.size(), limit);
     for (size_t i = 0; i < n; ++i) {

@@ -12,12 +12,14 @@ Status TempRowFile::Append(const Row& row) {
     return Status::InvalidArgument("row too large for a temp page");
   }
   if (current_ != kInvalidPage) {
-    SlottedPage sp(ctx_->rss()->pool().Fetch(current_));
+    ASSIGN_OR_RETURN(Page * page, ctx_->rss()->pool().FetchMut(current_));
+    SlottedPage sp(page);
     if (sp.Insert(record) >= 0) return Status::OK();
   }
   current_ = ctx_->NewTempPage();
   pages_.push_back(current_);
-  SlottedPage sp(ctx_->rss()->pool().Fetch(current_));
+  ASSIGN_OR_RETURN(Page * fresh, ctx_->rss()->pool().FetchMut(current_));
+  SlottedPage sp(fresh);
   sp.Init();
   if (sp.Insert(record) < 0) {
     return Status::Internal("temp page insert failed");
@@ -27,21 +29,35 @@ Status TempRowFile::Append(const Row& row) {
 
 void TempRowFile::Finish() { current_ = kInvalidPage; }
 
-bool TempRowFile::Reader::Next(Row* row) {
+Status TempRowFile::Reader::Next(Row* row, bool* has_row) {
+  *has_row = false;
   while (page_idx_ < pages_->size()) {
-    SlottedPage sp(ctx_->rss()->pool().Fetch((*pages_)[page_idx_]));
+    PageId pid = (*pages_)[page_idx_];
+    ASSIGN_OR_RETURN(Page * page, ctx_->rss()->pool().Fetch(pid));
+    SlottedPage sp(page);
     if (slot_ >= sp.slot_count()) {
       ++page_idx_;
       slot_ = 0;
       continue;
     }
     std::string_view record;
-    if (!sp.Read(slot_++, &record)) continue;
+    switch (sp.ReadSlot(slot_++, &record)) {
+      case SlotState::kEmpty:
+        continue;
+      case SlotState::kCorrupt:
+        return Status::DataLoss("corrupt temp page " + std::to_string(pid));
+      case SlotState::kLive:
+        break;
+    }
     RelId rel;
-    if (!DecodeTuple(record, &rel, row)) return false;
-    return true;
+    if (!DecodeTuple(record, &rel, row)) {
+      return Status::DataLoss("undecodable row on temp page " +
+                              std::to_string(pid));
+    }
+    *has_row = true;
+    return Status::OK();
   }
-  return false;
+  return Status::OK();
 }
 
 int SortOp::Compare(const Row& a, const Row& b) const {
@@ -87,7 +103,7 @@ Status SortOp::MergePass(std::vector<std::unique_ptr<TempRowFile>>* runs) {
       heads.resize(readers.size());
       for (size_t i = 0; i < readers.size(); ++i) {
         heads[i].reader = i;
-        heads[i].valid = readers[i].Next(&heads[i].row);
+        RETURN_IF_ERROR(readers[i].Next(&heads[i].row, &heads[i].valid));
       }
       while (true) {
         int best = -1;
@@ -99,7 +115,8 @@ Status SortOp::MergePass(std::vector<std::unique_ptr<TempRowFile>>* runs) {
         }
         if (best < 0) break;
         RETURN_IF_ERROR(merged->Append(heads[best].row));
-        heads[best].valid = readers[best].Next(&heads[best].row);
+        RETURN_IF_ERROR(
+            readers[best].Next(&heads[best].row, &heads[best].valid));
       }
       merged->Finish();
       next.push_back(std::move(merged));
@@ -150,7 +167,7 @@ Status SortOp::Fill() {
   heads_.resize(readers_.size());
   for (size_t i = 0; i < readers_.size(); ++i) {
     heads_[i].reader = i;
-    heads_[i].valid = readers_[i].Next(&heads_[i].row);
+    RETURN_IF_ERROR(readers_[i].Next(&heads_[i].row, &heads_[i].valid));
   }
   return Status::OK();
 }
@@ -169,7 +186,7 @@ Status SortOp::Next(Row* out, bool* has_row) {
       return Status::OK();
     }
     Row row = heads_[best].row;
-    heads_[best].valid = readers_[best].Next(&heads_[best].row);
+    RETURN_IF_ERROR(readers_[best].Next(&heads_[best].row, &heads_[best].valid));
     if (node_->distinct && emitted_any_ && Compare(row, last_emitted_) == 0) {
       continue;  // Duplicate under the sort keys: suppress.
     }

@@ -25,8 +25,9 @@ class TempRowFile {
    public:
     Reader(ExecContext* ctx, const std::vector<PageId>* pages)
         : ctx_(ctx), pages_(pages) {}
-    /// Reads the next row; returns false at end. Page reads are metered.
-    bool Next(Row* row);
+    /// Reads the next row; *has_row is false at end. Page reads are metered
+    /// and storage failures propagate.
+    Status Next(Row* row, bool* has_row);
 
    private:
     ExecContext* ctx_;

@@ -136,6 +136,16 @@ Status WriteFuzzReport(const FuzzReport& report, const std::string& path) {
                  : 0) +
          "\n";
   out += "  },\n";
+  out += "  \"faults\": {\n";
+  out += "    \"queries\": " + std::to_string(report.fault_queries) + ",\n";
+  out += "    \"clean_results\": " +
+         std::to_string(report.fault_clean_results) + ",\n";
+  out += "    \"clean_errors\": " + std::to_string(report.fault_clean_errors) +
+         ",\n";
+  out += "    \"budget_aborts\": " +
+         std::to_string(report.fault_budget_aborts) + ",\n";
+  out += "    \"injected\": " + std::to_string(report.faults_injected) + "\n";
+  out += "  },\n";
   out += "  \"violations\": " + std::to_string(report.violations.size()) +
          ",\n";
   out += "  \"violation_messages\": [";

@@ -46,6 +46,13 @@ struct FuzzReport {
   uint64_t queries = 0;
   std::vector<std::string> violations;
   std::vector<CalibrationRecord> records;
+
+  // Fault-injection mode counters (all zero for clean runs).
+  uint64_t fault_queries = 0;        // Queries run with injection armed.
+  uint64_t fault_clean_results = 0;  // Correct rows despite armed injection.
+  uint64_t fault_clean_errors = 0;   // Clean non-OK Status of an allowed code.
+  uint64_t fault_budget_aborts = 0;  // kResourceExhausted from the page budget.
+  uint64_t faults_injected = 0;      // Faults actually drawn by the injectors.
 };
 
 /// q-error of an estimate: max(est/actual, actual/est), with both sides

@@ -34,6 +34,73 @@ struct Violation {
   }
 };
 
+// Status codes a query may surface when storage faults or statement limits
+// are in play. Anything else (kInternal, a crash) is a robustness violation.
+bool IsCleanFaultStatus(StatusCode code) {
+  return code == StatusCode::kDataLoss || code == StatusCode::kIoError ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kCancelled;
+}
+
+// Fault-injection oracle for one prepared query. The injector is armed only
+// around the engine run; the reference rows were computed from the pristine
+// store. Protocol:
+//   1. armed run: either the reference-correct multiset, or a clean Status
+//      whose code is one of the storage/limit codes;
+//   2. disarmed rerun on the same engine: must succeed and match — faults
+//      are transient and must not have corrupted any durable state.
+void RunFaultProtocol(Database* db, const OptimizedQuery& prepared,
+                      const std::vector<Row>& ref_rows, FaultInjector* injector,
+                      bool tiny_budget, FuzzReport* report, Violation* v) {
+  // Flush so the armed run actually reads from the simulated device; a warm
+  // pool would see only injection-free hits.
+  db->rss().pool().FlushAll();
+  ExecLimits limits;
+  if (tiny_budget) limits.max_buffer_gets = 32;
+  db->set_exec_limits(limits);
+  injector->Arm();
+  auto run = db->Run(prepared);
+  injector->Disarm();
+  db->set_exec_limits(ExecLimits{});
+  if (report != nullptr) ++report->fault_queries;
+
+  if (run.ok()) {
+    if (!SameRowMultiset(ref_rows, run->rows)) {
+      v->Add("fault-wrong-answer",
+             "injected faults changed the result without an error: " +
+                 DiffSummary(ref_rows, run->rows));
+      return;
+    }
+    if (report != nullptr) ++report->fault_clean_results;
+  } else {
+    if (!IsCleanFaultStatus(run.status().code())) {
+      v->Add("fault-bad-status",
+             "unexpected status under injection: " + run.status().ToString());
+      return;
+    }
+    if (report != nullptr) {
+      ++report->fault_clean_errors;
+      if (run.status().code() == StatusCode::kResourceExhausted) {
+        ++report->fault_budget_aborts;
+      }
+    }
+  }
+
+  // Fault-free rerun: the same engine instance must still be fully usable
+  // and still agree with the reference.
+  db->rss().pool().FlushAll();
+  auto rerun = db->Run(prepared);
+  if (!rerun.ok()) {
+    v->Add("fault-rerun", "fault-free rerun failed: " +
+                              rerun.status().ToString());
+    return;
+  }
+  if (!SameRowMultiset(ref_rows, rerun->rows)) {
+    v->Add("fault-rerun",
+           "fault-free rerun diverged: " + DiffSummary(ref_rows, rerun->rows));
+  }
+}
+
 // Runs `sql` through Prepare+Run and compares against the reference rows.
 // Returns true if the query executed (regardless of comparison outcome).
 bool RunAndCompare(Database* db, const std::string& sql,
@@ -81,6 +148,15 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
   FuzzQueryGen gen(schema, seed ^ 0x9e3779b97f4a7c15ULL);
   Rng shuffle_rng(seed ^ 0xdeadbeefULL);
 
+  // Fault mode: the injector attaches to the engine's buffer pool only —
+  // the reference executor reads the raw store and stays pristine. It is
+  // armed per-query inside RunFaultProtocol, so schema build and prepare
+  // above/below never fault.
+  FaultInjector injector(seed, options.fault_config);
+  if (options.inject_faults) {
+    db.rss().pool().set_fault_injector(&injector);
+  }
+
   for (int qi = 0; qi < options.queries_per_seed; ++qi) {
     GeneratedQuery q = gen.Next();
     std::string sql = q.Sql();
@@ -95,6 +171,14 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
     auto ref_rows = ref.Execute(*prepared->block);
     if (!ref_rows.ok()) {
       v.Add("reference", ref_rows.status().message());
+      continue;
+    }
+
+    if (options.inject_faults) {
+      // Every 5th query gets a deliberately tiny page budget so the
+      // kResourceExhausted path is exercised alongside the storage faults.
+      RunFaultProtocol(&db, *prepared, *ref_rows, &injector,
+                       /*tiny_budget=*/qi % 5 == 4, report, &v);
       continue;
     }
 
@@ -180,7 +264,11 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
     }
   }
 
+  if (options.inject_faults) {
+    db.rss().pool().set_fault_injector(nullptr);
+  }
   if (report != nullptr) {
+    if (options.inject_faults) report->faults_injected += injector.faults_injected();
     ++report->seeds;
     report->queries += out.queries;
     report->violations.insert(report->violations.end(),

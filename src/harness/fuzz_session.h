@@ -10,7 +10,12 @@
 //   ordering     — when the query has ORDER BY, the engine's projected
 //     output must actually be sorted;
 //   calibration  — estimated cost / page fetches / RSI calls are recorded
-//     next to the metered actuals for the fuzz report.
+//     next to the metered actuals for the fuzz report;
+//   fault injection — with `inject_faults` the seeded FaultInjector is armed
+//     around each engine run: every query must either return the
+//     reference-correct rows or a clean storage/limit Status (kDataLoss,
+//     kIoError, kResourceExhausted, kCancelled), and a fault-free rerun on
+//     the same engine must still match the reference.
 #ifndef SYSTEMR_HARNESS_FUZZ_SESSION_H_
 #define SYSTEMR_HARNESS_FUZZ_SESSION_H_
 
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "harness/calibration.h"
+#include "rss/fault_injector.h"
 
 namespace systemr {
 
@@ -27,6 +33,17 @@ struct FuzzOptions {
   bool check_baselines = true;   // Differential vs. every BaselineKind.
   bool metamorphic = true;       // Shuffle / W-variation / index-drop.
   bool record_calibration = true;
+
+  /// Fault mode: replaces the clean-run oracles with the crash-free error
+  /// propagation oracle described above. Only deterministic limits (page
+  /// budget) are exercised — never wall-clock deadlines — so a seed's
+  /// outcome is identical on every run and platform.
+  bool inject_faults = false;
+  FaultConfig fault_config{/*io_error_rate=*/0.05,
+                           /*corruption_rate=*/0.05,
+                           /*persistent_fraction=*/0.25,
+                           /*header_fraction=*/0.5,
+                           /*warmup_reads=*/0};
 };
 
 struct SeedResult {

@@ -27,6 +27,11 @@ uint64_t ReadU64(const char* p) {
 
 void WriteU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
 
+Status NodeCorrupt(PageId pid, const char* what) {
+  return Status::DataLoss("corrupt B-tree node " + std::to_string(pid) + ": " +
+                          what);
+}
+
 }  // namespace
 
 size_t BTree::Node::SerializedSize() const {
@@ -44,7 +49,10 @@ BTree::BTree(BufferPool* pool, IndexId id, bool unique)
     : pool_(pool), id_(id), unique_(unique) {
   root_ = AllocNode(/*leaf=*/true);
   Node empty;
-  WriteNode(root_, empty);
+  // The fresh root is resident (NewPage pins it), so this write cannot fail.
+  Status st = WriteNode(root_, empty);
+  assert(st.ok());
+  (void)st;
 }
 
 PageId BTree::AllocNode(bool leaf) {
@@ -54,25 +62,44 @@ PageId BTree::AllocNode(bool leaf) {
   return pid;
 }
 
-const BTree::Node* BTree::GetNode(PageId pid) const {
+StatusOr<const BTree::Node*> BTree::GetNode(PageId pid) const {
   // The fetch is issued unconditionally so metering (buffer gets, simulated
   // page fetches, LRU state) is identical whether or not the decoded form is
-  // cached; the cache only skips re-deserialization.
-  const Page* page = pool_->Fetch(pid);
+  // cached; the cache only skips re-deserialization. Fetch failures (I/O
+  // error, checksum mismatch) propagate even when a decode is cached — the
+  // simulated disk read did fail.
+  ASSIGN_OR_RETURN(const Page* page, pool_->Fetch(pid));
   auto [it, inserted] = node_cache_.try_emplace(pid);
-  if (!inserted) return &it->second;
+  if (!inserted) return const_cast<const Node*>(&it->second);
 
   Node* node = &it->second;
   const char* p = page->bytes.data();
-  node->is_leaf = p[0] != 0;
+  const size_t num_store_pages = pool_->store()->num_pages();
+  // Structural validation: every field read below is first bounds-checked so
+  // a corrupt page (delivered by an injected fault or a real bug) becomes
+  // kDataLoss, never an out-of-bounds read. On failure the provisional cache
+  // entry is dropped — a bad decode must not be served later.
+  auto reject = [&](const char* what) -> Status {
+    node_cache_.erase(it);
+    return NodeCorrupt(pid, what);
+  };
+  uint8_t leaf_byte = static_cast<uint8_t>(p[0]);
+  if (leaf_byte > 1) return reject("header flag not 0/1");
+  node->is_leaf = leaf_byte != 0;
   uint16_t count;
   std::memcpy(&count, p + 1, 2);
   std::memcpy(&node->next, p + 3, 4);
+  if (node->is_leaf && node->next != kInvalidPage &&
+      node->next >= num_store_pages) {
+    return reject("leaf chain points past the store");
+  }
   size_t pos = kNodeHeader;
   if (!node->is_leaf) {
+    if (pos + 4 > kPageSize) return reject("truncated leftmost child");
     PageId child;
     std::memcpy(&child, p + pos, 4);
     pos += 4;
+    if (child >= num_store_pages) return reject("child id out of range");
     node->children.push_back(child);
   }
   node->keys.reserve(count);
@@ -82,11 +109,17 @@ const BTree::Node* BTree::GetNode(PageId pid) const {
     node->children.reserve(count + 1);
   }
   for (uint16_t i = 0; i < count; ++i) {
+    if (pos + 2 > kPageSize) return reject("entry overruns page");
     uint16_t klen;
     std::memcpy(&klen, p + pos, 2);
     pos += 2;
+    size_t payload = node->is_leaf ? 8 : 4;
+    if (pos + klen + payload > kPageSize) return reject("entry overruns page");
     node->keys.emplace_back(p + pos, klen);
     pos += klen;
+    if (i > 0 && node->keys[i] <= node->keys[i - 1]) {
+      return reject("keys not strictly ascending");
+    }
     if (node->is_leaf) {
       node->tids.push_back(ReadU64(p + pos));
       pos += 8;
@@ -94,13 +127,14 @@ const BTree::Node* BTree::GetNode(PageId pid) const {
       PageId child;
       std::memcpy(&child, p + pos, 4);
       pos += 4;
+      if (child >= num_store_pages) return reject("child id out of range");
       node->children.push_back(child);
     }
   }
-  return node;
+  return const_cast<const Node*>(node);
 }
 
-void BTree::WriteNode(PageId pid, const Node& node) {
+Status BTree::WriteNode(PageId pid, const Node& node) {
   assert(node.SerializedSize() <= kPageSize);
   // Keep the decoded cache coherent (updated in place: stable addresses).
   auto it = node_cache_.find(pid);
@@ -109,7 +143,7 @@ void BTree::WriteNode(PageId pid, const Node& node) {
   } else if (&it->second != &node) {
     it->second = node;
   }
-  Page* page = pool_->Fetch(pid);
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchMut(pid));
   char* p = page->bytes.data();
   p[0] = node.is_leaf ? 1 : 0;
   uint16_t count = static_cast<uint16_t>(node.keys.size());
@@ -134,17 +168,20 @@ void BTree::WriteNode(PageId pid, const Node& node) {
       pos += 4;
     }
   }
+  return Status::OK();
 }
 
 Status BTree::Insert(const std::string& user_key, Tid tid) {
-  if (unique_ && ContainsKey(user_key)) {
-    return Status::AlreadyExists("duplicate key in unique index");
+  if (unique_) {
+    ASSIGN_OR_RETURN(bool exists, ContainsKey(user_key));
+    if (exists) return Status::AlreadyExists("duplicate key in unique index");
   }
   std::string stored = MakeStoredKey(user_key, tid);
   if (stored.size() + 32 > kPageSize / 4) {
     return Status::InvalidArgument("index key too large");
   }
-  auto split = InsertRec(root_, stored, tid.Pack());
+  ASSIGN_OR_RETURN(std::optional<SplitResult> split,
+                   InsertRec(root_, stored, tid.Pack()));
   if (split.has_value()) {
     // Grow a new root.
     Node new_root;
@@ -153,7 +190,7 @@ Status BTree::Insert(const std::string& user_key, Tid tid) {
     new_root.keys.push_back(split->separator);
     new_root.children.push_back(split->right);
     PageId pid = AllocNode(/*leaf=*/false);
-    WriteNode(pid, new_root);
+    RETURN_IF_ERROR(WriteNode(pid, new_root));
     root_ = pid;
     ++height_;
   }
@@ -161,10 +198,10 @@ Status BTree::Insert(const std::string& user_key, Tid tid) {
   return Status::OK();
 }
 
-std::optional<BTree::SplitResult> BTree::InsertRec(PageId pid,
-                                                   const std::string& stored,
-                                                   uint64_t tid) {
-  Node node = *GetNode(pid);  // Mutable working copy.
+StatusOr<std::optional<BTree::SplitResult>> BTree::InsertRec(
+    PageId pid, const std::string& stored, uint64_t tid) {
+  ASSIGN_OR_RETURN(const Node* cached, GetNode(pid));
+  Node node = *cached;  // Mutable working copy.
   if (node.is_leaf) {
     auto it = std::upper_bound(node.keys.begin(), node.keys.end(), stored);
     size_t idx = static_cast<size_t>(it - node.keys.begin());
@@ -173,15 +210,16 @@ std::optional<BTree::SplitResult> BTree::InsertRec(PageId pid,
   } else {
     auto it = std::upper_bound(node.keys.begin(), node.keys.end(), stored);
     size_t child_idx = static_cast<size_t>(it - node.keys.begin());
-    auto split = InsertRec(node.children[child_idx], stored, tid);
-    if (!split.has_value()) return std::nullopt;
+    ASSIGN_OR_RETURN(std::optional<SplitResult> split,
+                     InsertRec(node.children[child_idx], stored, tid));
+    if (!split.has_value()) return std::optional<SplitResult>();
     node.keys.insert(node.keys.begin() + child_idx, split->separator);
     node.children.insert(node.children.begin() + child_idx + 1, split->right);
   }
 
   if (node.SerializedSize() <= kPageSize) {
-    WriteNode(pid, node);
-    return std::nullopt;
+    RETURN_IF_ERROR(WriteNode(pid, node));
+    return std::optional<SplitResult>();
   }
 
   // Split: move the upper half into a fresh right sibling.
@@ -208,15 +246,16 @@ std::optional<BTree::SplitResult> BTree::InsertRec(PageId pid,
     node.children.resize(mid + 1);
     result.right = AllocNode(/*leaf=*/false);
   }
-  WriteNode(pid, node);
-  WriteNode(result.right, right);
-  return result;
+  RETURN_IF_ERROR(WriteNode(pid, node));
+  RETURN_IF_ERROR(WriteNode(result.right, right));
+  return std::optional<SplitResult>(result);
 }
 
 Status BTree::Delete(const std::string& user_key, Tid tid) {
   std::string stored = MakeStoredKey(user_key, tid);
-  PageId leaf = FindLeaf(stored);
-  Node node = *GetNode(leaf);  // Mutable working copy.
+  ASSIGN_OR_RETURN(PageId leaf, FindLeaf(stored));
+  ASSIGN_OR_RETURN(const Node* cached, GetNode(leaf));
+  Node node = *cached;  // Mutable working copy.
   auto it = std::lower_bound(node.keys.begin(), node.keys.end(), stored);
   if (it == node.keys.end() || *it != stored) {
     return Status::NotFound("index entry not found");
@@ -224,15 +263,17 @@ Status BTree::Delete(const std::string& user_key, Tid tid) {
   size_t idx = static_cast<size_t>(it - node.keys.begin());
   node.keys.erase(it);
   node.tids.erase(node.tids.begin() + idx);
-  WriteNode(leaf, node);
+  RETURN_IF_ERROR(WriteNode(leaf, node));
   --num_entries_;
   return Status::OK();
 }
 
-PageId BTree::FindLeaf(const std::string& target) const {
+StatusOr<PageId> BTree::FindLeaf(const std::string& target) const {
   PageId pid = root_;
-  while (true) {
-    const Node* node = GetNode(pid);
+  // Any well-formed descent terminates within the tree's height; bound the
+  // walk so a corrupt-but-plausible child loop cannot spin forever.
+  for (int depth = 0; depth <= height_ + 1; ++depth) {
+    ASSIGN_OR_RETURN(const Node* node, GetNode(pid));
     if (node->is_leaf) return pid;
     // lower_bound routing: keys equal to a separator live in the right
     // subtree (separators are first-keys of right siblings), but a *seek*
@@ -244,17 +285,23 @@ PageId BTree::FindLeaf(const std::string& target) const {
     if (it != node->keys.end() && *it == target) ++idx;
     pid = node->children[idx];
   }
+  return Status::DataLoss("B-tree descent exceeded height " +
+                          std::to_string(height_) + " (cyclic child links?)");
 }
 
-bool BTree::ContainsKey(const std::string& user_key) const {
+StatusOr<bool> BTree::ContainsKey(const std::string& user_key) const {
   Cursor c = NewCursor();
-  c.Seek(user_key);
+  RETURN_IF_ERROR(c.Seek(user_key));
   return c.Valid() && c.user_key() == user_key;
 }
 
-void BTree::Cursor::LoadLeaf(PageId leaf) {
+Status BTree::Cursor::LoadLeaf(PageId leaf) {
   leaf_ = leaf;
-  node_ = tree_->GetNode(leaf);
+  ASSIGN_OR_RETURN(node_, tree_->GetNode(leaf));
+  if (!node_->is_leaf) {
+    return NodeCorrupt(leaf, "leaf chain reached an internal node");
+  }
+  return Status::OK();
 }
 
 void BTree::Cursor::LoadEntry() {
@@ -263,36 +310,42 @@ void BTree::Cursor::LoadEntry() {
   tid_ = Tid::Unpack(node_->tids[pos_]);
 }
 
-void BTree::Cursor::Seek(const std::string& start) {
-  PageId leaf = tree_->FindLeaf(start);
-  LoadLeaf(leaf);
+Status BTree::Cursor::Seek(const std::string& start) {
+  valid_ = false;
+  ASSIGN_OR_RETURN(PageId leaf, tree_->FindLeaf(start));
+  RETURN_IF_ERROR(LoadLeaf(leaf));
   auto it = std::lower_bound(node_->keys.begin(), node_->keys.end(), start);
   pos_ = static_cast<size_t>(it - node_->keys.begin());
   // The first matching entry may be at the start of the next leaf.
   while (pos_ >= node_->keys.size()) {
     if (node_->next == kInvalidPage) {
-      valid_ = false;
-      return;
+      return Status::OK();  // Past the last entry; cursor stays invalid.
     }
-    LoadLeaf(node_->next);
+    RETURN_IF_ERROR(LoadLeaf(node_->next));
     pos_ = 0;
   }
   valid_ = true;
   LoadEntry();
+  return Status::OK();
 }
 
-void BTree::Cursor::Next() {
-  if (!valid_) return;
+Status BTree::Cursor::Next() {
+  if (!valid_) return Status::OK();
   ++pos_;
   while (pos_ >= node_->keys.size()) {
     if (node_->next == kInvalidPage) {
       valid_ = false;
-      return;
+      return Status::OK();
     }
-    LoadLeaf(node_->next);
+    Status st = LoadLeaf(node_->next);
+    if (!st.ok()) {
+      valid_ = false;
+      return st;
+    }
     pos_ = 0;
   }
   LoadEntry();
+  return Status::OK();
 }
 
 }  // namespace systemr

@@ -7,7 +7,10 @@
 // EncodeCompositeKey. Internally each stored key is suffixed with the 8-byte
 // packed TID, which (a) makes stored keys unique, so splits and routing never
 // straddle duplicate runs, and (b) preserves user-key order because the value
-// encoding is prefix-free. All page accesses are metered via the BufferPool.
+// encoding is prefix-free. All page accesses are metered via the BufferPool
+// and every operation propagates storage failures as Status: an unreadable or
+// structurally invalid node surfaces as kIoError/kDataLoss instead of
+// undefined behaviour.
 #ifndef SYSTEMR_RSS_BTREE_H_
 #define SYSTEMR_RSS_BTREE_H_
 
@@ -49,22 +52,31 @@ class BTree {
   int height() const { return height_; }
   uint64_t num_entries() const { return num_entries_; }
 
+  /// Root page id — exposed for integrity tests that corrupt stored nodes.
+  PageId root() const { return root_; }
+
+  /// Forgets all decoded nodes, forcing re-decode (and thus re-validation)
+  /// from page bytes on next access. Used after out-of-band page mutation
+  /// (corruption tests, simulated restart).
+  void DropNodeCaches() const { node_cache_.clear(); }
+
  private:
   struct Node;  // Declared below; cursors point into the decoded-node cache.
 
  public:
   /// Forward cursor over leaf entries in key order. A series of Nexts does a
-  /// sequential read along the chained leaf pages (§3).
+  /// sequential read along the chained leaf pages (§3). Seek/Next return a
+  /// non-OK Status on storage failure; the cursor is then invalid.
   class Cursor {
    public:
     /// Positions at the first entry whose user key is >= `start`; an empty
     /// `start` positions at the first entry of the index.
-    void Seek(const std::string& start);
+    Status Seek(const std::string& start);
     /// Positions at the first entry of the index.
-    void SeekToFirst() { Seek(""); }
+    Status SeekToFirst() { return Seek(""); }
 
     bool Valid() const { return valid_; }
-    void Next();
+    Status Next();
 
     /// The user (search) key of the current entry, without the TID suffix.
     const std::string& user_key() const { return user_key_; }
@@ -74,7 +86,7 @@ class BTree {
     friend class BTree;
     explicit Cursor(const BTree* tree) : tree_(tree) {}
     void LoadEntry();
-    void LoadLeaf(PageId leaf);
+    Status LoadLeaf(PageId leaf);
 
     const BTree* tree_;
     bool valid_ = false;
@@ -92,7 +104,7 @@ class BTree {
   Cursor NewCursor() const { return Cursor(this); }
 
   /// True if the index contains an entry with this exact user key.
-  bool ContainsKey(const std::string& user_key) const;
+  StatusOr<bool> ContainsKey(const std::string& user_key) const;
 
  private:
   friend class Cursor;
@@ -111,9 +123,12 @@ class BTree {
   /// access. Every call is metered as one buffer-pool fetch, exactly like the
   /// raw page read it replaces; the cache only elides re-deserialization.
   /// Entries are updated in place by WriteNode and never evicted, so the
-  /// returned pointer stays valid for the lifetime of the tree.
-  const Node* GetNode(PageId pid) const;
-  void WriteNode(PageId pid, const Node& node);
+  /// returned pointer stays valid for the lifetime of the tree. Decode
+  /// validates the node structurally — header flag, entry bounds, strictly
+  /// ascending stored keys, child/next page ids in range — and returns
+  /// kDataLoss on any inconsistency without caching the bad decode.
+  StatusOr<const Node*> GetNode(PageId pid) const;
+  Status WriteNode(PageId pid, const Node& node);
   PageId AllocNode(bool leaf);
 
   struct SplitResult {
@@ -122,11 +137,12 @@ class BTree {
   };
   /// Inserts into the subtree rooted at `pid`; returns a split if `pid`
   /// overflowed.
-  std::optional<SplitResult> InsertRec(PageId pid, const std::string& stored,
-                                       uint64_t tid);
+  StatusOr<std::optional<SplitResult>> InsertRec(PageId pid,
+                                                 const std::string& stored,
+                                                 uint64_t tid);
 
   /// Descends to the leaf that may contain the first stored key >= target.
-  PageId FindLeaf(const std::string& target) const;
+  StatusOr<PageId> FindLeaf(const std::string& target) const;
 
   BufferPool* pool_;
   IndexId id_;

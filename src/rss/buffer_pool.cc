@@ -1,22 +1,102 @@
 #include "rss/buffer_pool.h"
 
+#include <string>
+
 namespace systemr {
 
-Page* BufferPool::Fetch(PageId id) {
-  // One hash lookup for both outcomes: try_emplace either finds the resident
-  // entry (hit) or inserts the slot the miss path fills in.
+StatusOr<Page*> BufferPool::Fetch(PageId id) {
+  return FetchImpl(id, /*write_intent=*/false);
+}
+
+StatusOr<Page*> BufferPool::FetchMut(PageId id) {
+  return FetchImpl(id, /*write_intent=*/true);
+}
+
+StatusOr<Page*> BufferPool::FetchImpl(PageId id, bool write_intent) {
   ++stats_.logical_gets;
-  auto [it, inserted] = resident_.try_emplace(id);
-  if (!inserted) {
-    // Hit: move to MRU position.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return store_->Get(id);
+  if (id == kInvalidPage) {
+    return Status::Internal("buffer fetch of kInvalidPage");
   }
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    // Hit: trusted memory, no disk read, no faults. Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    Page* page = store_->Get(id);
+    if (page == nullptr) {
+      return Status::Internal("resident page " + std::to_string(id) +
+                              " missing from store");
+    }
+    if (write_intent) store_->MarkDirty(id);
+    return page;
+  }
+
+  // Miss: simulated disk read.
   ++stats_.fetches;
+  Page* page = store_->Get(id);
+  if (page == nullptr) {
+    return Status::Internal("buffer fetch of invalid page id " +
+                            std::to_string(id));
+  }
+
+  FaultKind fault =
+      injector_ ? injector_->NextReadFault(id) : FaultKind::kNone;
+  if (fault == FaultKind::kIoPersistent) {
+    return Status::IoError("device read failed for page " +
+                           std::to_string(id));
+  }
+  if (fault == FaultKind::kIoTransient) {
+    bool recovered = false;
+    for (int attempt = 0; attempt < kMaxIoRetries; ++attempt) {
+      if (!injector_->RetryFails()) {
+        recovered = true;
+        break;
+      }
+    }
+    if (!recovered) {
+      return Status::IoError("transient read error persisted after " +
+                             std::to_string(kMaxIoRetries) +
+                             " retries for page " + std::to_string(id));
+    }
+    fault = FaultKind::kNone;
+  }
+
+  // The first read of content written since the last seal records its
+  // canonical checksum — the simulated flush-time checksum write.
+  if (!store_->sealed(id)) store_->Seal(id);
+
+  Page* delivered = page;
+  bool verify = true;
+  if (!write_intent &&
+      (fault == FaultKind::kCorruptBits || fault == FaultKind::kCorruptHeader)) {
+    delivered = ShadowFor(*page);
+    injector_->Corrupt(fault, delivered);
+    // A header clobber models corruption that evades the checksum (e.g. a
+    // stale-metadata read): it is delivered and must be caught by the
+    // callers' structural validation, exercising the second defense line.
+    verify = fault != FaultKind::kCorruptHeader;
+  }
+  if (verify && PageChecksum(*delivered) != store_->checksum(id)) {
+    return Status::DataLoss("checksum mismatch reading page " +
+                            std::to_string(id));
+  }
+
+  if (delivered != page) {
+    // Corrupt delivery: do not cache. The next access re-reads the device
+    // and may succeed — corruption here is transient by construction.
+    return delivered;
+  }
   lru_.push_front(id);
-  it->second = lru_.begin();
+  resident_[id] = lru_.begin();
   Shrink();
-  return store_->Get(id);
+  if (write_intent) store_->MarkDirty(id);
+  return page;
+}
+
+Page* BufferPool::ShadowFor(const Page& src) {
+  Page* s = &shadow_ring_[shadow_idx_];
+  shadow_idx_ = (shadow_idx_ + 1) % shadow_ring_.size();
+  *s = src;
+  return s;
 }
 
 PageId BufferPool::NewPage() {

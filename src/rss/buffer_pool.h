@@ -8,13 +8,23 @@
 // This reproduces the buffer-dependent behaviour Table 2 distinguishes: a
 // clustered-index scan faults each data page once, a non-clustered scan of a
 // relation larger than the pool faults roughly once per tuple.
+//
+// The pool is also the integrity and fault boundary: every miss is a
+// simulated disk read, so this is where checksums are sealed/verified and
+// where an attached FaultInjector may fail the read (kIoError after bounded
+// retries) or corrupt the delivered bytes (kDataLoss, or a corrupt shadow
+// page that callers' structural validation must reject). Buffer hits never
+// fault: resident frames are trusted memory.
 #ifndef SYSTEMR_RSS_BUFFER_POOL_H_
 #define SYSTEMR_RSS_BUFFER_POOL_H_
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
 
+#include "common/status.h"
+#include "rss/fault_injector.h"
 #include "rss/page.h"
 
 namespace systemr {
@@ -39,8 +49,22 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Metered page access. Counts a fetch if the page is not resident.
-  Page* Fetch(PageId id);
+  /// Metered read access. Counts a fetch if the page is not resident. On a
+  /// miss the page's checksum is verified (sealing it first if this is the
+  /// first read since it was written); failures surface as:
+  ///   kInternal  - invalid/freed page id,
+  ///   kIoError   - injected device read failure that outlived the retries,
+  ///   kDataLoss  - checksum mismatch (real or injected bit flips).
+  /// An injected header corruption instead delivers a corrupt shadow copy —
+  /// callers' structural validation (SlottedPage, B-tree decode) turns it
+  /// into kDataLoss without touching the stored bytes.
+  StatusOr<Page*> Fetch(PageId id);
+
+  /// Metered write access: like Fetch, but marks the page's checksum stale
+  /// because the caller is about to mutate it in place. Never delivers
+  /// corrupted bytes (a torn read of a page being rewritten is meaningless);
+  /// injected I/O errors still apply on misses.
+  StatusOr<Page*> FetchMut(PageId id);
 
   /// Allocates a page that is immediately resident and counts one write.
   PageId NewPage();
@@ -57,15 +81,30 @@ class BufferPool {
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats(); }
 
+  /// Attaches (or detaches, with nullptr) the storage fault injector. Not
+  /// owned. Only armed injectors affect reads.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+
   PageStore* store() { return store_; }
 
  private:
+  static constexpr int kMaxIoRetries = 3;
+
+  StatusOr<Page*> FetchImpl(PageId id, bool write_intent);
+  /// Copies `src` into the next shadow frame and returns it. Shadow frames
+  /// are short-lived by contract: callers validate a delivered page before
+  /// issuing further fetches, so a small ring suffices.
+  Page* ShadowFor(const Page& src);
   void Touch(PageId id);
   void Shrink();
 
   PageStore* store_;
   size_t capacity_;
   BufferStats stats_;
+  FaultInjector* injector_ = nullptr;
+  std::array<Page, 4> shadow_ring_{};
+  size_t shadow_idx_ = 0;
   // MRU at front.
   std::list<PageId> lru_;
   std::unordered_map<PageId, std::list<PageId>::iterator> resident_;

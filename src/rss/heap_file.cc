@@ -10,7 +10,8 @@ StatusOr<Tid> HeapFile::Insert(const Row& row) {
   // Try the segment's last page first.
   if (!segment_->pages().empty()) {
     PageId last = segment_->pages().back();
-    SlottedPage sp(pool_->Fetch(last));
+    ASSIGN_OR_RETURN(Page * page, pool_->FetchMut(last));
+    SlottedPage sp(page);
     int slot = sp.Insert(record);
     if (slot >= 0) {
       ++num_tuples_;
@@ -19,7 +20,8 @@ StatusOr<Tid> HeapFile::Insert(const Row& row) {
   }
   PageId fresh = pool_->NewPage();
   segment_->AddPage(fresh);
-  SlottedPage sp(pool_->Fetch(fresh));
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchMut(fresh));
+  SlottedPage sp(page);
   sp.Init();
   int slot = sp.Insert(record);
   if (slot < 0) return Status::Internal("insert into fresh page failed");
@@ -30,20 +32,32 @@ StatusOr<Tid> HeapFile::Insert(const Row& row) {
 Status HeapFile::Delete(Tid tid) {
   Row row;
   RETURN_IF_ERROR(ReadTuple(tid, &row));  // Validates slot and relation tag.
-  SlottedPage sp(pool_->Fetch(tid.page));
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchMut(tid.page));
+  SlottedPage sp(page);
   if (!sp.Delete(tid.slot)) return Status::NotFound("slot already empty");
   --num_tuples_;
   return Status::OK();
 }
 
 Status HeapFile::ReadTuple(Tid tid, Row* row) const {
-  SlottedPage sp(pool_->Fetch(tid.page));
+  ASSIGN_OR_RETURN(Page * page, pool_->Fetch(tid.page));
+  SlottedPage sp(page);
   std::string_view record;
-  if (!sp.Read(tid.slot, &record)) {
-    return Status::NotFound("empty slot");
+  switch (sp.ReadSlot(tid.slot, &record)) {
+    case SlotState::kEmpty:
+      return Status::NotFound("empty slot");
+    case SlotState::kCorrupt:
+      return Status::DataLoss("corrupt slot directory on page " +
+                              std::to_string(tid.page));
+    case SlotState::kLive:
+      break;
   }
   RelId rel;
-  if (!DecodeTuple(record, &rel, row) || rel != relid_) {
+  if (!DecodeTuple(record, &rel, row)) {
+    return Status::DataLoss("undecodable record at live slot on page " +
+                            std::to_string(tid.page));
+  }
+  if (rel != relid_) {
     return Status::NotFound("tuple belongs to another relation");
   }
   return Status::OK();

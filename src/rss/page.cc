@@ -2,9 +2,43 @@
 
 namespace systemr {
 
+uint32_t PageChecksum(const Page& page) {
+  // FNV-1a over 64-bit words (then folded to 32 bits). Word-wise instead of
+  // byte-wise because this runs on every simulated disk read: the chain
+  // h' = (h ^ w) * prime is bijective in w for fixed h, so any change to a
+  // single word — hence any bit flip — always changes the result.
+  uint64_t h = 14695981039346656037ull;
+  const char* p = page.bytes.data();
+  for (size_t i = 0; i < kPageSize; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
 PageId PageStore::Allocate() {
   pages_.push_back(std::make_unique<Page>());
+  meta_.emplace_back();
   return static_cast<PageId>(pages_.size() - 1);
+}
+
+void PageStore::Free(PageId id) {
+  if (id < pages_.size()) {
+    pages_[id].reset();
+    meta_[id] = PageMeta{};
+  }
+}
+
+void PageStore::MarkDirty(PageId id) {
+  if (id < meta_.size()) meta_[id].sealed = false;
+}
+
+void PageStore::Seal(PageId id) {
+  if (id < pages_.size() && pages_[id]) {
+    meta_[id].checksum = PageChecksum(*pages_[id]);
+    meta_[id].sealed = true;
+  }
 }
 
 namespace {
@@ -15,6 +49,18 @@ constexpr size_t kSlotSize = 4;     // off + len.
 void SlottedPage::Init() {
   WriteU16(0, 0);                                  // slot_count
   WriteU16(2, static_cast<uint16_t>(kPageSize));   // free_end
+}
+
+bool SlottedPage::ValidateHeader() const {
+  uint16_t count = ReadU16(0);
+  uint16_t free_end = ReadU16(2);
+  size_t dir_end = kHeaderSize + static_cast<size_t>(count) * kSlotSize;
+  // The slot directory must fit in the page, and the record area (which
+  // begins at free_end) must start at or after the directory's end.
+  if (dir_end > kPageSize) return false;
+  if (free_end > kPageSize) return false;
+  if (count > 0 && free_end < dir_end) return false;
+  return true;
 }
 
 size_t SlottedPage::FreeSpace() const {
@@ -50,15 +96,21 @@ bool SlottedPage::Delete(uint16_t slot) {
   return true;
 }
 
-bool SlottedPage::Read(uint16_t slot, std::string_view* out) const {
+SlotState SlottedPage::ReadSlot(uint16_t slot, std::string_view* out) const {
+  if (!ValidateHeader()) return SlotState::kCorrupt;
   uint16_t count = ReadU16(0);
-  if (slot >= count) return false;
+  if (slot >= count) return SlotState::kEmpty;
   size_t slot_off = kHeaderSize + slot * kSlotSize;
   uint16_t off = ReadU16(slot_off);
   uint16_t len = ReadU16(slot_off + 2);
-  if (off == 0 && len == 0) return false;  // Deleted.
+  if (off == 0 && len == 0) return SlotState::kEmpty;  // Tombstone.
+  // A live record must lie entirely within the record area: at or after the
+  // directory end, ending within the page.
+  size_t dir_end = kHeaderSize + static_cast<size_t>(count) * kSlotSize;
+  size_t end = static_cast<size_t>(off) + len;
+  if (off < dir_end || end > kPageSize) return SlotState::kCorrupt;
   *out = std::string_view(page_->bytes.data() + off, len);
-  return true;
+  return SlotState::kLive;
 }
 
 }  // namespace systemr

@@ -4,8 +4,10 @@
 //
 // A Page is a raw byte buffer. Data pages use the slotted layout implemented
 // by SlottedPage; B+-tree pages use their own node layout (see btree.cc).
-// PageStore is the "disk": it owns every page ever allocated. All metered
-// access goes through the BufferPool.
+// PageStore is the "disk": it owns every page ever allocated, plus per-page
+// integrity metadata — a checksum sealed when a page's content is first read
+// back after mutation and verified on every later simulated disk read. All
+// metered access goes through the BufferPool.
 #ifndef SYSTEMR_RSS_PAGE_H_
 #define SYSTEMR_RSS_PAGE_H_
 
@@ -28,6 +30,9 @@ struct Page {
   std::array<char, kPageSize> bytes{};
 };
 
+/// Content checksum of a whole page (FNV-1a over all 4096 bytes).
+uint32_t PageChecksum(const Page& page);
+
 /// Tuple identifier: (page, slot), packed to 8 bytes for index leaf entries.
 struct Tid {
   PageId page = kInvalidPage;
@@ -48,7 +53,9 @@ struct Tid {
 };
 
 /// The in-memory "disk": owns all pages. Never exposes metered access —
-/// callers other than BufferPool must not touch page contents directly.
+/// callers other than BufferPool must not touch page contents directly
+/// (the reference executor is the deliberate exception: it reads the raw,
+/// uninjected bytes to stay a trusted oracle).
 class PageStore {
  public:
   PageStore() = default;
@@ -56,15 +63,47 @@ class PageStore {
   PageStore& operator=(const PageStore&) = delete;
 
   PageId Allocate();
-  Page* Get(PageId id) { return pages_[id].get(); }
-  const Page* Get(PageId id) const { return pages_[id].get(); }
+
+  /// Bounds-checked access: returns null for out-of-range ids and for pages
+  /// released by Free(). Callers (the BufferPool) turn null into kInternal.
+  Page* Get(PageId id) {
+    return id < pages_.size() ? pages_[id].get() : nullptr;
+  }
+  const Page* Get(PageId id) const {
+    return id < pages_.size() ? pages_[id].get() : nullptr;
+  }
   size_t num_pages() const { return pages_.size(); }
 
   /// Releases a page's memory (temp-segment cleanup). The id is not reused.
-  void Free(PageId id) { pages_[id].reset(); }
+  void Free(PageId id);
+
+  // --- Integrity metadata ---
+  /// Marks a page's checksum stale (about to be mutated in place).
+  void MarkDirty(PageId id);
+  /// Records the page's current content checksum as canonical.
+  void Seal(PageId id);
+  bool sealed(PageId id) const {
+    return id < meta_.size() && meta_[id].sealed;
+  }
+  uint32_t checksum(PageId id) const {
+    return id < meta_.size() ? meta_[id].checksum : 0;
+  }
 
  private:
+  struct PageMeta {
+    uint32_t checksum = 0;
+    bool sealed = false;
+  };
+
   std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageMeta> meta_;
+};
+
+/// Result of reading one slot of a slotted page.
+enum class SlotState {
+  kLive,     // *out holds the record bytes.
+  kEmpty,    // Tombstoned or beyond the slot directory.
+  kCorrupt,  // Slot directory or record bounds are inconsistent.
 };
 
 /// View over a data page with the classic slotted layout:
@@ -79,14 +118,25 @@ class SlottedPage {
 
   uint16_t slot_count() const { return ReadU16(0); }
 
+  /// True if the header is internally consistent: the slot directory and the
+  /// record area fit inside the page and do not overlap.
+  bool ValidateHeader() const;
+
   /// Bytes still available for one more record (including its slot entry).
   size_t FreeSpace() const;
 
   /// Appends a record; returns its slot number or -1 if it does not fit.
   int Insert(std::string_view record);
 
-  /// Reads the record in `slot`; returns false if the slot is empty/invalid.
-  bool Read(uint16_t slot, std::string_view* out) const;
+  /// Reads the record in `slot` with structural bounds validation, so a
+  /// corrupted directory surfaces as kCorrupt instead of an out-of-bounds
+  /// read. kLive fills in *out.
+  SlotState ReadSlot(uint16_t slot, std::string_view* out) const;
+
+  /// Legacy convenience: true iff the slot holds a live, well-formed record.
+  bool Read(uint16_t slot, std::string_view* out) const {
+    return ReadSlot(slot, out) == SlotState::kLive;
+  }
 
   /// Tombstones the record in `slot` (space is not reclaimed until the
   /// relation is reorganized, as in System R's RSS). Returns false if the

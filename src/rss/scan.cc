@@ -18,10 +18,15 @@ Status SegmentScan::Open() {
   return Status::OK();
 }
 
-bool SegmentScan::Next(Row* row, Tid* tid) {
+Status SegmentScan::Next(Row* row, Tid* tid, bool* has_row) {
+  *has_row = false;
   while (!at_end_) {
     PageId pid = segment_->pages()[page_idx_];
-    SlottedPage sp(pool_->Fetch(pid));
+    ASSIGN_OR_RETURN(Page * page, pool_->Fetch(pid));
+    SlottedPage sp(page);
+    if (slot_ == 0 && !sp.ValidateHeader()) {
+      return Status::DataLoss("corrupt slotted page " + std::to_string(pid));
+    }
     if (slot_ >= sp.slot_count()) {
       ++page_idx_;
       slot_ = 0;
@@ -30,32 +35,48 @@ bool SegmentScan::Next(Row* row, Tid* tid) {
     }
     uint16_t slot = slot_++;
     std::string_view record;
-    if (!sp.Read(slot, &record)) continue;
+    switch (sp.ReadSlot(slot, &record)) {
+      case SlotState::kEmpty:
+        continue;  // Tombstone.
+      case SlotState::kCorrupt:
+        return Status::DataLoss("corrupt slot directory on page " +
+                                std::to_string(pid));
+      case SlotState::kLive:
+        break;
+    }
     RelId rel;
-    if (!DecodeRelId(record, &rel) || rel != relid_) continue;
+    if (!DecodeRelId(record, &rel)) {
+      return Status::DataLoss("undecodable record on page " +
+                              std::to_string(pid));
+    }
+    if (rel != relid_) continue;  // Tuple of a co-located relation.
     // Decode straight into the caller's buffer — no per-tuple Row.
-    if (!DecodeTuple(record, &rel, row)) continue;
+    if (!DecodeTuple(record, &rel, row)) {
+      return Status::DataLoss("undecodable tuple on page " +
+                              std::to_string(pid));
+    }
     if (!MatchesAll(sargs_, *row)) continue;
     if (tid != nullptr) *tid = Tid{pid, slot};
     ++counters_->rsi_calls;
-    return true;
+    *has_row = true;
+    return Status::OK();
   }
-  return false;
+  return Status::OK();
 }
 
 Status IndexScan::Open() {
+  opened_ = true;
   if (range_.start.has_value()) {
-    cursor_.Seek(*range_.start);
+    RETURN_IF_ERROR(cursor_.Seek(*range_.start));
     if (!range_.start_inclusive) {
       // Skip entries whose leading key column(s) equal the exclusive start.
       while (cursor_.Valid() && HasPrefix(cursor_.user_key(), *range_.start)) {
-        cursor_.Next();
+        RETURN_IF_ERROR(cursor_.Next());
       }
     }
   } else {
-    cursor_.SeekToFirst();
+    RETURN_IF_ERROR(cursor_.SeekToFirst());
   }
-  opened_ = true;
   return Status::OK();
 }
 
@@ -67,19 +88,27 @@ bool IndexScan::InRange() const {
   return key.compare(stop) < 0;
 }
 
-bool IndexScan::Next(Row* row, Tid* tid) {
+Status IndexScan::Next(Row* row, Tid* tid, bool* has_row) {
+  *has_row = false;
   while (cursor_.Valid() && InRange()) {
     Tid t = cursor_.tid();
     // Decode straight into the caller's buffer — no per-tuple Row.
-    Status st = heap_->ReadTuple(t, row);
-    cursor_.Next();
-    if (!st.ok()) continue;  // Dangling entry; skip defensively.
+    Status read = heap_->ReadTuple(t, row);
+    RETURN_IF_ERROR(cursor_.Next());
+    if (!read.ok()) {
+      // A deleted tuple leaves a dangling entry until the index is
+      // reorganized — skip it. Anything else (kDataLoss, kIoError,
+      // kInternal) is a storage failure and must propagate.
+      if (read.code() == StatusCode::kNotFound) continue;
+      return read;
+    }
     if (!MatchesAll(sargs_, *row)) continue;
     if (tid != nullptr) *tid = t;
     ++counters_->rsi_calls;
-    return true;
+    *has_row = true;
+    return Status::OK();
   }
-  return false;
+  return Status::OK();
 }
 
 }  // namespace systemr

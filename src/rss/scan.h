@@ -46,11 +46,14 @@ class RsiScan {
   /// nested-loop inner or correlated subquery.
   virtual Status Open() = 0;
 
-  /// Advances to the next qualifying tuple. Returns false when exhausted.
-  /// Each successful call counts one RSI call. `*row` is used as a decode
-  /// buffer: it may be overwritten even for tuples the SARGs reject, and
-  /// holds the accepted tuple only when the call returns true.
-  virtual bool Next(Row* row, Tid* tid) = 0;
+  /// Advances to the next qualifying tuple. On success sets *has_row: true
+  /// with the tuple in *row, false when the scan is exhausted. Each tuple
+  /// delivered counts one RSI call. `*row` is used as a decode buffer: it may
+  /// be overwritten even for tuples the SARGs reject, and holds the accepted
+  /// tuple only when *has_row is true. Storage failures (kDataLoss, kIoError,
+  /// kInternal) return non-OK; only a dangling index entry (the tuple was
+  /// deleted) is skipped silently.
+  virtual Status Next(Row* row, Tid* tid, bool* has_row) = 0;
 
   /// Mutable view of the scan's SARGs, so dynamically-bound terms (§5 join
   /// SARGs) can be updated in place between re-Opens instead of rebuilding
@@ -71,7 +74,7 @@ class SegmentScan : public RsiScan {
         counters_(counters) {}
 
   Status Open() override;
-  bool Next(Row* row, Tid* tid) override;
+  Status Next(Row* row, Tid* tid, bool* has_row) override;
   SargList* mutable_sargs() override { return &sargs_; }
   void Close() override {}
 
@@ -108,7 +111,7 @@ class IndexScan : public RsiScan {
         cursor_(index->NewCursor()) {}
 
   Status Open() override;
-  bool Next(Row* row, Tid* tid) override;
+  Status Next(Row* row, Tid* tid, bool* has_row) override;
   SargList* mutable_sargs() override { return &sargs_; }
   void Close() override {}
 

@@ -9,6 +9,14 @@
 namespace systemr {
 namespace {
 
+// Advances a scan that is expected to never hit a storage error.
+bool NextOk(RsiScan* scan, Row* row) {
+  bool has = false;
+  Status st = scan->Next(row, nullptr, &has);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return st.ok() && has;
+}
+
 Schema EmpSchema() {
   return Schema({{"EMPNO", ValueType::kInt64},
                  {"NAME", ValueType::kString},
@@ -158,7 +166,7 @@ TEST_F(CatalogTest, IndexScanThroughCatalogIndex) {
   ASSERT_TRUE(scan->Open().ok());
   Row row;
   int count = 0;
-  while (scan->Next(&row, nullptr)) {
+  while (NextOk(scan.get(), &row)) {
     EXPECT_EQ(row[2].AsInt(), 4);
     ++count;
   }
@@ -166,7 +174,7 @@ TEST_F(CatalogTest, IndexScanThroughCatalogIndex) {
   auto seg_scan = rss_.OpenSegmentScan(catalog_.FindTable("EMP")->id, {});
   ASSERT_TRUE(seg_scan->Open().ok());
   int expect = 0;
-  while (seg_scan->Next(&row, nullptr)) {
+  while (NextOk(seg_scan.get(), &row)) {
     if (row[2].AsInt() == 4) ++expect;
   }
   EXPECT_EQ(count, expect);
@@ -197,7 +205,7 @@ TEST_F(CatalogTest, IndexScanRangeBounds) {
     EXPECT_TRUE(scan->Open().ok());
     Row row;
     int n = 0;
-    while (scan->Next(&row, nullptr)) ++n;
+    while (NextOk(scan.get(), &row)) ++n;
     return n;
   };
 
@@ -207,7 +215,7 @@ TEST_F(CatalogTest, IndexScanRangeBounds) {
     EXPECT_TRUE(scan->Open().ok());
     Row row;
     int n = 0;
-    while (scan->Next(&row, nullptr)) {
+    while (NextOk(scan.get(), &row)) {
       if (pred(row[2].AsInt())) ++n;
     }
     return n;

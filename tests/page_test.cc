@@ -55,6 +55,83 @@ TEST(SlottedPageTest, RecordsSurviveManyInserts) {
   }
 }
 
+TEST(SlottedPageTest, ValidateHeaderRejectsImpossibleDirectories) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  ASSERT_GE(sp.Insert("abc"), 0);
+  EXPECT_TRUE(sp.ValidateHeader());
+
+  // Slot count so large the directory would overrun the page (the pattern a
+  // 0xFF header clobber produces).
+  std::memset(page.bytes.data(), 0xff, 2);
+  EXPECT_FALSE(sp.ValidateHeader());
+  std::string_view rec;
+  EXPECT_EQ(sp.ReadSlot(0, &rec), SlotState::kCorrupt);
+}
+
+TEST(SlottedPageTest, ReadSlotRejectsOutOfBoundsRecords) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  ASSERT_EQ(sp.Insert("hello"), 0);
+
+  // Clobber slot 0's offset so the record would extend past the page end.
+  uint16_t bad_off = kPageSize - 2;
+  std::memcpy(page.bytes.data() + 4, &bad_off, 2);
+  std::string_view rec;
+  EXPECT_EQ(sp.ReadSlot(0, &rec), SlotState::kCorrupt);
+
+  // An offset inside the slot directory is equally inconsistent.
+  uint16_t dir_off = 1;
+  std::memcpy(page.bytes.data() + 4, &dir_off, 2);
+  EXPECT_EQ(sp.ReadSlot(0, &rec), SlotState::kCorrupt);
+}
+
+TEST(SlottedPageTest, ReadSlotDistinguishesEmptyFromCorrupt) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  ASSERT_EQ(sp.Insert("hello"), 0);
+  ASSERT_TRUE(sp.Delete(0));
+  std::string_view rec;
+  EXPECT_EQ(sp.ReadSlot(0, &rec), SlotState::kEmpty);  // Tombstone.
+  EXPECT_EQ(sp.ReadSlot(5, &rec), SlotState::kEmpty);  // Past the directory.
+}
+
+TEST(PageChecksumTest, SensitiveToEveryByte) {
+  Page page;
+  uint32_t base = PageChecksum(page);
+  page.bytes[0] ^= 1;
+  EXPECT_NE(PageChecksum(page), base);
+  page.bytes[0] ^= 1;
+  page.bytes[kPageSize - 1] ^= 1;
+  EXPECT_NE(PageChecksum(page), base);
+  page.bytes[kPageSize - 1] ^= 1;
+  EXPECT_EQ(PageChecksum(page), base);
+}
+
+TEST(PageStoreTest, SealAndDirtyTrackChecksums) {
+  PageStore store;
+  PageId id = store.Allocate();
+  EXPECT_FALSE(store.sealed(id));
+  std::memset(store.Get(id)->bytes.data(), 0x11, 16);
+  store.Seal(id);
+  EXPECT_TRUE(store.sealed(id));
+  EXPECT_EQ(store.checksum(id), PageChecksum(*store.Get(id)));
+  store.MarkDirty(id);
+  EXPECT_FALSE(store.sealed(id));
+}
+
+TEST(PageStoreTest, GetIsBoundsChecked) {
+  PageStore store;
+  EXPECT_EQ(store.Get(0), nullptr);
+  EXPECT_EQ(store.Get(kInvalidPage), nullptr);
+  PageId a = store.Allocate();
+  EXPECT_NE(store.Get(a), nullptr);
+  EXPECT_EQ(store.Get(a + 1), nullptr);
+}
+
 TEST(PageStoreTest, AllocateAndFree) {
   PageStore store;
   PageId a = store.Allocate();

@@ -1,0 +1,80 @@
+// Status / StatusOr coverage: every StatusCode has a stable printable name,
+// the factory helpers produce the matching code, and ToString embeds both the
+// name and the message. The storage-fault codes (DATA_LOSS, IO_ERROR,
+// RESOURCE_EXHAUSTED, CANCELLED) are part of the error-propagation contract
+// and must never silently rename.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace systemr {
+namespace {
+
+TEST(StatusTest, EveryCodeHasAName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OK().code(), StatusCode::kOk);
+  EXPECT_TRUE(Status::OK().ok());
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument},
+      {Status::NotFound("m"), StatusCode::kNotFound},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange},
+      {Status::Internal("m"), StatusCode::kInternal},
+      {Status::Unimplemented("m"), StatusCode::kUnimplemented},
+      {Status::DataLoss("m"), StatusCode::kDataLoss},
+      {Status::IoError("m"), StatusCode::kIoError},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted},
+      {Status::Cancelled("m"), StatusCode::kCancelled},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+  }
+}
+
+TEST(StatusTest, ToStringNamesCodeAndMessage) {
+  Status st = Status::DataLoss("checksum mismatch reading page 7");
+  EXPECT_EQ(st.ToString(), "DATA_LOSS: checksum mismatch reading page 7");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusOrTest, ValueAndErrorPaths) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+
+  StatusOr<int> bad(Status::IoError("device gone"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(bad.status().message(), "device gone");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorPrintsStatusBeforeAbort) {
+  StatusOr<int> bad(Status::DataLoss("bit rot"));
+  // The abort must be diagnosable: the status is printed to stderr first.
+  EXPECT_DEATH({ (void)bad.value(); }, "DATA_LOSS: bit rot");
+}
+
+}  // namespace
+}  // namespace systemr

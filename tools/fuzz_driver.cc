@@ -41,10 +41,13 @@ int main(int argc, char** argv) {
       options.check_baselines = false;
     } else if (std::strcmp(argv[i], "--no-metamorphic") == 0) {
       options.metamorphic = false;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      options.inject_faults = true;
     } else {
       std::fprintf(stderr,
                    "usage: fuzz_driver [--seeds N] [--queries M] [--start S] "
-                   "[--out PATH] [--no-baselines] [--no-metamorphic]\n");
+                   "[--out PATH] [--no-baselines] [--no-metamorphic] "
+                   "[--faults]\n");
       return 2;
     }
   }
@@ -72,6 +75,16 @@ int main(int argc, char** argv) {
   if (!st.ok()) {
     std::fprintf(stderr, "report write failed: %s\n", st.message().c_str());
     return 2;
+  }
+  if (options.inject_faults) {
+    std::printf(
+        "faults: %llu queries under injection, %llu clean results, %llu "
+        "clean errors (%llu budget aborts), %llu faults injected\n",
+        static_cast<unsigned long long>(report.fault_queries),
+        static_cast<unsigned long long>(report.fault_clean_results),
+        static_cast<unsigned long long>(report.fault_clean_errors),
+        static_cast<unsigned long long>(report.fault_budget_aborts),
+        static_cast<unsigned long long>(report.faults_injected));
   }
   std::printf(
       "fuzz_driver: %llu seeds, %llu queries, %zu violations (%llu bad "
