@@ -1,0 +1,261 @@
+// BENCH 5 — multi-session query throughput (QPS) over one shared Database.
+//
+//   bench_session_throughput [--out PATH] [--min-ms N]
+//
+// Measures the two claims of the session subsystem:
+//
+//   compile-once  the plan cache removes parse+bind+optimize from the
+//                 per-query path (cache on/off, single session);
+//   concurrency   N sessions over one Database scale query throughput.
+//
+// Two storage regimes per thread count:
+//
+//   cpu  everything resident, zero simulated device latency. On a multi-core
+//        host this shows lock-level scalability; on a single hardware thread
+//        QPS is flat by construction (there is only one CPU to share).
+//   io   buffer pool capacity is far below the working set and every miss
+//        pays a simulated device read (sleep with the pool latch released).
+//        Sessions overlap their waits, so QPS scales with thread count on
+//        any host — the paper's regime, where cost ≈ page fetches and the
+//        CPU is mostly idle between them.
+//
+// Writes BENCH_5.json. The headline acceptance number is
+// scaling_1_to_4_io_cached (> 1.5 required).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "session/plan_cache.h"
+#include "session/session.h"
+#include "workload/querygen.h"
+
+namespace systemr {
+namespace bench {
+namespace {
+
+constexpr int64_t kRows = 20000;
+
+// Parameterized statement mix: an indexed point lookup and a short indexed
+// range, the bread-and-butter of a concurrent OLTP read workload.
+const char* kStatements[] = {
+    "SELECT R0.A, R0.B FROM R0 WHERE R0.PK = ?",
+    "SELECT R1.PK FROM R1 WHERE R1.PK >= ? AND R1.PK <= ?",
+};
+
+struct ModeResult {
+  std::string name;
+  int threads = 0;
+  bool cache_on = false;
+  uint32_t io_latency_us = 0;
+  uint64_t execs = 0;
+  uint64_t optimizations = 0;
+  uint64_t cache_hits = 0;
+  double wall_ms = 0;
+  double qps = 0;
+};
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+ModeResult RunMode(Database* db, const std::string& name, int threads,
+                   bool cache_on, uint32_t io_latency_us, int min_ms) {
+  BufferPool& pool = db->rss().pool();
+  pool.set_sim_fetch_latency_us(io_latency_us);
+  // Cold pool per mode so regimes don't inherit each other's residency.
+  pool.FlushAll();
+
+  PlanCache cache(64);
+  std::atomic<bool> stop{false};
+  std::atomic<int> ready{0};
+  std::vector<uint64_t> execs(static_cast<size_t>(threads), 0);
+  std::vector<SessionStats> session_stats(static_cast<size_t>(threads));
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Session session(db, cache_on ? &cache : nullptr);
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < threads + 1) {
+        std::this_thread::yield();
+      }
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Deterministic per-thread key stream spread over the whole table.
+        int64_t k = (static_cast<int64_t>(t) * 7919 +
+                     static_cast<int64_t>(n) * 104729) %
+                    kRows;
+        StatusOr<QueryResult> r =
+            (n & 1) == 0
+                ? session.ExecuteQuery(kStatements[0], {Value::Int(k)})
+                : session.ExecuteQuery(
+                      kStatements[1],
+                      {Value::Int(k / 2), Value::Int(k / 2 + 8)});
+        if (!r.ok()) Die(r.status());
+        ++n;
+      }
+      execs[t] = n;
+      session_stats[t] = session.stats();
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) < threads) {
+    std::this_thread::yield();
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  ready.fetch_add(1, std::memory_order_acq_rel);  // Release the barrier.
+  std::this_thread::sleep_for(std::chrono::milliseconds(min_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : workers) w.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  ModeResult r;
+  r.name = name;
+  r.threads = threads;
+  r.cache_on = cache_on;
+  r.io_latency_us = io_latency_us;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  for (int t = 0; t < threads; ++t) {
+    r.execs += execs[t];
+    r.optimizations += session_stats[t].optimizations;
+    r.cache_hits += session_stats[t].cache_hits;
+  }
+  r.qps = static_cast<double>(r.execs) / (r.wall_ms / 1000.0);
+  pool.set_sim_fetch_latency_us(0);
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_5.json";
+  int min_ms = 400;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-ms") == 0 && i + 1 < argc) {
+      min_ms = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_session_throughput [--out PATH] [--min-ms N]\n");
+      return 2;
+    }
+  }
+
+  Database db(256);
+  ChainSchemaSpec spec;
+  spec.num_tables = 2;
+  spec.base_rows = kRows;
+  spec.shrink = 0.5;
+  spec.a_domain = 100;
+  spec.b_domain = 100;
+  Die(BuildChainSchema(&db, spec, 1979));
+
+  // I/O regime: working set (index + heap pages of R0/R1) far exceeds the
+  // frame budget, and each miss waits on the simulated device.
+  constexpr size_t kIoPoolPages = 32;
+  constexpr uint32_t kIoLatencyUs = 100;
+
+  Header("BENCH 5 — session throughput (QPS), shared Database");
+  std::printf("hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-16s | %7s %5s %7s | %10s %10s | %9s %9s\n", "mode", "threads",
+              "cache", "io(us)", "execs", "qps", "optimize", "cachehit");
+
+  std::vector<ModeResult> results;
+  auto run = [&](const std::string& name, int threads, bool cache_on,
+                 uint32_t latency) {
+    if (latency > 0) db.rss().pool().set_capacity(kIoPoolPages);
+    ModeResult r = RunMode(&db, name, threads, cache_on, latency, min_ms);
+    if (latency > 0) db.rss().pool().set_capacity(256);
+    std::printf("%-16s | %7d %5s %7u | %10llu %10s | %9llu %9llu\n",
+                r.name.c_str(), r.threads, r.cache_on ? "on" : "off",
+                r.io_latency_us, (unsigned long long)r.execs,
+                Num(r.qps).c_str(), (unsigned long long)r.optimizations,
+                (unsigned long long)r.cache_hits);
+    results.push_back(std::move(r));
+  };
+
+  run("cpu_nocache_t1", 1, false, 0);
+  run("cpu_cache_t1", 1, true, 0);
+  run("cpu_nocache_t4", 4, false, 0);
+  run("cpu_cache_t4", 4, true, 0);
+  run("io_cache_t1", 1, true, kIoLatencyUs);
+  run("io_cache_t2", 2, true, kIoLatencyUs);
+  run("io_cache_t4", 4, true, kIoLatencyUs);
+  run("io_nocache_t4", 4, false, kIoLatencyUs);
+
+  auto qps_of = [&](const std::string& name) {
+    for (const ModeResult& r : results) {
+      if (r.name == name) return r.qps;
+    }
+    return 0.0;
+  };
+  double scaling_io = qps_of("io_cache_t4") / qps_of("io_cache_t1");
+  double scaling_cpu = qps_of("cpu_cache_t4") / qps_of("cpu_cache_t1");
+  double cache_speedup_t1 = qps_of("cpu_cache_t1") / qps_of("cpu_nocache_t1");
+  std::printf(
+      "\nscaling 1->4 threads: io-bound %.2fx, cpu-bound %.2fx "
+      "(on %u hardware threads)\nplan-cache speedup (1 thread, cpu): %.2fx\n",
+      scaling_io, scaling_cpu, std::thread::hardware_concurrency(),
+      cache_speedup_t1);
+
+  std::string out = "{\n  \"bench\": \"session_throughput\",\n";
+  out += "  \"min_ms_per_mode\": " + std::to_string(min_ms) + ",\n";
+  out += "  \"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += "  \"io_latency_us\": " + std::to_string(kIoLatencyUs) + ",\n";
+  out += "  \"io_pool_pages\": " + std::to_string(kIoPoolPages) + ",\n";
+  out += "  \"modes\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    double hit_rate =
+        r.execs == 0 ? 0.0
+                     : static_cast<double>(r.cache_hits) /
+                           static_cast<double>(r.execs);
+    out += "    {\"name\": \"" + r.name + "\"";
+    out += ", \"threads\": " + std::to_string(r.threads);
+    out += ", \"cache\": ";
+    out += r.cache_on ? "true" : "false";
+    out += ", \"io_latency_us\": " + std::to_string(r.io_latency_us);
+    out += ", \"execs\": " + std::to_string(r.execs);
+    out += ", \"wall_ms\": " + Num(r.wall_ms);
+    out += ", \"qps\": " + Num(r.qps);
+    out += ", \"optimizations\": " + std::to_string(r.optimizations);
+    out += ", \"cache_hits\": " + std::to_string(r.cache_hits);
+    out += ", \"cache_hit_rate\": " + Num(hit_rate * 100.0);
+    out += "}";
+    out += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"scaling_1_to_4_io_cached\": %.2f,\n"
+                "  \"scaling_1_to_4_cpu_cached\": %.2f,\n"
+                "  \"plan_cache_speedup_t1_cpu\": %.2f\n",
+                scaling_io, scaling_cpu, cache_speedup_t1);
+  out += buf;
+  out += "}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("\nreport: %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace systemr
+
+int main(int argc, char** argv) { return systemr::bench::Main(argc, argv); }

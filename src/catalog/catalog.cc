@@ -1,10 +1,13 @@
 #include "catalog/catalog.h"
 
+#include <mutex>
+
 namespace systemr {
 
 StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
                                           Schema schema,
                                           std::optional<SegmentId> segment) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (table_by_name_.count(name) > 0) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
@@ -19,6 +22,7 @@ StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
   rss_->CreateHeap(info->segment, info->id);
   table_by_name_[name] = info->id;
   tables_.push_back(std::move(info));
+  BumpVersion();
   return tables_.back().get();
 }
 
@@ -32,7 +36,8 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(
     const std::string& index_name, const std::string& table_name,
     const std::vector<std::string>& column_names, bool unique,
     bool clustered) {
-  TableInfo* table = FindTable(table_name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TableInfo* table = FindTableLocked(table_name);
   if (table == nullptr) {
     return Status::NotFound("no such table: " + table_name);
   }
@@ -75,12 +80,18 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(
   if (indexes_.size() <= id) indexes_.resize(id + 1);
   indexes_[id] = std::move(info);
   // "Index creation initializes these statistics" (§4).
-  RETURN_IF_ERROR(UpdateStatistics(table_name));
+  RETURN_IF_ERROR(UpdateStatisticsLocked(table_name));
+  BumpVersion();
   return indexes_[id].get();
 }
 
 Status Catalog::Insert(const std::string& table_name, const Row& row) {
-  TableInfo* table = FindTable(table_name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InsertLocked(table_name, row);
+}
+
+Status Catalog::InsertLocked(const std::string& table_name, const Row& row) {
+  TableInfo* table = FindTableLocked(table_name);
   if (table == nullptr) {
     return Status::NotFound("no such table: " + table_name);
   }
@@ -98,11 +109,20 @@ Status Catalog::Insert(const std::string& table_name, const Row& row) {
     const IndexInfo& info = *indexes_[iid];
     RETURN_IF_ERROR(rss_->index(iid)->Insert(ExtractKey(info, row), tid));
   }
+  if (++mutations_since_bump_ >= kInsertsPerVersionBump) {
+    mutations_since_bump_ = 0;
+    BumpVersion();
+  }
   return Status::OK();
 }
 
 Status Catalog::DeleteRow(const std::string& table_name, Tid tid) {
-  TableInfo* table = FindTable(table_name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return DeleteRowLocked(table_name, tid);
+}
+
+Status Catalog::DeleteRowLocked(const std::string& table_name, Tid tid) {
+  TableInfo* table = FindTableLocked(table_name);
   if (table == nullptr) {
     return Status::NotFound("no such table: " + table_name);
   }
@@ -112,22 +132,38 @@ Status Catalog::DeleteRow(const std::string& table_name, Tid tid) {
     const IndexInfo& info = *indexes_[iid];
     RETURN_IF_ERROR(rss_->index(iid)->Delete(ExtractKey(info, row), tid));
   }
-  return rss_->heap(table->id)->Delete(tid);
+  RETURN_IF_ERROR(rss_->heap(table->id)->Delete(tid));
+  if (++mutations_since_bump_ >= kInsertsPerVersionBump) {
+    mutations_since_bump_ = 0;
+    BumpVersion();
+  }
+  return Status::OK();
 }
 
 Status Catalog::UpdateRow(const std::string& table_name, Tid tid,
                           const Row& new_row) {
-  RETURN_IF_ERROR(DeleteRow(table_name, tid));
-  return Insert(table_name, new_row);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  RETURN_IF_ERROR(DeleteRowLocked(table_name, tid));
+  return InsertLocked(table_name, new_row);
 }
 
 TableInfo* Catalog::FindTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindTableLocked(name);
+}
+
+const TableInfo* Catalog::FindTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindTableLocked(name);
+}
+
+TableInfo* Catalog::FindTableLocked(const std::string& name) {
   auto it = table_by_name_.find(name);
   if (it == table_by_name_.end()) return nullptr;
   return tables_[it->second].get();
 }
 
-const TableInfo* Catalog::FindTable(const std::string& name) const {
+const TableInfo* Catalog::FindTableLocked(const std::string& name) const {
   auto it = table_by_name_.find(name);
   if (it == table_by_name_.end()) return nullptr;
   return tables_[it->second].get();

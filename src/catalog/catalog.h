@@ -11,7 +11,9 @@
 #ifndef SYSTEMR_CATALOG_CATALOG_H_
 #define SYSTEMR_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,20 +96,64 @@ class Catalog {
 
   TableInfo* FindTable(const std::string& name);
   const TableInfo* FindTable(const std::string& name) const;
-  TableInfo* table(RelId id) { return tables_[id].get(); }
-  const TableInfo* table(RelId id) const { return tables_[id].get(); }
-  IndexInfo* index(IndexId id) { return indexes_[id].get(); }
-  const IndexInfo* index(IndexId id) const { return indexes_[id].get(); }
+  TableInfo* table(RelId id) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tables_[id].get();
+  }
+  const TableInfo* table(RelId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tables_[id].get();
+  }
+  IndexInfo* index(IndexId id) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return indexes_[id].get();
+  }
+  const IndexInfo* index(IndexId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return indexes_[id].get();
+  }
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tables_.size();
+  }
   Rss* rss() { return rss_; }
   const Rss* rss() const { return rss_; }
+
+  /// Monotone schema/statistics version — the plan-cache invalidation fence.
+  /// Bumped by CreateTable, CreateIndex, UpdateStatistics, and every
+  /// kInsertsPerVersionBump inserts (a plan optimized against a version that
+  /// is no longer current must be re-optimized; §2's dependency-driven
+  /// recompilation, with a counter standing in for the dependency list).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Row mutations (inserts/deletes) between automatic version bumps.
+  /// Statistics stay stale by design (UPDATE STATISTICS owns them); the
+  /// bump only un-pins cached plans so churning tables get re-optimized
+  /// eventually.
+  static constexpr uint64_t kInsertsPerVersionBump = 256;
 
   /// Extracts the index key of `row` for `info` as a composite key encoding.
   static std::string ExtractKey(const IndexInfo& info, const Row& row);
 
  private:
+  // Unlocked implementations, for composition under one exclusive lock.
+  TableInfo* FindTableLocked(const std::string& name);
+  const TableInfo* FindTableLocked(const std::string& name) const;
+  Status InsertLocked(const std::string& table_name, const Row& row);
+  Status DeleteRowLocked(const std::string& table_name, Tid tid);
+  Status UpdateStatisticsLocked(const std::string& table_name);
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
   Rss* rss_;
+  // Readers (name lookup, descriptor access) take mu_ shared; every DDL,
+  // DML, and statistics write takes it exclusive. Descriptors live behind
+  // unique_ptr, so reader-held pointers stay valid across table creation.
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> version_{1};
+  uint64_t mutations_since_bump_ = 0;  // Guarded by mu_.
   std::vector<std::unique_ptr<TableInfo>> tables_;
   std::vector<std::unique_ptr<IndexInfo>> indexes_;
   std::unordered_map<std::string, RelId> table_by_name_;

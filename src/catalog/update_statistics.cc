@@ -3,6 +3,7 @@
 // System R runs this periodically rather than on every INSERT/DELETE/UPDATE,
 // to avoid serializing writers on the catalogs; we reproduce that contract —
 // the optimizer sees the statistics snapshot, not live counts.
+#include <mutex>
 #include <set>
 
 #include "catalog/catalog.h"
@@ -10,7 +11,16 @@
 namespace systemr {
 
 Status Catalog::UpdateStatistics(const std::string& table_name) {
-  TableInfo* table = FindTable(table_name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  RETURN_IF_ERROR(UpdateStatisticsLocked(table_name));
+  // New statistics invalidate every cached plan compiled against the old
+  // ones (§2's "dependency" invalidation).
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Catalog::UpdateStatisticsLocked(const std::string& table_name) {
+  TableInfo* table = FindTableLocked(table_name);
   if (table == nullptr) {
     return Status::NotFound("no such table: " + table_name);
   }

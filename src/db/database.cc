@@ -15,31 +15,54 @@ Database::Database(size_t buffer_pages, OptimizerOptions options)
 }
 
 StatusOr<std::unique_ptr<BoundQueryBlock>> Database::BindSql(
-    const std::string& sql) {
+    const std::string& sql, int* num_params) {
   ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
   if (stmt.kind != Statement::Kind::kSelect &&
       stmt.kind != Statement::Kind::kExplain) {
     return Status::InvalidArgument("expected a SELECT statement");
   }
+  if (num_params != nullptr) *num_params = stmt.num_params;
   Binder binder(&catalog_);
   return binder.Bind(*stmt.select);
 }
 
 StatusOr<OptimizedQuery> Database::Prepare(const std::string& sql) {
-  ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block, BindSql(sql));
+  int num_params = 0;
+  ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block,
+                   BindSql(sql, &num_params));
   Optimizer optimizer(&catalog_, options_);
-  return optimizer.Optimize(std::move(block));
+  ASSIGN_OR_RETURN(OptimizedQuery query, optimizer.Optimize(std::move(block)));
+  query.num_params = num_params;
+  return query;
 }
 
 StatusOr<OptimizedQuery> Database::PrepareBaseline(const std::string& sql,
                                                    BaselineKind kind) {
-  ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block, BindSql(sql));
-  return OptimizeBaseline(&catalog_, std::move(block), kind, options_);
+  int num_params = 0;
+  ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block,
+                   BindSql(sql, &num_params));
+  ASSIGN_OR_RETURN(OptimizedQuery query,
+                   OptimizeBaseline(&catalog_, std::move(block), kind,
+                                    options_));
+  query.num_params = num_params;
+  return query;
 }
 
 StatusOr<QueryResult> Database::Run(const OptimizedQuery& query) {
+  return Run(query, {}, nullptr);
+}
+
+StatusOr<QueryResult> Database::Run(const OptimizedQuery& query,
+                                    const std::vector<Value>& params,
+                                    const ExecLimits* limits) {
+  if (static_cast<int>(params.size()) != query.num_params) {
+    return Status::InvalidArgument(
+        "statement takes " + std::to_string(query.num_params) +
+        " parameter(s), " + std::to_string(params.size()) + " bound");
+  }
   ExecContext ctx(&rss_, &catalog_, &query.subquery_plans, options_.cost.w);
-  ctx.set_limits(exec_limits_);
+  ctx.set_limits(limits != nullptr ? *limits : exec_limits_);
+  ctx.set_params(&params);
   ASSIGN_OR_RETURN(ExecResult exec, ExecutePlan(&ctx, *query.block,
                                                 query.root));
   QueryResult result;

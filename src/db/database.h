@@ -53,8 +53,15 @@ class Database {
   StatusOr<OptimizedQuery> PrepareBaseline(const std::string& sql,
                                            BaselineKind kind);
 
-  /// Executes a prepared query, measuring actual cost.
+  /// Executes a prepared query, measuring actual cost. The parameterless
+  /// overload requires a statement without `?` markers.
   StatusOr<QueryResult> Run(const OptimizedQuery& query);
+  /// Executes with `params` bound to the statement's `?` markers (must match
+  /// query.num_params). `limits`, when non-null, overrides the database-wide
+  /// exec limits for this one execution.
+  StatusOr<QueryResult> Run(const OptimizedQuery& query,
+                            const std::vector<Value>& params,
+                            const ExecLimits* limits = nullptr);
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -69,7 +76,8 @@ class Database {
   const ExecLimits& exec_limits() const { return exec_limits_; }
 
  private:
-  StatusOr<std::unique_ptr<BoundQueryBlock>> BindSql(const std::string& sql);
+  StatusOr<std::unique_ptr<BoundQueryBlock>> BindSql(const std::string& sql,
+                                                     int* num_params = nullptr);
   Status ExecuteStatement(Statement& stmt);
   StatusOr<size_t> ExecuteDml(Statement& stmt);
 

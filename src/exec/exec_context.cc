@@ -48,7 +48,7 @@ const std::vector<std::pair<int, size_t>>& ExecContext::OuterRefsFor(
 }
 
 void ExecContext::ArmLimits() {
-  limits_baseline_gets_ = rss_->pool().stats().logical_gets;
+  limits_baseline_gets_ = meter_.logical_gets;
 }
 
 Status ExecContext::CheckInterruptsSlow() {
@@ -57,7 +57,7 @@ Status ExecContext::CheckInterruptsSlow() {
     return Status::Cancelled("statement cancelled");
   }
   if (limits_.max_buffer_gets > 0) {
-    uint64_t used = rss_->pool().stats().logical_gets - limits_baseline_gets_;
+    uint64_t used = meter_.logical_gets - limits_baseline_gets_;
     if (used > limits_.max_buffer_gets) {
       return Status::ResourceExhausted(
           "statement page-access budget exceeded (" +

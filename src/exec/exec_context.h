@@ -14,6 +14,7 @@
 
 #include "catalog/catalog.h"
 #include "optimizer/optimizer.h"
+#include "rss/meter.h"
 #include "rss/rss.h"
 
 namespace systemr {
@@ -33,7 +34,8 @@ struct ExecLimits {
   const std::atomic<bool>* cancel = nullptr;  // Not owned; may be null.
 };
 
-/// Metered work for one statement (delta of RSS snapshots).
+/// Metered work for one statement (from the statement's own MeterCounters,
+/// so concurrent statements never see each other's work).
 struct ExecStats {
   uint64_t page_fetches = 0;
   uint64_t page_writes = 0;
@@ -70,6 +72,28 @@ class ExecContext {
   Rss* rss() { return rss_; }
   const Catalog* catalog() const { return catalog_; }
   double w() const { return w_; }
+
+  /// This statement's private work counters. ExecutePlan installs them as
+  /// the thread's meter (rss/meter.h) for the duration of the run; limits
+  /// accounting reads them race-free.
+  MeterCounters& meter() { return meter_; }
+  const MeterCounters& meter() const { return meter_; }
+
+  // --- Host variables (§2) ---
+  /// Execute-time values for the statement's ? parameters (not owned; must
+  /// outlive execution). Null when the statement has no parameters.
+  void set_params(const std::vector<Value>* params) { params_ = params; }
+  const std::vector<Value>* params() const { return params_; }
+  /// The value bound to parameter `idx`, or an error if unbound.
+  Status ParamValue(int idx, Value* out) const {
+    if (params_ == nullptr || idx < 0 ||
+        static_cast<size_t>(idx) >= params_->size()) {
+      return Status::InvalidArgument("parameter ?" + std::to_string(idx + 1) +
+                                     " is not bound");
+    }
+    *out = (*params_)[idx];
+    return Status::OK();
+  }
 
   /// Plan for a nested query block, or null.
   const PlanRef* SubplanFor(const BoundQueryBlock* block) const;
@@ -120,7 +144,8 @@ class ExecContext {
                      limits.has_deadline;
   }
   const ExecLimits& limits() const { return limits_; }
-  /// Snapshots the buffer-get baseline; the budget counts work from here.
+  /// Snapshots this context's buffer-get baseline; the budget counts work
+  /// from here.
   void ArmLimits();
   /// Cancellation/budget point, called per candidate tuple by the scans:
   /// kCancelled on cancel flag or expired deadline, kResourceExhausted once
@@ -145,6 +170,7 @@ class ExecContext {
   const Catalog* catalog_;
   const SubplanMap* subplans_;
   double w_;
+  const std::vector<Value>* params_ = nullptr;
   std::vector<const Row*> ancestors_;
   std::map<const BoundQueryBlock*, SubqueryCache> caches_;
   // Node-based map: references returned by SubqueryOpFor stay valid while
@@ -155,6 +181,7 @@ class ExecContext {
   Status CheckInterruptsSlow();
 
   std::vector<PageId> temp_pages_;
+  MeterCounters meter_;
   ExecLimits limits_;
   bool interruptible_ = false;
   uint64_t limits_baseline_gets_ = 0;

@@ -48,7 +48,11 @@ std::unique_ptr<Operator> BuildOperator(ExecContext* ctx,
 StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
                                  const BoundQueryBlock& block,
                                  const PlanRef& root) {
-  RssSnapshot before = ctx->rss()->Snapshot();
+  // Divert this thread's storage-layer counts to the context's private
+  // meter: the delta below measures exactly this statement's work even with
+  // other sessions running against the same RSS.
+  MeterCounters before = ctx->meter();
+  MeterScope scope(&ctx->meter());
   ExecResult result;
   std::unique_ptr<Operator> op =
       BuildOperator(ctx, &block, root.get(), nullptr);
@@ -66,7 +70,7 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
   op->Close();
   ctx->ReleaseTempPages();
 
-  RssSnapshot after = ctx->rss()->Snapshot();
+  const MeterCounters& after = ctx->meter();
   result.stats.page_fetches = after.page_fetches - before.page_fetches;
   result.stats.page_writes = after.page_writes - before.page_writes;
   result.stats.rsi_calls = after.rsi_calls - before.rsi_calls;

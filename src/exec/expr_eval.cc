@@ -83,6 +83,11 @@ StatusOr<Value> EvalExpr(const BoundExpr& e, ExecContext* ctx,
       return ctx->OuterValue(e.outer_level, e.offset);
     case BoundExprKind::kLiteral:
       return e.literal;
+    case BoundExprKind::kParameter: {
+      Value v;
+      RETURN_IF_ERROR(ctx->ParamValue(e.param_idx, &v));
+      return v;
+    }
     case BoundExprKind::kCompare: {
       // Scalar-subquery operands are evaluated (with caching) first.
       Value lhs, rhs;

@@ -21,6 +21,9 @@ bool IsConstExpr(const BoundExpr& e) {
     case BoundExprKind::kSubquery:
     case BoundExprKind::kInSubquery:
     case BoundExprKind::kAggregate:
+    // A ? host variable is NEVER a compile-time constant: its value changes
+    // between executions of the same compiled program.
+    case BoundExprKind::kParameter:
       return false;
     default:
       break;
@@ -75,6 +78,13 @@ bool ExprProgram::Emit(const BoundExpr& e) {
       Step s;
       s.op = Op::kPushConst;
       s.a = AddConst(e.literal);
+      steps_.push_back(s);
+      return true;
+    }
+    case BoundExprKind::kParameter: {
+      Step s;
+      s.op = Op::kPushParam;
+      s.a = static_cast<uint32_t>(e.param_idx);
       steps_.push_back(s);
       return true;
     }
@@ -292,6 +302,16 @@ Status ExprProgram::Run(ExecContext* ctx, const Row& row, const Value** top) {
       case Op::kPushConst:
         stack[sp++].ref = &consts_[s.a];
         break;
+      case Op::kPushParam: {
+        const std::vector<Value>* params = ctx->params();
+        if (params == nullptr || s.a >= params->size()) {
+          return Status::InvalidArgument("parameter ?" +
+                                         std::to_string(s.a + 1) +
+                                         " is not bound");
+        }
+        stack[sp++].ref = &(*params)[s.a];
+        break;
+      }
       case Op::kCompare: {
         const Value& rhs = *stack[--sp].ref;
         const Value& lhs = *stack[--sp].ref;

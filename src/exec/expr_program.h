@@ -49,6 +49,7 @@ class ExprProgram {
     kPushColumn,      // push &row[a]
     kPushOuter,       // push outer value (a = levels up, b = offset)
     kPushConst,       // push &consts_[a]
+    kPushParam,       // push the execute-time value of parameter a
     kCompare,         // pop rhs, lhs; push lhs cmp rhs (NULL -> false)
     kArith,           // pop rhs, lhs; push lhs arith rhs
     kNot,             // pop v; push !truthy(v)

@@ -30,39 +30,67 @@ ScanOp::ScanOp(ExecContext* ctx, const BoundQueryBlock* block,
 
 Status ScanOp::BindDynamic() {
   const ScanSpec& spec = node_->scan;
-  if (!spec.dyn_sargs.empty() || !spec.dyn_eq.empty()) {
-    if (binding_ == nullptr) {
-      return Status::Internal("dynamic scan opened without an outer row");
-    }
+  bool needs_outer = false;
+  for (const DynamicSargTerm& d : spec.dyn_sargs) {
+    if (d.param_idx < 0) needs_outer = true;
+  }
+  for (const EqBound& b : spec.eq_bounds) {
+    if (b.outer_offset >= 0) needs_outer = true;
+  }
+  if (needs_outer && binding_ == nullptr) {
+    return Status::Internal("dynamic scan opened without an outer row");
   }
   if (!spec.dyn_sargs.empty()) {
     SargList* sargs = scan_->mutable_sargs();
     for (size_t i = 0; i < spec.dyn_sargs.size(); ++i) {
-      (*sargs)[static_sargs_ + i].disjuncts[0][0].value =
-          (*binding_)[spec.dyn_sargs[i].outer_offset];
+      const DynamicSargTerm& d = spec.dyn_sargs[i];
+      Value& slot = (*sargs)[static_sargs_ + i].disjuncts[0][0].value;
+      if (d.param_idx >= 0) {
+        RETURN_IF_ERROR(ctx_->ParamValue(d.param_idx, &slot));
+      } else {
+        slot = (*binding_)[d.outer_offset];
+      }
     }
   }
   if (spec.index == nullptr) return Status::OK();
 
-  // Index bounds: literal prefix, then dynamic prefix, then optional range.
+  // Index bounds: the equality prefix (in key-column order), then an
+  // optional range on the next key column.
   std::string prefix;
-  for (const Value& v : spec.eq_prefix) v.EncodeKey(&prefix);
-  for (const DynamicEq& d : spec.dyn_eq) {
-    (*binding_)[d.outer_offset].EncodeKey(&prefix);
+  Value v;
+  for (const EqBound& b : spec.eq_bounds) {
+    if (b.param_idx >= 0) {
+      RETURN_IF_ERROR(ctx_->ParamValue(b.param_idx, &v));
+      v.EncodeKey(&prefix);
+    } else if (b.outer_offset >= 0) {
+      (*binding_)[b.outer_offset].EncodeKey(&prefix);
+    } else {
+      b.literal.EncodeKey(&prefix);
+    }
   }
   KeyRange range;
-  if (spec.lo.has_value()) {
+  if (spec.lo.has_value() || spec.lo_param >= 0) {
     std::string k = prefix;
-    spec.lo->EncodeKey(&k);
+    if (spec.lo_param >= 0) {
+      RETURN_IF_ERROR(ctx_->ParamValue(spec.lo_param, &v));
+      v.EncodeKey(&k);
+    } else {
+      spec.lo->EncodeKey(&k);
+    }
     range.start = std::move(k);
     range.start_inclusive = spec.lo_inclusive;
   } else if (!prefix.empty()) {
     range.start = prefix;
     range.start_inclusive = true;
   }
-  if (spec.hi.has_value()) {
+  if (spec.hi.has_value() || spec.hi_param >= 0) {
     std::string k = prefix;
-    spec.hi->EncodeKey(&k);
+    if (spec.hi_param >= 0) {
+      RETURN_IF_ERROR(ctx_->ParamValue(spec.hi_param, &v));
+      v.EncodeKey(&k);
+    } else {
+      spec.hi->EncodeKey(&k);
+    }
     range.stop = std::move(k);
     range.stop_inclusive = spec.hi_inclusive;
   } else if (!prefix.empty()) {

@@ -1,10 +1,13 @@
 #include "harness/fuzz_session.h"
 
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "db/database.h"
 #include "harness/differ.h"
 #include "harness/ref_executor.h"
+#include "session/session.h"
 #include "workload/querygen.h"
 
 namespace systemr {
@@ -27,10 +30,13 @@ struct Violation {
   std::vector<std::string>* sink;
   uint64_t seed;
   const std::string* sql;
+  int thread = -1;  // >= 0 in concurrent mode.
 
   void Add(const std::string& oracle, const std::string& detail) {
-    sink->push_back("seed=" + std::to_string(seed) + " oracle=" + oracle +
-                    " sql=[" + *sql + "] " + detail);
+    std::string line = "seed=" + std::to_string(seed);
+    if (thread >= 0) line += " thread=" + std::to_string(thread);
+    line += " oracle=" + oracle + " sql=[" + *sql + "] " + detail;
+    sink->push_back(std::move(line));
   }
 };
 
@@ -273,6 +279,85 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
     report->queries += out.queries;
     report->violations.insert(report->violations.end(),
                               out.violations.begin(), out.violations.end());
+  }
+  return out;
+}
+
+SeedResult RunConcurrentFuzzSeed(uint64_t seed, int threads,
+                                 int queries_per_thread) {
+  SeedResult out;
+  out.seed = seed;
+
+  auto family = static_cast<FuzzSchema::Family>(seed % 3);
+  FuzzSchema schema = MakeFuzzSchema(family, seed);
+  Database db(128);
+  Status built = BuildFuzzSchema(&db, schema, seed, /*secondary_indexes=*/true);
+  if (!built.ok()) {
+    out.violations.push_back("seed=" + std::to_string(seed) +
+                             " oracle=schema-build " + built.message());
+    return out;
+  }
+
+  // One shared plan cache: identical statements generated by different
+  // threads compile once and execute everywhere, so plan sharing itself is
+  // under test here, not just storage.
+  PlanCache cache(32);
+  const auto page_map = RelPageMap(&db);
+
+  std::vector<std::vector<std::string>> violations(threads);
+  std::vector<uint64_t> counts(static_cast<size_t>(threads), 0);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Session session(&db, &cache);
+      // Per-thread reference executor over the raw page store: no engine
+      // code, no shared mutable state with the sessions under test.
+      RefExecutor ref(&db.rss().store(), page_map);
+      FuzzQueryGen gen(schema,
+                       seed ^ (0x9e3779b97f4a7c15ULL * (uint64_t)(t + 1)));
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < threads) {
+        std::this_thread::yield();
+      }
+      for (int qi = 0; qi < queries_per_thread; ++qi) {
+        GeneratedQuery q = gen.Next();
+        std::string sql = q.Sql();
+        ++counts[t];
+        Violation v{&violations[t], seed, &sql, t};
+
+        auto stmt = session.Prepare(sql);
+        if (!stmt.ok()) {
+          v.Add("prepare", stmt.status().message());
+          continue;
+        }
+        auto ref_rows = ref.Execute(*stmt->plan().block);
+        if (!ref_rows.ok()) {
+          v.Add("reference", ref_rows.status().message());
+          continue;
+        }
+        auto run = stmt->Execute();
+        if (!run.ok()) {
+          v.Add("session-run", run.status().message());
+          continue;
+        }
+        if (!SameRowMultiset(*ref_rows, run->rows)) {
+          v.Add("session-diff", DiffSummary(*ref_rows, run->rows));
+          continue;
+        }
+        if (!q.order_positions.empty() &&
+            !RowsSorted(run->rows, q.order_positions)) {
+          v.Add("order-by", "engine output not sorted per ORDER BY");
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < threads; ++t) {
+    out.queries += counts[t];
+    out.violations.insert(out.violations.end(), violations[t].begin(),
+                          violations[t].end());
   }
   return out;
 }

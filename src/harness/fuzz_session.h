@@ -57,6 +57,17 @@ struct SeedResult {
 SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
                        FuzzReport* report);
 
+/// Concurrent differential fuzzing: builds ONE Database for `seed`, then
+/// runs `threads` sessions over it in parallel — each with its own query
+/// generator and its own reference executor reading raw heap pages — and
+/// checks every session's results against the reference. Query streams
+/// differ per thread (deterministically derived from seed + thread index),
+/// so this catches cross-statement races the single-threaded oracles
+/// cannot: torn buffer-pool state, catalog lookups under contention, plan
+/// sharing through the session plan cache.
+SeedResult RunConcurrentFuzzSeed(uint64_t seed, int threads,
+                                 int queries_per_thread);
+
 }  // namespace systemr
 
 #endif  // SYSTEMR_HARNESS_FUZZ_SESSION_H_

@@ -239,6 +239,13 @@ StatusOr<Value> RefExecutor::Eval(const BoundExpr& e, const Row& row) {
       return (*ancestors_[ancestors_.size() - e.outer_level])[e.offset];
     case BoundExprKind::kLiteral:
       return e.literal;
+    case BoundExprKind::kParameter:
+      if (params_ == nullptr || e.param_idx < 0 ||
+          static_cast<size_t>(e.param_idx) >= params_->size()) {
+        return Status::InvalidArgument(
+            "parameter ?" + std::to_string(e.param_idx + 1) + " is not bound");
+      }
+      return (*params_)[e.param_idx];
     case BoundExprKind::kCompare: {
       ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], row));
       ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], row));

@@ -55,6 +55,10 @@ class RefExecutor {
   /// an unspecified order (callers compare multisets).
   StatusOr<std::vector<Row>> Execute(const BoundQueryBlock& block);
 
+  /// Host-variable values for `?` markers in the block, by ordinal. The
+  /// vector must outlive the Execute call.
+  void set_params(const std::vector<Value>* params) { params_ = params; }
+
   /// Counts ground-truth statistics for one relation with `num_columns`
   /// columns by scanning its raw pages.
   StatusOr<RefTableStats> TableStats(RelId relid, size_t num_columns);
@@ -87,6 +91,7 @@ class RefExecutor {
 
   const PageStore* store_;
   std::unordered_map<RelId, std::vector<PageId>> rel_pages_;
+  const std::vector<Value>* params_ = nullptr;
   // Tables decoded once per top-level Execute (cleared on entry).
   std::unordered_map<RelId, std::vector<Row>> table_cache_;
   // Enclosing rows for correlated references, outermost first (same stack

@@ -15,13 +15,18 @@ struct ApplicablePreds {
   // Local non-sargable residuals and their selectivity product.
   std::vector<const BoundExpr*> residual;
   double f_residual = 1.0;
+  // Parameter (host-variable) terms applied as dynamic SARGs, values filled
+  // at execute time.
+  std::vector<DynamicSargTerm> param_sargs;
   // Factor lookup for index matching: single-term equality and range factors
-  // by column, with their selectivities.
+  // by column, with their selectivities. param_idx >= 0 marks a ? term whose
+  // value is bound at execute time.
   struct SimpleTerm {
     size_t column;
     CompareOp op;
     Value value;
     double selectivity;
+    int param_idx = -1;
   };
   std::vector<SimpleTerm> simple_terms;  // From single-conjunct factors.
   struct BetweenTerm {
@@ -29,6 +34,8 @@ struct ApplicablePreds {
     Value lo, hi;
     bool hi_inclusive = true;
     double selectivity;
+    int lo_param = -1;
+    int hi_param = -1;
   };
   std::vector<BetweenTerm> betweens;
 };
@@ -73,6 +80,36 @@ ApplicablePreds CollectPreds(const PlannerContext& ctx, int table_idx,
       }
       continue;
     }
+    if (!f.param_terms.empty() && f.sarg_table == table_idx) {
+      // Host-variable factor: parameter terms become dynamic SARGs filled at
+      // execute time; literal halves of mixed BETWEENs stay static SARGs.
+      for (const auto& t : f.param_terms) {
+        if (t.param_idx >= 0) {
+          out.param_sargs.push_back(
+              DynamicSargTerm{t.column, t.op, 0, t.param_idx});
+        } else {
+          Sarg s;
+          s.AddConjunct({SargTerm{t.column, t.op, t.value}});
+          out.sargs.push_back(std::move(s));
+        }
+      }
+      out.f_sargable *= f.selectivity;
+      // Index-matching entries: a single comparison, or a BETWEEN shape.
+      if (f.param_terms.size() == 1) {
+        const auto& t = f.param_terms[0];
+        out.simple_terms.push_back(
+            {t.column, t.op, t.value, f.selectivity, t.param_idx});
+      } else if (f.param_terms.size() == 2 &&
+                 f.param_terms[0].column == f.param_terms[1].column &&
+                 f.param_terms[0].op == CompareOp::kGe &&
+                 f.param_terms[1].op == CompareOp::kLe) {
+        out.betweens.push_back({f.param_terms[0].column,
+                                f.param_terms[0].value, f.param_terms[1].value,
+                                true, f.selectivity, f.param_terms[0].param_idx,
+                                f.param_terms[1].param_idx});
+      }
+      continue;
+    }
     if (f.tables_mask == self) {
       out.residual.push_back(f.expr);
       out.f_residual *= f.selectivity;
@@ -112,12 +149,15 @@ std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
   double rsicard = ncard * preds.f_sargable;
   double rows = rsicard * preds.f_residual;
 
-  // Dynamic SARG terms from the join predicates (all comparison ops).
+  // Dynamic SARG terms: join predicates (outer-row sourced, all comparison
+  // ops) plus host-variable terms (parameter sourced).
   std::vector<DynamicSargTerm> dyn_sargs;
   for (const auto& [j, f] : preds.join_preds) {
     dyn_sargs.push_back(DynamicSargTerm{
         j.c1, j.op, block.OffsetOf(j.t2, j.c2)});
   }
+  dyn_sargs.insert(dyn_sargs.end(), preds.param_sargs.begin(),
+                   preds.param_sargs.end());
 
   std::vector<AccessPath> paths;
 
@@ -162,7 +202,7 @@ std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
     bool matching = false;
     for (size_t k = 0; k < index.key_columns.size(); ++k) {
       size_t col = index.key_columns[k];
-      // Literal equality?
+      // Equality on this key column: a literal or ? parameter factor?
       const ApplicablePreds::SimpleTerm* eq = nullptr;
       for (const auto& t : preds.simple_terms) {
         if (t.column == col && t.op == CompareOp::kEq) {
@@ -171,7 +211,13 @@ std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
         }
       }
       if (eq != nullptr) {
-        spec.eq_prefix.push_back(eq->value);
+        EqBound b;
+        if (eq->param_idx >= 0) {
+          b.param_idx = eq->param_idx;
+        } else {
+          b.literal = eq->value;
+        }
+        spec.eq_bounds.push_back(std::move(b));
         f_matching *= eq->selectivity;
         ++bound_cols;
         matching = true;
@@ -188,8 +234,9 @@ std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
         }
       }
       if (dyn != nullptr) {
-        spec.dyn_eq.push_back(
-            DynamicEq{block.OffsetOf(dyn->t2, dyn->c2)});
+        EqBound b;
+        b.outer_offset = static_cast<int64_t>(block.OffsetOf(dyn->t2, dyn->c2));
+        spec.eq_bounds.push_back(std::move(b));
         f_matching *= dyn_f;
         ++bound_cols;
         matching = true;
@@ -199,27 +246,44 @@ std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
       for (const auto& t : preds.simple_terms) {
         if (t.column != col) continue;
         if (t.op == CompareOp::kGt || t.op == CompareOp::kGe) {
-          if (!spec.lo.has_value()) {
-            spec.lo = t.value;
+          if (!spec.lo.has_value() && spec.lo_param < 0) {
+            if (t.param_idx >= 0) {
+              spec.lo_param = t.param_idx;
+            } else {
+              spec.lo = t.value;
+            }
             spec.lo_inclusive = t.op == CompareOp::kGe;
             f_matching *= t.selectivity;
             matching = true;
           }
         } else if (t.op == CompareOp::kLt || t.op == CompareOp::kLe) {
-          if (!spec.hi.has_value()) {
-            spec.hi = t.value;
+          if (!spec.hi.has_value() && spec.hi_param < 0) {
+            if (t.param_idx >= 0) {
+              spec.hi_param = t.param_idx;
+            } else {
+              spec.hi = t.value;
+            }
             spec.hi_inclusive = t.op == CompareOp::kLe;
             f_matching *= t.selectivity;
             matching = true;
           }
         }
       }
-      if (!spec.lo.has_value() && !spec.hi.has_value()) {
+      if (!spec.lo.has_value() && spec.lo_param < 0 && !spec.hi.has_value() &&
+          spec.hi_param < 0) {
         for (const auto& b : preds.betweens) {
           if (b.column == col) {
-            spec.lo = b.lo;
+            if (b.lo_param >= 0) {
+              spec.lo_param = b.lo_param;
+            } else {
+              spec.lo = b.lo;
+            }
             spec.lo_inclusive = true;
-            spec.hi = b.hi;
+            if (b.hi_param >= 0) {
+              spec.hi_param = b.hi_param;
+            } else {
+              spec.hi = b.hi;
+            }
             spec.hi_inclusive = b.hi_inclusive;
             f_matching *= b.selectivity;
             matching = true;

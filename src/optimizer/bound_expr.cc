@@ -41,6 +41,7 @@ std::unique_ptr<BoundExpr> BoundExpr::Clone() const {
   copy->arith_op = arith_op;
   copy->agg = agg;
   copy->negated = negated;
+  copy->param_idx = param_idx;
   for (const auto& child : children) copy->children.push_back(child->Clone());
   if (subquery != nullptr) {
     // Subquery blocks are not cloned: expressions holding subqueries are
@@ -106,6 +107,8 @@ std::string BoundExpr::ToString(const BoundQueryBlock& block) const {
       return children[0]->ToString(block) +
              (negated ? " NOT LIKE " : " LIKE ") +
              children[1]->ToString(block);
+    case BoundExprKind::kParameter:
+      return "?" + std::to_string(param_idx + 1);
   }
   return "?";
 }

@@ -38,6 +38,7 @@ enum class BoundExprKind {
   kAggregate,
   kIsNull,
   kLike,
+  kParameter,  // ? host variable: value supplied at execute time (§2).
 };
 
 struct BoundExpr {
@@ -64,6 +65,9 @@ struct BoundExpr {
 
   // kIsNull.
   bool negated = false;
+
+  // kParameter: ordinal into the execute-time parameter vector.
+  int param_idx = -1;
 
   // Children (same shape conventions as sql/ast.h).
   std::vector<std::unique_ptr<BoundExpr>> children;

@@ -145,6 +145,53 @@ bool ToSargDnf(const BoundExpr& e, int* table,
   }
 }
 
+// Tries to express `e` as a conjunction of column-vs-(? | literal) terms on
+// one table: a single comparison against a ?, or a BETWEEN with at least one
+// parameter endpoint. Sets *saw_param if any term is a host variable.
+bool ToParamSargTerms(const BoundExpr& e, int* table,
+                      std::vector<BooleanFactor::ParamSargTerm>* terms,
+                      bool* saw_param) {
+  auto add = [&](const BoundExpr* col, CompareOp op, const BoundExpr* rhs) {
+    if (col->kind != BoundExprKind::kColumn || col->outer_level != 0) {
+      return false;
+    }
+    if (rhs->kind != BoundExprKind::kParameter &&
+        rhs->kind != BoundExprKind::kLiteral) {
+      return false;
+    }
+    if (*table >= 0 && *table != col->table_idx) return false;
+    *table = col->table_idx;
+    BooleanFactor::ParamSargTerm t;
+    t.column = col->column;
+    t.op = op;
+    if (rhs->kind == BoundExprKind::kParameter) {
+      t.param_idx = rhs->param_idx;
+      *saw_param = true;
+    } else {
+      t.value = rhs->literal;
+    }
+    terms->push_back(std::move(t));
+    return true;
+  };
+  switch (e.kind) {
+    case BoundExprKind::kCompare: {
+      const BoundExpr* lhs = e.children[0].get();
+      const BoundExpr* rhs = e.children[1].get();
+      CompareOp op = e.op;
+      if (lhs->kind != BoundExprKind::kColumn) {
+        std::swap(lhs, rhs);
+        op = MirrorOp(op);
+      }
+      return add(lhs, op, rhs);
+    }
+    case BoundExprKind::kBetween:
+      return add(e.children[0].get(), CompareOp::kGe, e.children[1].get()) &&
+             add(e.children[0].get(), CompareOp::kLe, e.children[2].get());
+    default:
+      return false;
+  }
+}
+
 std::optional<JoinPredInfo> AsJoinPred(const BoundExpr& e) {
   if (e.kind != BoundExprKind::kCompare) return std::nullopt;
   const BoundExpr* lhs = e.children[0].get();
@@ -191,6 +238,17 @@ std::vector<BooleanFactor> ExtractBooleanFactors(const BoundQueryBlock& block) {
         f.sargable = true;
         f.sarg_table = table;
         f.dnf = std::move(dnf);
+      }
+      if (!f.join.has_value() && !f.sargable) {
+        // Host-variable factors (§2): sargable with the value substituted
+        // at execute time.
+        int ptable = -1;
+        std::vector<BooleanFactor::ParamSargTerm> pterms;
+        bool saw_param = false;
+        if (ToParamSargTerms(*e, &ptable, &pterms, &saw_param) && saw_param) {
+          f.sarg_table = ptable;
+          f.param_terms = std::move(pterms);
+        }
       }
     }
     factors.push_back(std::move(f));

@@ -51,6 +51,22 @@ struct BooleanFactor {
   bool sargable = false;
   int sarg_table = -1;
   std::vector<std::vector<SargTerm>> dnf;
+
+  /// One term of a parameter-sargable factor: `column op ?` or one bound of
+  /// a BETWEEN with a parameter endpoint. param_idx < 0 means `value` holds
+  /// the compile-time literal half of a mixed BETWEEN.
+  struct ParamSargTerm {
+    size_t column = 0;
+    CompareOp op = CompareOp::kEq;
+    int param_idx = -1;
+    Value value;
+  };
+  /// Non-empty if the factor is a conjunction of column-vs-(? | literal)
+  /// terms on one table with at least one ? host variable. Like the paper's
+  /// pre-bound host variables, these are sargable with default Table-1
+  /// selectivities; the values are substituted at execute time. Uses
+  /// sarg_table for the table.
+  std::vector<ParamSargTerm> param_terms;
 };
 
 /// Splits the block's WHERE tree into boolean factors and analyzes each.

@@ -65,28 +65,39 @@ std::string DescribeScan(const ScanSpec& spec, const BoundQueryBlock& block) {
     os << corr << " (segment scan)";
   } else {
     os << corr << " via " << spec.index->name;
-    if (!spec.eq_prefix.empty() || !spec.dyn_eq.empty() ||
-        spec.lo.has_value() || spec.hi.has_value()) {
+    if (!spec.eq_bounds.empty() || spec.lo.has_value() || spec.lo_param >= 0 ||
+        spec.hi.has_value() || spec.hi_param >= 0) {
       os << " [";
       bool first = true;
-      for (const Value& v : spec.eq_prefix) {
+      for (const EqBound& b : spec.eq_bounds) {
         if (!first) os << ", ";
-        os << "=" << v.ToString();
+        if (b.param_idx >= 0) {
+          os << "=?" << (b.param_idx + 1);
+        } else if (b.outer_offset >= 0) {
+          os << "=outer#" << b.outer_offset;
+        } else {
+          os << "=" << b.literal.ToString();
+        }
         first = false;
       }
-      for (const DynamicEq& d : spec.dyn_eq) {
+      if (spec.lo.has_value() || spec.lo_param >= 0) {
         if (!first) os << ", ";
-        os << "=outer#" << d.outer_offset;
+        os << (spec.lo_inclusive ? ">=" : ">");
+        if (spec.lo_param >= 0) {
+          os << "?" << (spec.lo_param + 1);
+        } else {
+          os << spec.lo->ToString();
+        }
         first = false;
       }
-      if (spec.lo.has_value()) {
+      if (spec.hi.has_value() || spec.hi_param >= 0) {
         if (!first) os << ", ";
-        os << (spec.lo_inclusive ? ">=" : ">") << spec.lo->ToString();
-        first = false;
-      }
-      if (spec.hi.has_value()) {
-        if (!first) os << ", ";
-        os << (spec.hi_inclusive ? "<=" : "<") << spec.hi->ToString();
+        os << (spec.hi_inclusive ? "<=" : "<");
+        if (spec.hi_param >= 0) {
+          os << "?" << (spec.hi_param + 1);
+        } else {
+          os << spec.hi->ToString();
+        }
         first = false;
       }
       os << "]";
@@ -102,7 +113,13 @@ std::string DescribeScan(const ScanSpec& spec, const BoundQueryBlock& block) {
   }
   for (const DynamicSargTerm& d : spec.dyn_sargs) {
     os << " dynsarg(" << spec.table->schema.column(d.inner_column).name
-       << CompareOpName(d.op) << "outer#" << d.outer_offset << ")";
+       << CompareOpName(d.op);
+    if (d.param_idx >= 0) {
+      os << "?" << (d.param_idx + 1);
+    } else {
+      os << "outer#" << d.outer_offset;
+    }
+    os << ")";
   }
   if (!spec.residual.empty()) {
     os << " where(";

@@ -29,6 +29,11 @@ struct OptimizedQuery {
   double est_cost = 0;
   double est_rows = 0;
 
+  /// Count of `?` host-variable markers; Execute must bind exactly this
+  /// many values (§2: parameters are checked at execute time, the plan is
+  /// compiled without their values).
+  int num_params = 0;
+
   // Search statistics of the top-level block (§7 claims).
   size_t solutions_stored = 0;
   size_t solutions_generated = 0;

@@ -39,19 +39,25 @@ enum class PlanKind {
   kAggregate,      // Grouped or scalar aggregation; emits projected rows.
 };
 
-/// One key-column bound of an index scan that is filled in at run time from
-/// the current outer row (the nested-loop "join predicate as search argument"
-/// mechanism, §5).
-struct DynamicEq {
-  size_t outer_offset = 0;  // Block-row offset of the outer join column.
+/// One equality bound on an index key column, in key-column order. Exactly
+/// one source is active: a compile-time literal (the default), the block-row
+/// offset of an outer join column (the nested-loop "join predicate as search
+/// argument" mechanism, §5), or a ? host-variable ordinal bound at execute
+/// time (§2).
+struct EqBound {
+  Value literal;
+  int64_t outer_offset = -1;  // >= 0: value taken from the outer row.
+  int param_idx = -1;         // >= 0: value taken from the parameter vector.
 };
 
-/// A join predicate applied as a SARG on the inner scan with the outer
-/// value substituted at run time.
+/// A predicate applied as a SARG on the scan with the value substituted at
+/// run time: from the current outer row (join predicates) or from the
+/// execute-time parameter vector (host variables).
 struct DynamicSargTerm {
   size_t inner_column = 0;  // Table-local column ordinal.
   CompareOp op = CompareOp::kEq;
   size_t outer_offset = 0;  // Block-row offset of the outer column.
+  int param_idx = -1;       // >= 0: parameter source; outer_offset unused.
 };
 
 /// Everything needed to open one RSS scan on one table.
@@ -60,15 +66,16 @@ struct ScanSpec {
   const TableInfo* table = nullptr;
   const IndexInfo* index = nullptr;  // Null for a segment scan.
 
-  // Index bounds: literal equality values on the leading key columns, then
-  // dynamic equalities (outer join columns), then an optional range on the
-  // next key column.
-  std::vector<Value> eq_prefix;
-  std::vector<DynamicEq> dyn_eq;
+  // Index bounds: equality bounds on the leading key columns (in key-column
+  // order), then an optional range on the next key column. Range endpoints
+  // are literals, or parameters when lo_param/hi_param >= 0.
+  std::vector<EqBound> eq_bounds;
   std::optional<Value> lo;
   bool lo_inclusive = true;
+  int lo_param = -1;
   std::optional<Value> hi;
   bool hi_inclusive = true;
+  int hi_param = -1;
 
   /// Static SARGs (conjunction of DNF boolean factors; table-local columns).
   SargList sargs;

@@ -70,9 +70,10 @@ double SelectivityEstimator::CompareSelectivity(const BoundExpr& e) const {
   const BoundExpr* lhs = e.children[0].get();
   const BoundExpr* rhs = e.children[1].get();
   CompareOp op = e.op;
-  // Orient a literal/subquery to the right-hand side.
+  // Orient a literal/subquery/parameter to the right-hand side.
   if (lhs->kind == BoundExprKind::kLiteral ||
-      lhs->kind == BoundExprKind::kSubquery) {
+      lhs->kind == BoundExprKind::kSubquery ||
+      lhs->kind == BoundExprKind::kParameter) {
     std::swap(lhs, rhs);
     op = MirrorOp(op);
   }

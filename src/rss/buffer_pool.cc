@@ -1,6 +1,12 @@
 #include "rss/buffer_pool.h"
 
+#include <chrono>
+#include <iterator>
+#include <mutex>
 #include <string>
+#include <thread>
+
+#include "rss/meter.h"
 
 namespace systemr {
 
@@ -13,14 +19,34 @@ StatusOr<Page*> BufferPool::FetchMut(PageId id) {
 }
 
 StatusOr<Page*> BufferPool::FetchImpl(PageId id, bool write_intent) {
-  ++stats_.logical_gets;
+  logical_gets_.fetch_add(1, std::memory_order_relaxed);
+  if (MeterCounters* m = CurrentMeter()) ++m->logical_gets;
   if (id == kInvalidPage) {
     return Status::Internal("buffer fetch of kInvalidPage");
   }
+  {
+    // Hit path: trusted memory, no disk read, no faults. Only the page's
+    // last-use tick is refreshed, so a shared lock suffices.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = resident_.find(id);
+    if (it != resident_.end()) {
+      it->second.store(NextTick(), std::memory_order_relaxed);
+      Page* page = store_->Get(id);
+      if (page == nullptr) {
+        return Status::Internal("resident page " + std::to_string(id) +
+                                " missing from store");
+      }
+      if (write_intent) store_->MarkDirty(id);
+      return page;
+    }
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = resident_.find(id);
   if (it != resident_.end()) {
-    // Hit: trusted memory, no disk read, no faults. Move to MRU position.
-    lru_.splice(lru_.begin(), lru_, it->second);
+    // Another session faulted the page in between our two lookups; that
+    // session paid the fetch, this one scores a hit.
+    it->second.store(NextTick(), std::memory_order_relaxed);
     Page* page = store_->Get(id);
     if (page == nullptr) {
       return Status::Internal("resident page " + std::to_string(id) +
@@ -30,8 +56,30 @@ StatusOr<Page*> BufferPool::FetchImpl(PageId id, bool write_intent) {
     return page;
   }
 
+  uint32_t latency = sim_fetch_latency_us_.load(std::memory_order_relaxed);
+  if (latency > 0) {
+    // Simulated device read: wait with the latch released so other
+    // sessions' hits — and their own device waits — proceed in parallel.
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+    lock.lock();
+    auto again = resident_.find(id);
+    if (again != resident_.end()) {
+      // Someone else read the same page while we "waited on the device".
+      again->second.store(NextTick(), std::memory_order_relaxed);
+      Page* page = store_->Get(id);
+      if (page == nullptr) {
+        return Status::Internal("resident page " + std::to_string(id) +
+                                " missing from store");
+      }
+      if (write_intent) store_->MarkDirty(id);
+      return page;
+    }
+  }
+
   // Miss: simulated disk read.
-  ++stats_.fetches;
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  if (MeterCounters* m = CurrentMeter()) ++m->page_fetches;
   Page* page = store_->Get(id);
   if (page == nullptr) {
     return Status::Internal("buffer fetch of invalid page id " +
@@ -85,9 +133,7 @@ StatusOr<Page*> BufferPool::FetchImpl(PageId id, bool write_intent) {
     // and may succeed — corruption here is transient by construction.
     return delivered;
   }
-  lru_.push_front(id);
-  resident_[id] = lru_.begin();
-  Shrink();
+  TouchLocked(id);
   if (write_intent) store_->MarkDirty(id);
   return page;
 }
@@ -101,35 +147,51 @@ Page* BufferPool::ShadowFor(const Page& src) {
 
 PageId BufferPool::NewPage() {
   PageId id = store_->Allocate();
-  ++stats_.writes;
-  Touch(id);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  if (MeterCounters* m = CurrentMeter()) ++m->page_writes;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TouchLocked(id);
   return id;
 }
 
 void BufferPool::Discard(PageId id) {
-  auto it = resident_.find(id);
-  if (it != resident_.end()) {
-    lru_.erase(it->second);
-    resident_.erase(it);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    resident_.erase(id);
   }
   store_->Free(id);
 }
 
 void BufferPool::FlushAll() {
-  lru_.clear();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   resident_.clear();
 }
 
-void BufferPool::Touch(PageId id) {
-  lru_.push_front(id);
-  resident_[id] = lru_.begin();
-  Shrink();
+void BufferPool::set_capacity(size_t c) {
+  capacity_.store(c, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ShrinkLocked();
 }
 
-void BufferPool::Shrink() {
-  while (lru_.size() > capacity_) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
+void BufferPool::TouchLocked(PageId id) {
+  resident_[id].store(NextTick(), std::memory_order_relaxed);
+  ShrinkLocked();
+}
+
+void BufferPool::ShrinkLocked() {
+  size_t cap = capacity_.load(std::memory_order_relaxed);
+  while (resident_.size() > cap) {
+    // Exact LRU: evict the minimum last-use tick. Linear in the resident
+    // set, which is bounded by the (small) frame budget of §4.
+    auto victim = resident_.begin();
+    uint64_t victim_tick = victim->second.load(std::memory_order_relaxed);
+    for (auto it = std::next(resident_.begin()); it != resident_.end(); ++it) {
+      uint64_t t = it->second.load(std::memory_order_relaxed);
+      if (t < victim_tick) {
+        victim = it;
+        victim_tick = t;
+      }
+    }
     resident_.erase(victim);
   }
 }

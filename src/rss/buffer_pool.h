@@ -15,12 +15,19 @@
 // retries) or corrupt the delivered bytes (kDataLoss, or a corrupt shadow
 // page that callers' structural validation must reject). Buffer hits never
 // fault: resident frames are trusted memory.
+//
+// The pool is shared by every concurrent session: counters are atomics,
+// residency is a tick-stamped map under a shared_mutex (hits refresh a tick
+// under the shared lock; misses and eviction serialize on the unique lock),
+// and per-statement accounting goes to the calling thread's MeterCounters
+// (rss/meter.h) so sessions never race on statement-level stats.
 #ifndef SYSTEMR_RSS_BUFFER_POOL_H_
 #define SYSTEMR_RSS_BUFFER_POOL_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -75,16 +82,41 @@ class BufferPool {
   /// Empties the resident set (e.g. between benchmark measurements).
   void FlushAll();
 
-  size_t capacity() const { return capacity_; }
-  void set_capacity(size_t c) { capacity_ = c; Shrink(); }
-  size_t resident() const { return lru_.size(); }
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferStats(); }
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  void set_capacity(size_t c);
+  size_t resident() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return resident_.size();
+  }
+  /// Pool-wide counters, by value (they are shared atomics; per-statement
+  /// accounting uses the thread's MeterCounters instead — see rss/meter.h).
+  BufferStats stats() const {
+    return BufferStats{fetches_.load(std::memory_order_relaxed),
+                       writes_.load(std::memory_order_relaxed),
+                       logical_gets_.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() {
+    fetches_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    logical_gets_.store(0, std::memory_order_relaxed);
+  }
 
   /// Attaches (or detaches, with nullptr) the storage fault injector. Not
   /// owned. Only armed injectors affect reads.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() { return injector_; }
+
+  /// Simulated device read time per buffer miss, for I/O-bound concurrency
+  /// experiments (the paper's cost model is page-fetch-dominated, but the
+  /// in-memory store makes a "fetch" free — this knob restores the wait).
+  /// The sleep happens with the pool latch released, the way a real buffer
+  /// manager performs I/O, so concurrent sessions overlap their waits.
+  /// Default 0: no sleep anywhere on the fetch path.
+  void set_sim_fetch_latency_us(uint32_t us) {
+    sim_fetch_latency_us_.store(us, std::memory_order_relaxed);
+  }
 
   PageStore* store() { return store_; }
 
@@ -94,20 +126,35 @@ class BufferPool {
   StatusOr<Page*> FetchImpl(PageId id, bool write_intent);
   /// Copies `src` into the next shadow frame and returns it. Shadow frames
   /// are short-lived by contract: callers validate a delivered page before
-  /// issuing further fetches, so a small ring suffices.
+  /// issuing further fetches, so a small ring suffices. Requires mu_ held
+  /// exclusively.
   Page* ShadowFor(const Page& src);
-  void Touch(PageId id);
-  void Shrink();
+  /// Inserts `id` into the resident set at the current tick and evicts down
+  /// to capacity. Requires mu_ held exclusively.
+  void TouchLocked(PageId id);
+  void ShrinkLocked();
+  uint64_t NextTick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   PageStore* store_;
-  size_t capacity_;
-  BufferStats stats_;
+  std::atomic<size_t> capacity_;
+  std::atomic<uint64_t> fetches_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> logical_gets_{0};
+  std::atomic<uint32_t> sim_fetch_latency_us_{0};
   FaultInjector* injector_ = nullptr;
   std::array<Page, 4> shadow_ring_{};
   size_t shadow_idx_ = 0;
-  // MRU at front.
-  std::list<PageId> lru_;
-  std::unordered_map<PageId, std::list<PageId>::iterator> resident_;
+
+  // Residency is a page-id -> last-use-tick map rather than an intrusive
+  // LRU list, so a buffer hit only stores a fresh tick (shared lock + the
+  // per-entry atomic); misses and eviction take the exclusive lock. Ticks
+  // come from one atomic counter, so "evict the minimum tick" is exact LRU —
+  // single-threaded behaviour is identical to the old list implementation.
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> tick_{0};
+  std::unordered_map<PageId, std::atomic<uint64_t>> resident_;
 };
 
 }  // namespace systemr

@@ -1,5 +1,7 @@
 #include "rss/page.h"
 
+#include <mutex>
+
 namespace systemr {
 
 uint32_t PageChecksum(const Page& page) {
@@ -17,28 +19,54 @@ uint32_t PageChecksum(const Page& page) {
   return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
+PageStore::~PageStore() {
+  size_t n = size_.load(std::memory_order_acquire);
+  for (size_t c = 0; c * kChunkSize < n && c < kMaxChunks; ++c) {
+    Chunk* chunk = chunks_[c].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (Slot& s : chunk->slots) {
+      delete s.page.load(std::memory_order_relaxed);
+    }
+    delete chunk;
+  }
+}
+
 PageId PageStore::Allocate() {
-  pages_.push_back(std::make_unique<Page>());
-  meta_.emplace_back();
-  return static_cast<PageId>(pages_.size() - 1);
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  size_t id = size_.load(std::memory_order_relaxed);
+  size_t chunk_idx = id >> kChunkBits;
+  if (chunk_idx >= kMaxChunks) return kInvalidPage;  // 64 GiB disk is full.
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  // Publish the page before raising size_: a reader that observes the new
+  // size is guaranteed to see both the chunk and the page pointer.
+  chunk->slots[id & (kChunkSize - 1)].page.store(new Page(),
+                                                 std::memory_order_release);
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<PageId>(id);
 }
 
 void PageStore::Free(PageId id) {
-  if (id < pages_.size()) {
-    pages_[id].reset();
-    meta_[id] = PageMeta{};
-  }
-}
-
-void PageStore::MarkDirty(PageId id) {
-  if (id < meta_.size()) meta_[id].sealed = false;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  Slot* s = SlotFor(id);
+  if (s == nullptr) return;
+  // Temp pages are private to one statement, so no reader can hold this
+  // pointer across its Free (DESIGN.md §5); deleting here is safe.
+  delete s->page.exchange(nullptr, std::memory_order_acq_rel);
+  s->checksum.store(0, std::memory_order_relaxed);
+  s->sealed.store(false, std::memory_order_relaxed);
 }
 
 void PageStore::Seal(PageId id) {
-  if (id < pages_.size() && pages_[id]) {
-    meta_[id].checksum = PageChecksum(*pages_[id]);
-    meta_[id].sealed = true;
-  }
+  Slot* s = SlotFor(id);
+  if (s == nullptr) return;
+  Page* page = s->page.load(std::memory_order_acquire);
+  if (page == nullptr) return;
+  s->checksum.store(PageChecksum(*page), std::memory_order_release);
+  s->sealed.store(true, std::memory_order_release);
 }
 
 namespace {

@@ -12,12 +12,12 @@
 #define SYSTEMR_RSS_PAGE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
-#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace systemr {
 
@@ -56,9 +56,18 @@ struct Tid {
 /// callers other than BufferPool must not touch page contents directly
 /// (the reference executor is the deliberate exception: it reads the raw,
 /// uninjected bytes to stay a trusted oracle).
+///
+/// Thread safety: the page table is a chunked array of atomic slots —
+/// readers (Get / MarkDirty / Seal / checksum, i.e. the per-fetch hot path)
+/// take no lock at all; only Allocate/Free serialize on a mutex. Chunks are
+/// never moved or shrunk, so a published Page* stays valid for the page's
+/// lifetime. Page *contents* are not guarded here — the concurrency
+/// contract (see DESIGN.md §5) is that data pages are read-only while
+/// sessions run in parallel, and temp pages are private to one statement.
 class PageStore {
  public:
   PageStore() = default;
+  ~PageStore();
   PageStore(const PageStore&) = delete;
   PageStore& operator=(const PageStore&) = delete;
 
@@ -66,37 +75,70 @@ class PageStore {
 
   /// Bounds-checked access: returns null for out-of-range ids and for pages
   /// released by Free(). Callers (the BufferPool) turn null into kInternal.
+  /// The returned pointer is stable for the page's lifetime.
   Page* Get(PageId id) {
-    return id < pages_.size() ? pages_[id].get() : nullptr;
+    Slot* s = SlotFor(id);
+    return s != nullptr ? s->page.load(std::memory_order_acquire) : nullptr;
   }
   const Page* Get(PageId id) const {
-    return id < pages_.size() ? pages_[id].get() : nullptr;
+    const Slot* s = SlotFor(id);
+    return s != nullptr ? s->page.load(std::memory_order_acquire) : nullptr;
   }
-  size_t num_pages() const { return pages_.size(); }
+  size_t num_pages() const { return size_.load(std::memory_order_acquire); }
 
   /// Releases a page's memory (temp-segment cleanup). The id is not reused.
   void Free(PageId id);
 
   // --- Integrity metadata ---
   /// Marks a page's checksum stale (about to be mutated in place).
-  void MarkDirty(PageId id);
+  void MarkDirty(PageId id) {
+    if (Slot* s = SlotFor(id)) {
+      s->sealed.store(false, std::memory_order_release);
+    }
+  }
   /// Records the page's current content checksum as canonical.
   void Seal(PageId id);
   bool sealed(PageId id) const {
-    return id < meta_.size() && meta_[id].sealed;
+    const Slot* s = SlotFor(id);
+    return s != nullptr && s->sealed.load(std::memory_order_acquire);
   }
   uint32_t checksum(PageId id) const {
-    return id < meta_.size() ? meta_[id].checksum : 0;
+    const Slot* s = SlotFor(id);
+    return s != nullptr ? s->checksum.load(std::memory_order_acquire) : 0;
   }
 
  private:
-  struct PageMeta {
-    uint32_t checksum = 0;
-    bool sealed = false;
+  struct Slot {
+    std::atomic<Page*> page{nullptr};
+    std::atomic<uint32_t> checksum{0};
+    std::atomic<bool> sealed{false};
+  };
+  static constexpr size_t kChunkBits = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;  // 4096 pages
+  // 16 Mi pages = 64 GiB of simulated disk; Allocate fails past that.
+  static constexpr size_t kMaxChunks = size_t{1} << 12;
+
+  struct Chunk {
+    std::array<Slot, kChunkSize> slots{};
   };
 
-  std::vector<std::unique_ptr<Page>> pages_;
-  std::vector<PageMeta> meta_;
+  Slot* SlotFor(PageId id) {
+    size_t chunk_idx = id >> kChunkBits;
+    // The chunk_idx test is implied by the size_ one (Allocate caps growth
+    // at kMaxChunks), but stating it lets the compiler prove the array
+    // subscript is in bounds.
+    if (chunk_idx >= kMaxChunks) return nullptr;
+    if (id >= size_.load(std::memory_order_acquire)) return nullptr;
+    Chunk* c = chunks_[chunk_idx].load(std::memory_order_acquire);
+    return c != nullptr ? &c->slots[id & (kChunkSize - 1)] : nullptr;
+  }
+  const Slot* SlotFor(PageId id) const {
+    return const_cast<PageStore*>(this)->SlotFor(id);
+  }
+
+  std::mutex alloc_mu_;  // Allocate/Free only; the read path is lock-free.
+  std::atomic<size_t> size_{0};
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
 };
 
 /// Result of reading one slot of a slotted page.

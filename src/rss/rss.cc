@@ -1,14 +1,18 @@
 #include "rss/rss.h"
 
+#include <mutex>
+
 namespace systemr {
 
 SegmentId Rss::CreateSegment() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   SegmentId id = static_cast<SegmentId>(segments_.size());
   segments_.push_back(std::make_unique<Segment>(id));
   return id;
 }
 
 HeapFile* Rss::CreateHeap(SegmentId segment, RelId relid) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto heap = std::make_unique<HeapFile>(segments_[segment].get(), &pool_,
                                          relid);
   HeapFile* ptr = heap.get();
@@ -17,6 +21,7 @@ HeapFile* Rss::CreateHeap(SegmentId segment, RelId relid) {
 }
 
 BTree* Rss::CreateIndex(bool unique) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   IndexId id = static_cast<IndexId>(indexes_.size());
   indexes_.push_back(std::make_unique<BTree>(&pool_, id, unique));
   return indexes_.back().get();

@@ -4,6 +4,7 @@
 #define SYSTEMR_RSS_RSS_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -36,19 +37,37 @@ class Rss {
   Rss& operator=(const Rss&) = delete;
 
   SegmentId CreateSegment();
-  Segment* segment(SegmentId id) { return segments_[id].get(); }
-  const Segment* segment(SegmentId id) const { return segments_[id].get(); }
+  Segment* segment(SegmentId id) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return segments_[id].get();
+  }
+  const Segment* segment(SegmentId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return segments_[id].get();
+  }
 
   /// Creates the heap for relation `relid` inside `segment`.
   HeapFile* CreateHeap(SegmentId segment, RelId relid);
-  HeapFile* heap(RelId relid) { return heaps_.at(relid).get(); }
-  const HeapFile* heap(RelId relid) const { return heaps_.at(relid).get(); }
+  HeapFile* heap(RelId relid) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return heaps_.at(relid).get();
+  }
+  const HeapFile* heap(RelId relid) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return heaps_.at(relid).get();
+  }
 
   /// Creates a B+-tree index; the caller records which relation/columns it
   /// covers in the catalog.
   BTree* CreateIndex(bool unique);
-  BTree* index(IndexId id) { return indexes_[id].get(); }
-  const BTree* index(IndexId id) const { return indexes_[id].get(); }
+  BTree* index(IndexId id) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return indexes_[id].get();
+  }
+  const BTree* index(IndexId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return indexes_[id].get();
+  }
 
   std::unique_ptr<RsiScan> OpenSegmentScan(RelId relid, SargList sargs);
   std::unique_ptr<RsiScan> OpenIndexScan(RelId relid, IndexId index,
@@ -60,12 +79,18 @@ class Rss {
   RssCounters& counters() { return counters_; }
 
   RssSnapshot Snapshot() const {
-    const BufferStats& b = pool_.stats();
-    return RssSnapshot{b.fetches, b.writes, counters_.rsi_calls,
+    BufferStats b = pool_.stats();
+    return RssSnapshot{b.fetches, b.writes,
+                       counters_.rsi_calls.load(std::memory_order_relaxed),
                        b.logical_gets};
   }
 
  private:
+  // Guards the object registries (segments/heaps/indexes) so concurrent
+  // sessions can open scans while DDL registers new objects. The objects
+  // themselves live behind unique_ptr (stable addresses); their *contents*
+  // follow the read-only-while-concurrent contract of DESIGN.md §5.
+  mutable std::shared_mutex mu_;
   PageStore store_;
   BufferPool pool_;
   RssCounters counters_;

@@ -1,5 +1,7 @@
 #include "rss/scan.h"
 
+#include "rss/meter.h"
+
 namespace systemr {
 
 namespace {
@@ -57,7 +59,8 @@ Status SegmentScan::Next(Row* row, Tid* tid, bool* has_row) {
     }
     if (!MatchesAll(sargs_, *row)) continue;
     if (tid != nullptr) *tid = Tid{pid, slot};
-    ++counters_->rsi_calls;
+    counters_->rsi_calls.fetch_add(1, std::memory_order_relaxed);
+    if (MeterCounters* m = CurrentMeter()) ++m->rsi_calls;
     *has_row = true;
     return Status::OK();
   }
@@ -104,7 +107,8 @@ Status IndexScan::Next(Row* row, Tid* tid, bool* has_row) {
     }
     if (!MatchesAll(sargs_, *row)) continue;
     if (tid != nullptr) *tid = t;
-    ++counters_->rsi_calls;
+    counters_->rsi_calls.fetch_add(1, std::memory_order_relaxed);
+    if (MeterCounters* m = CurrentMeter()) ++m->rsi_calls;
     *has_row = true;
     return Status::OK();
   }

@@ -9,6 +9,7 @@
 #ifndef SYSTEMR_RSS_SCAN_H_
 #define SYSTEMR_RSS_SCAN_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,10 +21,11 @@
 
 namespace systemr {
 
-/// Counters shared by all scans of one RSS instance. RSI calls approximate
-/// CPU cost in the paper's COST formula (§4).
+/// Counters shared by all scans of one RSS instance (atomic: scans from
+/// concurrent sessions increment them). RSI calls approximate CPU cost in
+/// the paper's COST formula (§4).
 struct RssCounters {
-  uint64_t rsi_calls = 0;
+  std::atomic<uint64_t> rsi_calls{0};
 };
 
 /// A scan takes a *set* of SARGs — the conjunction of the sargable boolean

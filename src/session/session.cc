@@ -1,0 +1,63 @@
+#include "session/session.h"
+
+#include "optimizer/explain.h"
+
+namespace systemr {
+
+StatusOr<std::shared_ptr<const OptimizedQuery>> Session::PlanFor(
+    const std::string& sql, const std::string& key, uint64_t* version_out) {
+  // The version is read BEFORE optimizing: if DDL lands between the read and
+  // the Prepare, the entry is stored under the older version and the next
+  // lookup conservatively re-optimizes — never the reverse.
+  uint64_t version = db_->catalog().version();
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const OptimizedQuery> plan =
+            cache_->Lookup(key, version)) {
+      ++stats_.cache_hits;
+      *version_out = version;
+      return plan;
+    }
+  }
+  ASSIGN_OR_RETURN(OptimizedQuery query, db_->Prepare(sql));
+  ++stats_.optimizations;
+  auto plan = std::make_shared<const OptimizedQuery>(std::move(query));
+  if (cache_ != nullptr) cache_->Insert(key, version, plan);
+  *version_out = version;
+  return plan;
+}
+
+StatusOr<PreparedStatement> Session::Prepare(const std::string& sql) {
+  std::string key = NormalizeSql(sql);
+  uint64_t version = 0;
+  ASSIGN_OR_RETURN(std::shared_ptr<const OptimizedQuery> plan,
+                   PlanFor(sql, key, &version));
+  return PreparedStatement(this, sql, std::move(key), std::move(plan),
+                           version);
+}
+
+StatusOr<QueryResult> Session::ExecuteQuery(const std::string& sql,
+                                            const std::vector<Value>& params) {
+  ASSIGN_OR_RETURN(PreparedStatement stmt, Prepare(sql));
+  return stmt.Execute(params);
+}
+
+StatusOr<QueryResult> PreparedStatement::Execute(
+    const std::vector<Value>& params) {
+  // §2: "if one or more of the dependencies has changed, the statement is
+  // re-optimized at the next execution" — detected here by version drift.
+  uint64_t current = session_->db()->catalog().version();
+  if (current != catalog_version_) {
+    ASSIGN_OR_RETURN(plan_, session_->PlanFor(sql_, key_, &catalog_version_));
+    ++session_->stats_.reprepares;
+  }
+  ASSIGN_OR_RETURN(QueryResult result,
+                   session_->db()->Run(*plan_, params, &session_->limits_));
+  ++session_->stats_.executions;
+  return result;
+}
+
+std::string PreparedStatement::Explain() const {
+  return ExplainPlan(plan_->root, *plan_->block);
+}
+
+}  // namespace systemr

@@ -1,0 +1,111 @@
+// Session: the user-process surface of §2's compile-once/execute-many
+// lifecycle. A Session wraps a shared Database with
+//   - PREPARE: parse + bind + optimize a (possibly parameterized) SELECT
+//     once, through the shared PlanCache;
+//   - EXECUTE: run the compiled plan repeatedly with fresh host-variable
+//     values and per-execution limits, re-optimizing transparently when the
+//     catalog version moved (an index appeared, statistics changed) — the
+//     paper's invalidated-access-module recompilation;
+//   - per-session statistics distinguishing executions from optimizations.
+//
+// Threading model: one Session per thread. Sessions never share mutable
+// state with each other — the Database underneath is safe for concurrent
+// read queries (see DESIGN.md §5), the PlanCache is internally locked, and
+// everything in the Session itself is thread-private.
+#ifndef SYSTEMR_SESSION_SESSION_H_
+#define SYSTEMR_SESSION_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "session/plan_cache.h"
+
+namespace systemr {
+
+class Session;
+
+/// A compiled statement bound to the Session that prepared it. Executions
+/// share one immutable OptimizedQuery (held by shared_ptr, so a concurrent
+/// cache eviction never pulls the plan out from under a running EXECUTE).
+class PreparedStatement {
+ public:
+  /// Runs the plan with `params` bound to the `?` markers (count must match
+  /// num_params()). If the catalog version changed since the plan was
+  /// compiled, the statement is re-optimized first.
+  StatusOr<QueryResult> Execute(const std::vector<Value>& params = {});
+
+  int num_params() const { return plan_->num_params; }
+  const OptimizedQuery& plan() const { return *plan_; }
+  /// The optimizer's chosen plan, rendered (re-rendered after re-prepare).
+  std::string Explain() const;
+  const std::string& sql() const { return sql_; }
+
+ private:
+  friend class Session;
+  PreparedStatement(Session* session, std::string sql, std::string key,
+                    std::shared_ptr<const OptimizedQuery> plan,
+                    uint64_t catalog_version)
+      : session_(session),
+        sql_(std::move(sql)),
+        key_(std::move(key)),
+        plan_(std::move(plan)),
+        catalog_version_(catalog_version) {}
+
+  Session* session_;
+  std::string sql_;   // Original text, for re-optimization.
+  std::string key_;   // Normalized cache key.
+  std::shared_ptr<const OptimizedQuery> plan_;
+  uint64_t catalog_version_;
+};
+
+struct SessionStats {
+  uint64_t executions = 0;     // Statements run to completion.
+  uint64_t optimizations = 0;  // Times parse+bind+optimize actually ran.
+  uint64_t cache_hits = 0;     // Plans served by the shared PlanCache.
+  uint64_t reprepares = 0;     // Stale plans re-optimized at EXECUTE time.
+};
+
+class Session {
+ public:
+  /// `cache` may be null (no plan caching) or shared by any number of
+  /// sessions over the same `db`. Neither is owned.
+  explicit Session(Database* db, PlanCache* cache = nullptr)
+      : db_(db), cache_(cache) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Compiles a SELECT (with optional `?` markers) for repeated execution.
+  StatusOr<PreparedStatement> Prepare(const std::string& sql);
+
+  /// One-shot convenience: Prepare (through the cache) and Execute.
+  StatusOr<QueryResult> ExecuteQuery(const std::string& sql,
+                                     const std::vector<Value>& params = {});
+
+  /// Per-execution resource limits for statements run via this session.
+  void set_limits(const ExecLimits& limits) { limits_ = limits; }
+  const ExecLimits& limits() const { return limits_; }
+
+  const SessionStats& stats() const { return stats_; }
+  Database* db() { return db_; }
+  PlanCache* cache() { return cache_; }
+
+ private:
+  friend class PreparedStatement;
+
+  /// Plan lookup through the shared cache; optimizes on miss and publishes
+  /// the result. `*version_out` receives the catalog version the returned
+  /// plan is valid for.
+  StatusOr<std::shared_ptr<const OptimizedQuery>> PlanFor(
+      const std::string& sql, const std::string& key, uint64_t* version_out);
+
+  Database* db_;
+  PlanCache* cache_;
+  ExecLimits limits_;
+  SessionStats stats_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_SESSION_SESSION_H_

@@ -83,6 +83,8 @@ std::string Expr::ToString() const {
     case ExprKind::kLike:
       return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
              children[1]->ToString();
+    case ExprKind::kParameter:
+      return "?";
   }
   return "?";
 }

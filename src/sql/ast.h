@@ -30,6 +30,7 @@ enum class ExprKind {
   kStar,             // * in SELECT list or COUNT(*)
   kIsNull,           // a IS [NOT] NULL
   kLike,             // a [NOT] LIKE 'pattern' (% and _ wildcards)
+  kParameter,        // ? host-variable marker, bound at EXECUTE time (§2)
 };
 
 enum class AggFunc { kAvg, kCount, kMin, kMax, kSum };
@@ -57,6 +58,9 @@ struct Expr {
 
   // kIsNull.
   bool negated = false;
+
+  // kParameter: ordinal of this marker in lexical (left-to-right) order.
+  int param_idx = -1;
 
   // Children: kCompare/kArith/kAnd/kOr use [0] and [1]; kNot/kIsNull use [0];
   // kBetween uses [0]=value, [1]=lo, [2]=hi; kInList uses [0]=value then the
@@ -152,6 +156,9 @@ struct Statement {
     kUpdate,
   };
   Kind kind = Kind::kSelect;
+  // Number of ? host-variable markers in the statement; their param_idx
+  // values are 0..num_params-1 in lexical order.
+  int num_params = 0;
   std::unique_ptr<SelectStmt> select;  // kSelect / kExplain.
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateIndexStmt> create_index;

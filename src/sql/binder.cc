@@ -230,6 +230,15 @@ StatusOr<std::unique_ptr<BoundExpr>> Binder::BindExpr(const Expr& expr,
       e->type = expr.literal.type();
       return e;
     }
+    case ExprKind::kParameter: {
+      // Host variable (§2): the value is unknown at compile time, so the
+      // parameter types as kNull — comparable with every column type.
+      auto e = std::make_unique<BoundExpr>();
+      e->kind = BoundExprKind::kParameter;
+      e->param_idx = expr.param_idx;
+      e->type = ValueType::kNull;
+      return e;
+    }
     case ExprKind::kCompare: {
       auto e = std::make_unique<BoundExpr>();
       e->kind = BoundExprKind::kCompare;

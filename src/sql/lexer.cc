@@ -156,6 +156,7 @@ StatusOr<std::vector<Token>> Lex(const std::string& sql) {
       case '-': tok.type = TokenType::kMinus; ++i; break;
       case '/': tok.type = TokenType::kSlash; ++i; break;
       case ';': tok.type = TokenType::kSemicolon; ++i; break;
+      case '?': tok.type = TokenType::kQuestion; ++i; break;
       case '=': tok.type = TokenType::kEq; ++i; break;
       case '<':
         if (two('=')) {

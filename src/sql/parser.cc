@@ -10,7 +10,12 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  StatusOr<Statement> ParseStatement();
+  StatusOr<Statement> ParseStatement() {
+    num_params_ = 0;
+    ASSIGN_OR_RETURN(Statement stmt, ParseStatementImpl());
+    stmt.num_params = num_params_;
+    return stmt;
+  }
   bool AtEof() {
     SkipSemicolons();
     return Peek().type == TokenType::kEof;
@@ -44,6 +49,7 @@ class Parser {
     while (Peek().type == TokenType::kSemicolon) Consume();
   }
 
+  StatusOr<Statement> ParseStatementImpl();
   StatusOr<std::unique_ptr<SelectStmt>> ParseSelect();
   StatusOr<std::unique_ptr<Expr>> ParseOrExpr();
   StatusOr<std::unique_ptr<Expr>> ParseAndExpr();
@@ -76,9 +82,11 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  // ? host-variable markers seen so far, numbered in lexical order.
+  int num_params_ = 0;
 };
 
-StatusOr<Statement> Parser::ParseStatement() {
+StatusOr<Statement> Parser::ParseStatementImpl() {
   SkipSemicolons();
   Statement stmt;
   switch (Peek().type) {
@@ -405,6 +413,13 @@ StatusOr<std::unique_ptr<Expr>> Parser::ParsePrimary() {
     case TokenType::kNull:
       Consume();
       return MakeLiteral(Value::Null());
+    case TokenType::kQuestion: {
+      Consume();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kParameter;
+      node->param_idx = num_params_++;
+      return node;
+    }
     case TokenType::kIdentifier: {
       std::string first = Consume().text;
       if (Match(TokenType::kDot)) {

@@ -65,6 +65,7 @@ const char* TokenTypeName(TokenType t) {
     case TokenType::kLe: return "<=";
     case TokenType::kGt: return ">";
     case TokenType::kGe: return ">=";
+    case TokenType::kQuestion: return "?";
   }
   return "?";
 }

@@ -22,6 +22,7 @@ enum class TokenType {
   // Punctuation / operators.
   kLParen, kRParen, kComma, kDot, kStar, kPlus, kMinus, kSlash, kSemicolon,
   kEq, kNe, kLt, kLe, kGt, kGe,
+  kQuestion,  // '?' host-variable parameter marker (§2).
 };
 
 struct Token {

@@ -1,0 +1,334 @@
+// Session subsystem tests: parameterized prepared statements, the shared
+// plan cache (hit / invalidation / eviction semantics), and concurrent
+// multi-session execution with race-free per-statement ExecStats.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "session/plan_cache.h"
+#include "session/session.h"
+
+namespace systemr {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(64);
+    ASSERT_TRUE(db_->ExecuteScript(R"(
+      CREATE TABLE DEPT (DNO INT, DNAME STRING, LOC STRING);
+      CREATE TABLE EMP (EMPNO INT, NAME STRING, DNO INT, SAL INT, MGR INT);
+    )").ok());
+    const char* locs[5] = {"AUSTIN", "DENVER", "BOSTON", "DENVER", "MIAMI"};
+    for (int d = 0; d < 5; ++d) {
+      ASSERT_TRUE(db_->Execute("INSERT INTO DEPT VALUES (" +
+                               std::to_string(d) + ", 'D" +
+                               std::to_string(d) + "', '" + locs[d] + "')")
+                      .ok());
+    }
+    // 30 employees: EMPNO i, DNO = i%5, SAL = 1000 + 100*i, MGR = i/3.
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(db_->Execute("INSERT INTO EMP VALUES (" +
+                               std::to_string(i) + ", 'E" +
+                               std::to_string(i) + "', " +
+                               std::to_string(i % 5) + ", " +
+                               std::to_string(1000 + 100 * i) + ", " +
+                               std::to_string(i / 3) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(db_->Execute("CREATE UNIQUE INDEX EMP_PK ON EMP (EMPNO)").ok());
+    ASSERT_TRUE(db_->Execute("CREATE INDEX EMP_DNO ON EMP (DNO)").ok());
+    ASSERT_TRUE(
+        db_->Execute("CREATE UNIQUE INDEX DEPT_PK ON DEPT (DNO)").ok());
+    ASSERT_TRUE(db_->Execute("UPDATE STATISTICS EMP").ok());
+    ASSERT_TRUE(db_->Execute("UPDATE STATISTICS DEPT").ok());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SessionTest, ParameterizedPointLookup) {
+  Session session(db_.get());
+  auto stmt = session.Prepare("SELECT NAME FROM EMP WHERE EMPNO = ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->num_params(), 1);
+  for (int i = 0; i < 30; ++i) {
+    auto r = stmt->Execute({Value::Int(i)});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(r->rows[0][0].AsStr(), "E" + std::to_string(i));
+  }
+  // Compiled once, executed thirty times.
+  EXPECT_EQ(session.stats().optimizations, 1u);
+  EXPECT_EQ(session.stats().executions, 30u);
+}
+
+TEST_F(SessionTest, ParameterIsSargable) {
+  // A `?` in an equality predicate must be pushed into the scan as a
+  // dynamic sarg (filled in at execute time), not left as a residual
+  // filter above it.
+  Session session(db_.get());
+  auto stmt = session.Prepare("SELECT NAME FROM EMP WHERE EMPNO = ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(stmt->Explain().find("dynsarg(EMPNO=?1)"), std::string::npos)
+      << stmt->Explain();
+}
+
+TEST_F(SessionTest, ParameterNeverConstantFolded) {
+  // One plan object, two executions, different parameter values: if the
+  // first value had been folded into the compiled plan, the second
+  // execution would return the first answer.
+  Session session(db_.get());
+  auto stmt = session.Prepare("SELECT EMPNO FROM EMP WHERE SAL > ?");
+  ASSERT_TRUE(stmt.ok());
+  const OptimizedQuery* plan_before = &stmt->plan();
+  auto r1 = stmt->Execute({Value::Int(3500)});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->rows.size(), 4u);  // i >= 26.
+  auto r2 = stmt->Execute({Value::Int(1000)});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->rows.size(), 29u);  // i >= 1.
+  EXPECT_EQ(&stmt->plan(), plan_before);  // Same compiled plan both times.
+}
+
+TEST_F(SessionTest, ParameterArityChecked) {
+  Session session(db_.get());
+  auto stmt = session.Prepare("SELECT NAME FROM EMP WHERE EMPNO = ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(stmt->Execute({}).ok());
+  EXPECT_FALSE(stmt->Execute({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_TRUE(stmt->Execute({Value::Int(1)}).ok());
+}
+
+TEST_F(SessionTest, ThousandExecutionsOptimizeOnce) {
+  PlanCache cache;
+  Session session(db_.get(), &cache);
+  auto stmt = session.Prepare("SELECT NAME FROM EMP WHERE EMPNO = ?");
+  ASSERT_TRUE(stmt.ok());
+  for (int i = 0; i < 1000; ++i) {
+    auto r = stmt->Execute({Value::Int(i % 30)});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u);
+  }
+  EXPECT_EQ(session.stats().executions, 1000u);
+  EXPECT_EQ(session.stats().optimizations, 1u);
+  EXPECT_EQ(session.stats().reprepares, 0u);
+  // The cache saw exactly one miss (the Prepare) and no invalidations.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST_F(SessionTest, CacheHitOnRepeatedSql) {
+  PlanCache cache;
+  Session session(db_.get(), &cache);
+  ASSERT_TRUE(session.ExecuteQuery("SELECT NAME FROM EMP WHERE DNO = 2").ok());
+  // Same statement modulo casing and whitespace: one cache entry.
+  ASSERT_TRUE(
+      session.ExecuteQuery("select  name from emp\n where dno=2").ok());
+  EXPECT_EQ(session.stats().optimizations, 1u);
+  EXPECT_EQ(session.stats().cache_hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NormalizeSqlTest, CanonicalizesCaseAndSpacing) {
+  EXPECT_EQ(NormalizeSql("select * from t where a=1"),
+            NormalizeSql("SELECT  *  FROM T\nWHERE A = 1"));
+  EXPECT_NE(NormalizeSql("SELECT * FROM T WHERE A = 1"),
+            NormalizeSql("SELECT * FROM T WHERE A = 2"));
+  EXPECT_NE(NormalizeSql("SELECT * FROM T WHERE A = ?"),
+            NormalizeSql("SELECT * FROM T WHERE A = 1"));
+}
+
+TEST_F(SessionTest, UpdateStatisticsInvalidatesPlan) {
+  PlanCache cache;
+  Session session(db_.get(), &cache);
+  auto stmt = session.Prepare("SELECT NAME FROM EMP WHERE DNO = ?");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->Execute({Value::Int(1)}).ok());
+  EXPECT_EQ(session.stats().reprepares, 0u);
+
+  // §2: UPDATE STATISTICS changes a dependency; the next execution must
+  // transparently re-optimize, not run the stale access module.
+  ASSERT_TRUE(db_->Execute("UPDATE STATISTICS EMP").ok());
+  auto r = stmt->Execute({Value::Int(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 6u);
+  EXPECT_EQ(session.stats().reprepares, 1u);
+  EXPECT_EQ(session.stats().optimizations, 2u);
+  EXPECT_GE(cache.stats().invalidations, 1u);
+
+  // Re-optimized plan is cached again: a further execution is stable.
+  ASSERT_TRUE(stmt->Execute({Value::Int(1)}).ok());
+  EXPECT_EQ(session.stats().reprepares, 1u);
+}
+
+TEST_F(SessionTest, CreateIndexReoptimizesToIndexScan) {
+  // A table big enough that an index point lookup beats a full scan (on a
+  // page-sized table the optimizer correctly prefers the segment scan
+  // either way), but with no index yet: the compiled plan must scan.
+  ASSERT_TRUE(db_->Execute("CREATE TABLE BIG (K INT, V INT)").ok());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(db_->Execute("INSERT INTO BIG VALUES (" + std::to_string(i) +
+                             ", " + std::to_string(i * 7) + ")")
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Execute("UPDATE STATISTICS BIG").ok());
+
+  PlanCache cache;
+  Session session(db_.get(), &cache);
+  auto stmt = session.Prepare("SELECT V FROM BIG WHERE K = ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(stmt->Explain().find("SegScan"), std::string::npos)
+      << stmt->Explain();
+  auto r1 = stmt->Execute({Value::Int(70)});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1->rows.size(), 1u);
+  EXPECT_EQ(r1->rows[0][0].AsInt(), 490);
+
+  // CREATE INDEX bumps the catalog version; the stale plan is dropped and
+  // the statement recompiles onto the new access path.
+  ASSERT_TRUE(db_->Execute("CREATE UNIQUE INDEX BIG_K ON BIG (K)").ok());
+  auto r2 = stmt->Execute({Value::Int(70)});
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->rows.size(), 1u);
+  EXPECT_EQ(r2->rows[0][0].AsInt(), 490);
+  EXPECT_EQ(session.stats().reprepares, 1u);
+  EXPECT_NE(stmt->Explain().find("IndexScan"), std::string::npos)
+      << stmt->Explain();
+  // The recompiled access path does a point probe, not 5000 RSI calls.
+  EXPECT_LT(r2->stats.rsi_calls, 10u);
+}
+
+TEST_F(SessionTest, LruEvictionAtCapacity) {
+  PlanCache cache(2);
+  Session session(db_.get(), &cache);
+  ASSERT_TRUE(session.ExecuteQuery("SELECT EMPNO FROM EMP").ok());
+  ASSERT_TRUE(session.ExecuteQuery("SELECT DNO FROM DEPT").ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // Third distinct statement evicts the least recently used (the first).
+  ASSERT_TRUE(session.ExecuteQuery("SELECT NAME FROM EMP").ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The first statement misses again; the second was evicted next.
+  ASSERT_TRUE(session.ExecuteQuery("SELECT EMPNO FROM EMP").ok());
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(session.stats().optimizations, 4u);
+  EXPECT_EQ(session.stats().cache_hits, 0u);
+}
+
+TEST_F(SessionTest, SharedCacheAcrossSessions) {
+  PlanCache cache;
+  Session alice(db_.get(), &cache);
+  Session bob(db_.get(), &cache);
+  ASSERT_TRUE(alice.ExecuteQuery("SELECT NAME FROM EMP WHERE DNO = 2").ok());
+  ASSERT_TRUE(bob.ExecuteQuery("SELECT NAME FROM EMP WHERE DNO = 2").ok());
+  EXPECT_EQ(alice.stats().optimizations, 1u);
+  EXPECT_EQ(bob.stats().optimizations, 0u);
+  EXPECT_EQ(bob.stats().cache_hits, 1u);
+}
+
+// Two sessions scanning disjoint tables in parallel: each session's
+// per-statement ExecStats must match its own single-threaded baseline
+// exactly. Before per-statement metering, concurrent statements bled
+// page fetches and buffer gets into each other's counters.
+TEST_F(SessionTest, ConcurrentStatsAreDisjoint) {
+  const char* kSql[2] = {"SELECT EMPNO FROM EMP WHERE SAL > 0",
+                         "SELECT DNO FROM DEPT WHERE DNO >= 0"};
+  ExecStats baseline[2];
+  for (int i = 0; i < 2; ++i) {
+    Session s(db_.get());
+    auto r = s.ExecuteQuery(kSql[i]);
+    ASSERT_TRUE(r.ok());
+    baseline[i] = r->stats;
+    ASSERT_GT(baseline[i].buffer_gets, 0u);
+  }
+
+  constexpr int kIters = 200;
+  std::atomic<int> ready{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&, i] {
+      Session s(db_.get());
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+      }  // Start the scans together.
+      for (int iter = 0; iter < kIters; ++iter) {
+        auto r = s.ExecuteQuery(kSql[i]);
+        if (!r.ok() || r->stats.buffer_gets != baseline[i].buffer_gets ||
+            r->stats.rsi_calls != baseline[i].rsi_calls ||
+            r->stats.page_fetches != baseline[i].page_fetches) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// Many sessions hammering one shared cache with a mix of statements while a
+// catalog-version bump lands mid-flight: exercises every cache transition
+// (hit, miss, invalidation, eviction) under contention. Correctness of the
+// returned rows is asserted on every execution.
+TEST_F(SessionTest, ConcurrentSessionsSharedCache) {
+  PlanCache cache(4);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 100;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session s(db_.get(), &cache);
+      auto stmt = s.Prepare("SELECT NAME FROM EMP WHERE EMPNO = ?");
+      if (!stmt.ok()) {
+        failed.store(true);
+        return;
+      }
+      for (int i = 0; i < kIters; ++i) {
+        int target = (t * 7 + i) % 30;
+        auto r = stmt->Execute({Value::Int(target)});
+        if (!r.ok() || r->rows.size() != 1 ||
+            r->rows[0][0].AsStr() != "E" + std::to_string(target)) {
+          failed.store(true);
+          return;
+        }
+        // A second, unparameterized statement keeps the cache churning.
+        auto q = s.ExecuteQuery("SELECT DNO FROM DEPT");
+        if (!q.ok() || q->rows.size() != 5) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  PlanCacheStats cs = cache.stats();
+  EXPECT_GT(cs.hits, 0u);
+  EXPECT_GT(cs.misses, 0u);
+}
+
+TEST_F(SessionTest, DatabaseRunRejectsUnboundParams) {
+  // The plain Run(query) entry point must refuse a parameterized plan
+  // instead of executing with dangling markers.
+  auto query = db_->Prepare("SELECT NAME FROM EMP WHERE EMPNO = ?");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->num_params, 1);
+  EXPECT_FALSE(db_->Run(*query).ok());
+  auto r = db_->Run(*query, {Value::Int(3)});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsStr(), "E3");
+}
+
+}  // namespace
+}  // namespace systemr

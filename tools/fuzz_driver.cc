@@ -2,10 +2,15 @@
 // executor against the trusted reference executor.
 //
 //   fuzz_driver [--seeds N] [--queries M] [--start S] [--out PATH]
-//               [--no-baselines] [--no-metamorphic]
+//               [--no-baselines] [--no-metamorphic] [--threads T]
 //
 // Every iteration is fully determined by its seed: to reproduce a reported
 // failure run `fuzz_driver --seeds 1 --start <seed>`.
+//
+// With `--threads T` (T > 1) each seed builds one shared Database and T
+// concurrent sessions fuzz it in parallel, each checked against its own
+// reference executor; per-thread query streams are still deterministic, so
+// a violating (seed, thread) pair replays with the same flags.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +22,7 @@
 int main(int argc, char** argv) {
   uint64_t seeds = 100;
   uint64_t start = 1;
+  int threads = 1;
   std::string out_path = "fuzz_report.json";
   systemr::FuzzOptions options;
 
@@ -43,13 +49,47 @@ int main(int argc, char** argv) {
       options.metamorphic = false;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       options.inject_faults = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<int>(std::strtol(need_value("--threads"), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: fuzz_driver [--seeds N] [--queries M] [--start S] "
                    "[--out PATH] [--no-baselines] [--no-metamorphic] "
-                   "[--faults]\n");
+                   "[--faults] [--threads T]\n");
       return 2;
     }
+  }
+
+  if (threads > 1) {
+    // Concurrent mode: differential oracle only, no calibration report.
+    uint64_t failed_seeds = 0, queries = 0, violations = 0;
+    for (uint64_t seed = start; seed < start + seeds; ++seed) {
+      systemr::SeedResult result = systemr::RunConcurrentFuzzSeed(
+          seed, threads, options.queries_per_seed);
+      queries += result.queries;
+      violations += result.violations.size();
+      if (!result.violations.empty()) {
+        ++failed_seeds;
+        for (const std::string& v : result.violations) {
+          std::fprintf(stderr, "VIOLATION %s\n", v.c_str());
+        }
+      }
+      if ((seed - start + 1) % 50 == 0) {
+        std::printf("... %llu/%llu seeds, %llu violations\n",
+                    static_cast<unsigned long long>(seed - start + 1),
+                    static_cast<unsigned long long>(seeds),
+                    static_cast<unsigned long long>(violations));
+        std::fflush(stdout);
+      }
+    }
+    std::printf(
+        "fuzz_driver: %llu seeds x %d threads, %llu queries, %llu violations "
+        "(%llu bad seeds)\n",
+        static_cast<unsigned long long>(seeds), threads,
+        static_cast<unsigned long long>(queries),
+        static_cast<unsigned long long>(violations),
+        static_cast<unsigned long long>(failed_seeds));
+    return violations == 0 ? 0 : 1;
   }
 
   systemr::FuzzReport report;

@@ -1,0 +1,337 @@
+// repl: an interactive shell over the Session subsystem — the hand-drivable
+// version of the server-shaped PREPARE/EXECUTE path.
+//
+//   repl [--buffer-pages N] [--cache-capacity N] [--script FILE]
+//
+// Statements end with ';' and may span lines. The SQL surface is the
+// engine's own (CREATE TABLE / CREATE INDEX / INSERT / UPDATE STATISTICS /
+// SELECT, with `?` host-variable markers in SELECT). On top of that:
+//
+//   PREPARE <name> AS <select>;      compile once, through the plan cache
+//   EXECUTE <name> [(v1, v2, ...)];  run with host variables bound
+//   EXPLAIN <name>;                  show a prepared statement's plan
+//   EXPLAIN <select>;                one-shot plan display
+//   \stats                           session / plan-cache / buffer counters
+//   \list                           prepared statements
+//   \help   \quit
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "session/plan_cache.h"
+#include "session/session.h"
+
+namespace systemr {
+namespace {
+
+// Parses "(1, 2.5, 'abc', NULL)" — or the bare list without parens — into
+// values for EXECUTE. Returns false (with *error set) on malformed input.
+bool ParseParams(const std::string& text, std::vector<Value>* out,
+                 std::string* error) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace((unsigned char)text[i])) ++i;
+  };
+  skip_ws();
+  bool parens = i < text.size() && text[i] == '(';
+  if (parens) ++i;
+  skip_ws();
+  while (i < text.size() && text[i] != ')') {
+    if (!out->empty()) {
+      if (text[i] != ',') {
+        *error = "expected ',' before: " + text.substr(i);
+        return false;
+      }
+      ++i;
+      skip_ws();
+    }
+    if (text[i] == '\'') {
+      size_t end = text.find('\'', i + 1);
+      if (end == std::string::npos) {
+        *error = "unterminated string literal";
+        return false;
+      }
+      out->push_back(Value::Str(text.substr(i + 1, end - i - 1)));
+      i = end + 1;
+    } else {
+      size_t start = i;
+      while (i < text.size() && text[i] != ',' && text[i] != ')' &&
+             !std::isspace((unsigned char)text[i])) {
+        ++i;
+      }
+      std::string tok = text.substr(start, i - start);
+      if (tok.empty()) {
+        *error = "empty parameter";
+        return false;
+      }
+      std::string upper = tok;
+      for (char& c : upper) c = (char)std::toupper((unsigned char)c);
+      if (upper == "NULL") {
+        out->push_back(Value::Null());
+      } else if (tok.find('.') != std::string::npos ||
+                 tok.find('e') != std::string::npos ||
+                 tok.find('E') != std::string::npos) {
+        out->push_back(Value::Real(std::strtod(tok.c_str(), nullptr)));
+      } else {
+        out->push_back(Value::Int(std::strtoll(tok.c_str(), nullptr, 10)));
+      }
+    }
+    skip_ws();
+  }
+  return true;
+}
+
+// First whitespace-delimited word, upper-cased.
+std::string FirstWord(const std::string& s, size_t* rest) {
+  size_t i = 0;
+  while (i < s.size() && std::isspace((unsigned char)s[i])) ++i;
+  size_t start = i;
+  while (i < s.size() && !std::isspace((unsigned char)s[i])) ++i;
+  std::string word = s.substr(start, i - start);
+  for (char& c : word) c = (char)std::toupper((unsigned char)c);
+  while (i < s.size() && std::isspace((unsigned char)s[i])) ++i;
+  if (rest != nullptr) *rest = i;
+  return word;
+}
+
+class Repl {
+ public:
+  Repl(size_t buffer_pages, size_t cache_capacity)
+      : db_(buffer_pages), cache_(cache_capacity), session_(&db_, &cache_) {}
+
+  // Returns false when the shell should exit.
+  bool HandleLine(const std::string& line) {
+    if (!line.empty() && line[0] == '\\') {
+      return HandleMeta(line);
+    }
+    buffer_ += line;
+    buffer_ += '\n';
+    size_t semi;
+    while ((semi = buffer_.find(';')) != std::string::npos) {
+      std::string stmt = buffer_.substr(0, semi);
+      buffer_.erase(0, semi + 1);
+      HandleStatement(stmt);
+    }
+    return true;
+  }
+
+  bool pending() const { return buffer_.find_first_not_of(" \t\n") !=
+                                std::string::npos; }
+
+ private:
+  bool HandleMeta(const std::string& line) {
+    std::string cmd = line.substr(0, line.find_first_of(" \t"));
+    if (cmd == "\\q" || cmd == "\\quit") return false;
+    if (cmd == "\\stats") {
+      PrintStats();
+    } else if (cmd == "\\list") {
+      if (prepared_.empty()) std::printf("(no prepared statements)\n");
+      for (const auto& [name, stmt] : prepared_) {
+        std::printf("%-12s (%d param%s)  %s\n", name.c_str(),
+                    stmt->num_params(), stmt->num_params() == 1 ? "" : "s",
+                    stmt->sql().c_str());
+      }
+    } else if (cmd == "\\help") {
+      PrintHelp();
+    } else {
+      std::printf("unknown command %s (try \\help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  void HandleStatement(const std::string& stmt) {
+    size_t rest = 0;
+    std::string verb = FirstWord(stmt, &rest);
+    if (verb.empty()) return;
+    if (verb == "PREPARE") {
+      DoPrepare(stmt.substr(rest));
+    } else if (verb == "EXECUTE") {
+      DoExecute(stmt.substr(rest));
+    } else if (verb == "EXPLAIN") {
+      DoExplain(stmt.substr(rest));
+    } else if (verb == "SELECT") {
+      auto r = session_.ExecuteQuery(stmt);
+      PrintResult(r);
+    } else {
+      // DDL / DML / UPDATE STATISTICS go straight to the database.
+      Status s = db_.Execute(stmt);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("ok\n");
+      }
+    }
+  }
+
+  void DoPrepare(const std::string& rest) {
+    size_t after_name = 0;
+    std::string tail = rest;
+    std::string name = FirstWord(tail, &after_name);
+    if (name.empty()) {
+      std::printf("usage: PREPARE <name> AS <select>;\n");
+      return;
+    }
+    std::string sql = tail.substr(after_name);
+    size_t as_end = 0;
+    if (FirstWord(sql, &as_end) == "AS") sql = sql.substr(as_end);
+    auto stmt = session_.Prepare(sql);
+    if (!stmt.ok()) {
+      std::printf("error: %s\n", stmt.status().ToString().c_str());
+      return;
+    }
+    int n = stmt->num_params();
+    prepared_.insert_or_assign(
+        name, std::make_unique<PreparedStatement>(std::move(*stmt)));
+    std::printf("prepared %s (%d parameter%s)\n", name.c_str(), n,
+                n == 1 ? "" : "s");
+  }
+
+  void DoExecute(const std::string& rest) {
+    size_t after_name = 0;
+    std::string name = FirstWord(rest, &after_name);
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      std::printf("no prepared statement '%s' (see \\list)\n", name.c_str());
+      return;
+    }
+    std::vector<Value> params;
+    std::string error;
+    if (!ParseParams(rest.substr(after_name), &params, &error)) {
+      std::printf("bad parameter list: %s\n", error.c_str());
+      return;
+    }
+    PrintResult(it->second->Execute(params));
+  }
+
+  void DoExplain(const std::string& rest) {
+    std::string name = FirstWord(rest, nullptr);
+    auto it = prepared_.find(name);
+    if (it != prepared_.end()) {
+      std::printf("%s", it->second->Explain().c_str());
+      return;
+    }
+    auto stmt = session_.Prepare(rest);
+    if (!stmt.ok()) {
+      std::printf("error: %s\n", stmt.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", stmt->Explain().c_str());
+  }
+
+  void PrintResult(const StatusOr<QueryResult>& r) {
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", r->ToString().c_str());
+    const ExecStats& st = r->stats;
+    std::printf(
+        "(%zu row%s)  fetches=%llu gets=%llu rsi=%llu cost est=%.1f act=%.1f\n",
+        r->rows.size(), r->rows.size() == 1 ? "" : "s",
+        (unsigned long long)st.page_fetches, (unsigned long long)st.buffer_gets,
+        (unsigned long long)st.rsi_calls, r->est_cost, r->actual_cost);
+  }
+
+  void PrintStats() {
+    const SessionStats& s = session_.stats();
+    std::printf("session:    executions=%llu optimizations=%llu "
+                "cache_hits=%llu reprepares=%llu\n",
+                (unsigned long long)s.executions,
+                (unsigned long long)s.optimizations,
+                (unsigned long long)s.cache_hits,
+                (unsigned long long)s.reprepares);
+    PlanCacheStats c = cache_.stats();
+    std::printf("plan cache: entries=%zu/%zu hits=%llu misses=%llu "
+                "evictions=%llu invalidations=%llu\n",
+                cache_.size(), cache_.capacity(), (unsigned long long)c.hits,
+                (unsigned long long)c.misses, (unsigned long long)c.evictions,
+                (unsigned long long)c.invalidations);
+    BufferStats b = db_.rss().pool().stats();
+    std::printf("buffer:     gets=%llu fetches=%llu writes=%llu resident=%zu "
+                "catalog_version=%llu\n",
+                (unsigned long long)b.logical_gets,
+                (unsigned long long)b.fetches, (unsigned long long)b.writes,
+                db_.rss().pool().resident(),
+                (unsigned long long)db_.catalog().version());
+  }
+
+  void PrintHelp() {
+    std::printf(
+        "statements end with ';' and may span lines:\n"
+        "  PREPARE <name> AS <select>;      compile once (host vars: ?)\n"
+        "  EXECUTE <name> [(v1, ...)];      run with parameters bound\n"
+        "  EXPLAIN <name>; / EXPLAIN <select>;\n"
+        "  SELECT ...;                      one-shot query via the session\n"
+        "  CREATE TABLE/INDEX, INSERT, UPDATE STATISTICS, ...;\n"
+        "meta:\n"
+        "  \\stats   session, plan-cache, and buffer-pool counters\n"
+        "  \\list    prepared statements\n"
+        "  \\quit\n");
+  }
+
+  Database db_;
+  PlanCache cache_;
+  Session session_;
+  std::string buffer_;
+  std::map<std::string, std::unique_ptr<PreparedStatement>> prepared_;
+};
+
+int Main(int argc, char** argv) {
+  size_t buffer_pages = 256;
+  size_t cache_capacity = 64;
+  const char* script = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--buffer-pages") == 0 && i + 1 < argc) {
+      buffer_pages = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0 && i + 1 < argc) {
+      cache_capacity = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--script") == 0 && i + 1 < argc) {
+      script = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: repl [--buffer-pages N] [--cache-capacity N] "
+                   "[--script FILE]\n");
+      return 2;
+    }
+  }
+
+  Repl repl(buffer_pages, cache_capacity);
+
+  std::FILE* in = stdin;
+  if (script != nullptr) {
+    in = std::fopen(script, "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", script);
+      return 2;
+    }
+  } else {
+    std::printf("systemr repl — \\help for commands, \\quit to exit\n");
+  }
+
+  char line[4096];
+  if (script == nullptr) std::printf("systemr> ");
+  std::fflush(stdout);
+  while (std::fgets(line, sizeof line, in) != nullptr) {
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    if (!repl.HandleLine(line)) break;
+    if (script == nullptr) {
+      std::printf(repl.pending() ? "    ...> " : "systemr> ");
+      std::fflush(stdout);
+    }
+  }
+  if (script != nullptr) std::fclose(in);
+  return 0;
+}
+
+}  // namespace
+}  // namespace systemr
+
+int main(int argc, char** argv) { return systemr::Main(argc, argv); }
