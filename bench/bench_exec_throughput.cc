@@ -1,8 +1,8 @@
-// bench_exec_throughput — wall-clock executor throughput (BENCH_3.json).
+// bench_exec_throughput — wall-clock executor throughput (BENCH_6.json).
 //
 // The paper's COST formula charges W per RSI call on the assumption that the
 // CPU side of a call is a small constant (§4). This bench measures what that
-// constant actually is for our executor, in nanoseconds per tuple, on three
+// constant actually is for our executor, in nanoseconds per tuple, on five
 // workloads over the synthetic chain catalog:
 //
 //   scan  — segment scan of R0 with a non-sargable residual predicate, so
@@ -10,12 +10,17 @@
 //   join  — three-way FK=PK join with a cross-table residual, exercising the
 //           per-outer-row inner rebind and the composite-row path;
 //   subq  — correlated scalar-aggregate subquery re-evaluated per distinct
-//           outer value (§6).
+//           outer value (§6);
+//   ujoin — equi-join on the unindexed B columns: no useful order exists on
+//           either side, so the plan choice is sort-both-and-merge versus
+//           hash join;
+//   agg   — GROUP BY on the unindexed B column: sort-then-group versus hash
+//           aggregation.
 //
 // Each workload is prepared once and executed repeatedly for a fixed
 // minimum wall time; the report records output rows/sec and ns per RSI
 // tuple. Numbers are machine-dependent: the trajectory across PRs (and the
-// recorded pre-overhaul baseline) is the signal, not the absolute values.
+// recorded pre-PR baselines) is the signal, not the absolute values.
 //
 //   bench_exec_throughput [--out PATH] [--min-ms N]
 #include <chrono>
@@ -31,19 +36,29 @@ namespace systemr {
 namespace bench {
 namespace {
 
-// Pre-overhaul (PR 2 executor) reference numbers, measured with this bench
-// at 600 ms/workload on the CI-class container that produced EXPERIMENTS.md
-// ("Wall-clock performance"). Kept in the report so every later BENCH_3.json
-// carries the trajectory origin.
+// Reference numbers measured with this bench at 600 ms/workload on the
+// CI-class container that produced EXPERIMENTS.md. Two generations are kept
+// so every BENCH_6.json carries the full trajectory:
+//   - kPr2Baseline: the PR 2 tuple-at-a-time executor (the BENCH_3 origin);
+//   - kPrePrBaseline: the engine immediately before this PR (rebindable
+//     operators + compiled predicates, no batches, no hash operators) — the
+//     denominator for this PR's speedup claims.
 struct BaselineRef {
   const char* name;
   double rows_per_sec;
   double ns_per_tuple;
 };
-constexpr BaselineRef kPrePrBaseline[] = {
+constexpr BaselineRef kPr2Baseline[] = {
     {"scan", 656658.9, 463.1},
     {"join", 47317.2, 3022.2},
     {"subq", 1051.4, 229.8},
+};
+constexpr BaselineRef kPrePrBaseline[] = {
+    {"scan", 1465346.3, 207.5},
+    {"join", 171779.6, 832.5},
+    {"subq", 1921.9, 125.7},
+    {"ujoin", 4249469.8, 1986.7},
+    {"agg", 7298.8, 685.0},
 };
 
 struct WorkloadResult {
@@ -124,7 +139,7 @@ std::string Num(double v) {
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = "BENCH_3.json";
+  std::string out_path = "BENCH_6.json";
   std::string only;  // Empty = all workloads.
   int min_ms = 600;
   for (int i = 1; i < argc; ++i) {
@@ -168,9 +183,18 @@ int Main(int argc, char** argv) {
       {"subq",
        "SELECT X.PK FROM R1 X "
        "WHERE X.B <= (SELECT MAX(R2.A) FROM R2 WHERE R2.PK = X.FK)"},
+      // Equi-join on B (unindexed on both sides): no access path delivers
+      // join-column order, so merge must sort both inputs — the case where
+      // hash join's no-order build/probe wins.
+      {"ujoin",
+       "SELECT R1.PK, R2.PK FROM R1, R2 "
+       "WHERE R1.B = R2.B AND R1.A < 10"},
+      // GROUP BY on B (unindexed): sort-then-group versus hash aggregation.
+      {"agg",
+       "SELECT R0.B, COUNT(*), SUM(R0.A) FROM R0 GROUP BY R0.B"},
   };
 
-  Header("BENCH 3 — executor wall-clock throughput");
+  Header("BENCH 6 — executor wall-clock throughput");
   std::printf("%6s | %10s %9s %8s | %12s %12s %9s\n", "wkld", "rows/iter",
               "rsi/iter", "iters", "rows/sec", "tuples/sec", "ns/tuple");
 
@@ -205,16 +229,26 @@ int Main(int argc, char** argv) {
     out += "}";
     out += i + 1 < results.size() ? ",\n" : "\n";
   }
-  out += "  ],\n  \"baseline_pre_pr\": [\n";
-  for (size_t i = 0; i < 3; ++i) {
-    const BaselineRef& b = kPrePrBaseline[i];
-    out += "    {\"name\": \"" + std::string(b.name) + "\"";
-    out += ", \"rows_per_sec\": " + Num(b.rows_per_sec);
-    out += ", \"ns_per_tuple\": " + Num(b.ns_per_tuple);
-    out += "}";
-    out += i + 1 < 3 ? ",\n" : "\n";
-  }
-  out += "  ]\n}\n";
+  auto emit_baselines = [&](const char* key, const BaselineRef* refs,
+                            size_t n) {
+    out += "  \"" + std::string(key) + "\": [\n";
+    for (size_t i = 0; i < n; ++i) {
+      const BaselineRef& b = refs[i];
+      out += "    {\"name\": \"" + std::string(b.name) + "\"";
+      out += ", \"rows_per_sec\": " + Num(b.rows_per_sec);
+      out += ", \"ns_per_tuple\": " + Num(b.ns_per_tuple);
+      out += "}";
+      out += i + 1 < n ? ",\n" : "\n";
+    }
+    out += "  ]";
+  };
+  out += "  ],\n";
+  emit_baselines("baseline_pre_pr", kPrePrBaseline,
+                 sizeof kPrePrBaseline / sizeof kPrePrBaseline[0]);
+  out += ",\n";
+  emit_baselines("baseline_pr2", kPr2Baseline,
+                 sizeof kPr2Baseline / sizeof kPr2Baseline[0]);
+  out += "\n}\n";
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {

@@ -1,0 +1,208 @@
+#include "exec/agg_common.h"
+
+#include "exec/expr_eval.h"
+
+namespace systemr {
+
+namespace {
+
+// Collects every aggregate expression in the SELECT list (not descending
+// into subqueries: their aggregates belong to their own blocks).
+void CollectAggs(const BoundExpr& e, std::vector<const BoundExpr*>* out) {
+  if (e.kind == BoundExprKind::kAggregate) {
+    out->push_back(&e);
+    return;
+  }
+  for (const auto& c : e.children) CollectAggs(*c, out);
+}
+
+bool ContainsAgg(const BoundExpr& e) {
+  if (e.kind == BoundExprKind::kAggregate) return true;
+  for (const auto& c : e.children) {
+    if (ContainsAgg(*c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void AggState::Reset() {
+  count = 0;
+  sum = 0;
+  isum = 0;
+  int_sum = true;
+  min = Value::Null();
+  max = Value::Null();
+}
+
+void AggFunctionSet::Compile(const PlanNode* node) {
+  std::vector<const BoundExpr*> aggs;
+  for (const BoundExpr* item : node->agg_select) {
+    CollectAggs(*item, &aggs);
+  }
+  if (node->having != nullptr) {
+    CollectAggs(*node->having, &aggs);
+  }
+  funcs_.resize(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    funcs_[i].agg = aggs[i];
+    if (!aggs[i]->children.empty()) {
+      funcs_[i].arg.CompileExpr(aggs[i]->children[0].get());
+    }
+  }
+}
+
+void AggFunctionSet::ResetStates(std::vector<AggState>* states) const {
+  states->resize(funcs_.size());
+  for (AggState& s : *states) s.Reset();
+}
+
+Status AggFunctionSet::Accept(ExecContext* ctx, const Row& row,
+                              std::vector<AggState>* states) {
+  for (size_t i = 0; i < funcs_.size(); ++i) {
+    CompiledAgg& f = funcs_[i];
+    AggState& s = (*states)[i];
+    if (f.agg->children.empty()) {  // COUNT(*).
+      ++s.count;
+      continue;
+    }
+    Value v;
+    RETURN_IF_ERROR(f.arg.EvalValue(ctx, row, &v));
+    if (v.is_null()) continue;  // NULLs are ignored by aggregates.
+    ++s.count;
+    if (IsArithmetic(v.type())) {
+      if (v.type() == ValueType::kInt64 && s.int_sum) {
+        s.isum += v.AsInt();
+      } else {
+        if (s.int_sum) {
+          s.sum = static_cast<double>(s.isum);
+          s.int_sum = false;
+        }
+        s.sum += v.AsNumber();
+      }
+    }
+    if (s.min.is_null() || v.Compare(s.min) < 0) s.min = v;
+    if (s.max.is_null() || v.Compare(s.max) > 0) s.max = v;
+  }
+  return Status::OK();
+}
+
+Value AggFunctionSet::Result(size_t i, const AggState& s) const {
+  switch (funcs_[i].agg->agg) {
+    case AggFunc::kCount:
+      return Value::Int(static_cast<int64_t>(s.count));
+    case AggFunc::kAvg: {
+      double total = s.int_sum ? static_cast<double>(s.isum) : s.sum;
+      return s.count == 0 ? Value::Null() : Value::Real(total / s.count);
+    }
+    case AggFunc::kSum:
+      if (s.count == 0) return Value::Null();
+      return s.int_sum ? Value::Int(s.isum) : Value::Real(s.sum);
+    case AggFunc::kMin:
+      return s.min;
+    case AggFunc::kMax:
+      return s.max;
+  }
+  return Value::Null();
+}
+
+StatusOr<Value> AggFunctionSet::EvalWithAggs(
+    ExecContext* ctx, const BoundExpr& e, const Row& rep,
+    const std::vector<AggState>& states) const {
+  if (e.kind == BoundExprKind::kAggregate) {
+    for (size_t i = 0; i < funcs_.size(); ++i) {
+      if (funcs_[i].agg == &e) return Result(i, states[i]);
+    }
+    return Status::Internal("aggregate accumulator not found");
+  }
+  // Subtrees without aggregates evaluate over the group's first row.
+  if (!ContainsAgg(e)) {
+    return EvalExpr(e, ctx, rep);
+  }
+  // Composite expressions over aggregates (SELECT arithmetic, HAVING
+  // comparisons/boolean logic): recurse so aggregate leaves resolve to
+  // accumulator results.
+  auto boolean = [](bool b) { return Value::Int(b ? 1 : 0); };
+  switch (e.kind) {
+    case BoundExprKind::kArith: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(ctx, *e.children[0], rep, states));
+      ASSIGN_OR_RETURN(Value b, EvalWithAggs(ctx, *e.children[1], rep, states));
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (e.arith_op == '/') {
+        double d = b.AsNumber();
+        return d == 0 ? Value::Null() : Value::Real(a.AsNumber() / d);
+      }
+      bool both_int = a.type() == ValueType::kInt64 &&
+                      b.type() == ValueType::kInt64;
+      double x = a.AsNumber(), y = b.AsNumber();
+      switch (e.arith_op) {
+        case '+': return both_int ? Value::Int(a.AsInt() + b.AsInt())
+                                  : Value::Real(x + y);
+        case '-': return both_int ? Value::Int(a.AsInt() - b.AsInt())
+                                  : Value::Real(x - y);
+        case '*': return both_int ? Value::Int(a.AsInt() * b.AsInt())
+                                  : Value::Real(x * y);
+      }
+      return Status::Internal("bad arithmetic operator");
+    }
+    case BoundExprKind::kCompare: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(ctx, *e.children[0], rep, states));
+      ASSIGN_OR_RETURN(Value b, EvalWithAggs(ctx, *e.children[1], rep, states));
+      return boolean(EvalCompare(e.op, a, b));
+    }
+    case BoundExprKind::kBetween: {
+      ASSIGN_OR_RETURN(Value v, EvalWithAggs(ctx, *e.children[0], rep, states));
+      ASSIGN_OR_RETURN(Value lo,
+                       EvalWithAggs(ctx, *e.children[1], rep, states));
+      ASSIGN_OR_RETURN(Value hi,
+                       EvalWithAggs(ctx, *e.children[2], rep, states));
+      return boolean(EvalCompare(CompareOp::kGe, v, lo) &&
+                     EvalCompare(CompareOp::kLe, v, hi));
+    }
+    case BoundExprKind::kAnd: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(ctx, *e.children[0], rep, states));
+      if (a.is_null() || a.AsInt() == 0) return boolean(false);
+      ASSIGN_OR_RETURN(Value b, EvalWithAggs(ctx, *e.children[1], rep, states));
+      return boolean(!b.is_null() && b.AsInt() != 0);
+    }
+    case BoundExprKind::kOr: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(ctx, *e.children[0], rep, states));
+      if (!a.is_null() && a.AsInt() != 0) return boolean(true);
+      ASSIGN_OR_RETURN(Value b, EvalWithAggs(ctx, *e.children[1], rep, states));
+      return boolean(!b.is_null() && b.AsInt() != 0);
+    }
+    case BoundExprKind::kNot: {
+      ASSIGN_OR_RETURN(Value a, EvalWithAggs(ctx, *e.children[0], rep, states));
+      return boolean(a.is_null() || a.AsInt() == 0);
+    }
+    default:
+      return Status::Internal(
+          "unsupported expression over aggregate results");
+  }
+}
+
+Status AggFunctionSet::EmitSelect(ExecContext* ctx, const PlanNode* node,
+                                  const Row& rep,
+                                  const std::vector<AggState>& states,
+                                  Row* out) const {
+  Row result;
+  result.reserve(node->agg_select.size());
+  for (const BoundExpr* item : node->agg_select) {
+    ASSIGN_OR_RETURN(Value v, EvalWithAggs(ctx, *item, rep, states));
+    result.push_back(std::move(v));
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+StatusOr<bool> AggFunctionSet::HavingPasses(
+    ExecContext* ctx, const PlanNode* node, const Row& rep,
+    const std::vector<AggState>& states) const {
+  if (node->having == nullptr) return true;
+  // HAVING is evaluated per group with aggregates bound to accumulators.
+  auto v = EvalWithAggs(ctx, *node->having, rep, states);
+  if (!v.ok()) return v.status();
+  return !v->is_null() && v->AsInt() != 0;
+}
+
+}  // namespace systemr

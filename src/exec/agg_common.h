@@ -1,0 +1,73 @@
+// Aggregate-function machinery shared by the sorted-group operator
+// (AggregateOp) and the hash-group operator (HashGroupByOp): the compiled
+// function set (aggregate expressions + argument programs) is per-operator,
+// while the running state is per-group — sorted grouping keeps exactly one
+// live state vector, hash grouping keeps one per resident group.
+#ifndef SYSTEMR_EXEC_AGG_COMMON_H_
+#define SYSTEMR_EXEC_AGG_COMMON_H_
+
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/expr_program.h"
+#include "optimizer/plan.h"
+
+namespace systemr {
+
+/// Per-group running state for one aggregate function. SUM stays in exact
+/// int64 arithmetic until a non-integer value arrives, then degrades to
+/// double for the rest of the group.
+struct AggState {
+  uint64_t count = 0;
+  double sum = 0;
+  int64_t isum = 0;
+  bool int_sum = true;
+  Value min, max;
+  void Reset();
+};
+
+/// The compiled aggregate functions of one query block.
+class AggFunctionSet {
+ public:
+  /// Collects and compiles every aggregate in the node's SELECT list and
+  /// HAVING clause. Call once at operator construction.
+  void Compile(const PlanNode* node);
+
+  size_t size() const { return funcs_.size(); }
+
+  /// Resizes `states` to size() and resets every entry.
+  void ResetStates(std::vector<AggState>* states) const;
+
+  /// Folds one input row into every aggregate's state.
+  Status Accept(ExecContext* ctx, const Row& row,
+                std::vector<AggState>* states);
+
+  /// Final value of aggregate `i` given its accumulated state.
+  Value Result(size_t i, const AggState& state) const;
+
+  /// Evaluates `e` with aggregate leaves bound to accumulated results and
+  /// plain columns taken from the group's representative row.
+  StatusOr<Value> EvalWithAggs(ExecContext* ctx, const BoundExpr& e,
+                               const Row& rep,
+                               const std::vector<AggState>& states) const;
+
+  /// Evaluates the node's SELECT list for one finished group into `*out`.
+  Status EmitSelect(ExecContext* ctx, const PlanNode* node, const Row& rep,
+                    const std::vector<AggState>& states, Row* out) const;
+
+  /// True when the node's HAVING clause (if any) accepts the group.
+  StatusOr<bool> HavingPasses(ExecContext* ctx, const PlanNode* node,
+                              const Row& rep,
+                              const std::vector<AggState>& states) const;
+
+ private:
+  struct CompiledAgg {
+    const BoundExpr* agg = nullptr;
+    ExprProgram arg;  // Compiled argument expression (COUNT(*) has none).
+  };
+  std::vector<CompiledAgg> funcs_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_AGG_COMMON_H_

@@ -1,154 +1,6 @@
 #include "exec/aggregate.h"
 
-#include <functional>
-
 namespace systemr {
-
-namespace {
-
-// Collects every aggregate expression in the SELECT list (not descending
-// into subqueries: their aggregates belong to their own blocks).
-void CollectAggs(const BoundExpr& e, std::vector<const BoundExpr*>* out) {
-  if (e.kind == BoundExprKind::kAggregate) {
-    out->push_back(&e);
-    return;
-  }
-  for (const auto& c : e.children) CollectAggs(*c, out);
-}
-
-bool ContainsAgg(const BoundExpr& e) {
-  if (e.kind == BoundExprKind::kAggregate) return true;
-  for (const auto& c : e.children) {
-    if (ContainsAgg(*c)) return true;
-  }
-  return false;
-}
-
-}  // namespace
-
-void AggregateOp::Accumulator::Reset() {
-  count = 0;
-  sum = 0;
-  isum = 0;
-  int_sum = true;
-  min = Value::Null();
-  max = Value::Null();
-}
-
-Status AggregateOp::Accumulator::Accept(ExecContext* ctx, const Row& row) {
-  if (agg->children.empty()) {  // COUNT(*).
-    ++count;
-    return Status::OK();
-  }
-  Value v;
-  RETURN_IF_ERROR(arg.EvalValue(ctx, row, &v));
-  if (v.is_null()) return Status::OK();  // NULLs are ignored by aggregates.
-  ++count;
-  if (IsArithmetic(v.type())) {
-    if (v.type() == ValueType::kInt64 && int_sum) {
-      isum += v.AsInt();
-    } else {
-      if (int_sum) {
-        sum = static_cast<double>(isum);
-        int_sum = false;
-      }
-      sum += v.AsNumber();
-    }
-  }
-  if (min.is_null() || v.Compare(min) < 0) min = v;
-  if (max.is_null() || v.Compare(max) > 0) max = v;
-  return Status::OK();
-}
-
-Value AggregateOp::Accumulator::Result() const {
-  double total = int_sum ? static_cast<double>(isum) : sum;
-  switch (agg->agg) {
-    case AggFunc::kCount:
-      return Value::Int(static_cast<int64_t>(count));
-    case AggFunc::kAvg:
-      return count == 0 ? Value::Null() : Value::Real(total / count);
-    case AggFunc::kSum:
-      if (count == 0) return Value::Null();
-      return int_sum ? Value::Int(isum) : Value::Real(sum);
-    case AggFunc::kMin:
-      return min;
-    case AggFunc::kMax:
-      return max;
-  }
-  return Value::Null();
-}
-
-StatusOr<Value> AggregateOp::EvalWithAggs(const BoundExpr& e,
-                                          const Row& rep) const {
-  if (e.kind == BoundExprKind::kAggregate) {
-    for (const Accumulator& a : accs_) {
-      if (a.agg == &e) return a.Result();
-    }
-    return Status::Internal("aggregate accumulator not found");
-  }
-  // Subtrees without aggregates evaluate over the group's first row.
-  if (!ContainsAgg(e)) {
-    return EvalExpr(e, ctx_, rep);
-  }
-  // Composite expressions over aggregates (SELECT arithmetic, HAVING
-  // comparisons/boolean logic): recurse so aggregate leaves resolve to
-  // accumulator results.
-  auto boolean = [](bool b) { return Value::Int(b ? 1 : 0); };
-  switch (e.kind) {
-    case BoundExprKind::kArith: {
-      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
-      ASSIGN_OR_RETURN(Value b, EvalWithAggs(*e.children[1], rep));
-      if (a.is_null() || b.is_null()) return Value::Null();
-      if (e.arith_op == '/') {
-        double d = b.AsNumber();
-        return d == 0 ? Value::Null() : Value::Real(a.AsNumber() / d);
-      }
-      bool both_int = a.type() == ValueType::kInt64 &&
-                      b.type() == ValueType::kInt64;
-      double x = a.AsNumber(), y = b.AsNumber();
-      switch (e.arith_op) {
-        case '+': return both_int ? Value::Int(a.AsInt() + b.AsInt())
-                                  : Value::Real(x + y);
-        case '-': return both_int ? Value::Int(a.AsInt() - b.AsInt())
-                                  : Value::Real(x - y);
-        case '*': return both_int ? Value::Int(a.AsInt() * b.AsInt())
-                                  : Value::Real(x * y);
-      }
-      return Status::Internal("bad arithmetic operator");
-    }
-    case BoundExprKind::kCompare: {
-      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
-      ASSIGN_OR_RETURN(Value b, EvalWithAggs(*e.children[1], rep));
-      return boolean(EvalCompare(e.op, a, b));
-    }
-    case BoundExprKind::kBetween: {
-      ASSIGN_OR_RETURN(Value v, EvalWithAggs(*e.children[0], rep));
-      ASSIGN_OR_RETURN(Value lo, EvalWithAggs(*e.children[1], rep));
-      ASSIGN_OR_RETURN(Value hi, EvalWithAggs(*e.children[2], rep));
-      return boolean(EvalCompare(CompareOp::kGe, v, lo) &&
-                     EvalCompare(CompareOp::kLe, v, hi));
-    }
-    case BoundExprKind::kAnd: {
-      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
-      if (a.is_null() || a.AsInt() == 0) return boolean(false);
-      ASSIGN_OR_RETURN(Value b, EvalWithAggs(*e.children[1], rep));
-      return boolean(!b.is_null() && b.AsInt() != 0);
-    }
-    case BoundExprKind::kOr: {
-      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
-      if (!a.is_null() && a.AsInt() != 0) return boolean(true);
-      ASSIGN_OR_RETURN(Value b, EvalWithAggs(*e.children[1], rep));
-      return boolean(!b.is_null() && b.AsInt() != 0);
-    }
-    case BoundExprKind::kNot: {
-      ASSIGN_OR_RETURN(Value a, EvalWithAggs(*e.children[0], rep));
-      return boolean(a.is_null() || a.AsInt() == 0);
-    }
-    default:
-      return Status::Internal(
-          "unsupported expression over aggregate results");
-  }
-}
 
 bool AggregateOp::SameGroup(const Row& a, const Row& b) const {
   for (size_t off : node_->group_offsets) {
@@ -161,21 +13,8 @@ AggregateOp::AggregateOp(ExecContext* ctx, const BoundQueryBlock* block,
                          const PlanNode* node,
                          std::unique_ptr<Operator> child)
     : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {
-  std::vector<const BoundExpr*> aggs;
-  for (const BoundExpr* item : node_->agg_select) {
-    CollectAggs(*item, &aggs);
-  }
-  if (node_->having != nullptr) {
-    CollectAggs(*node_->having, &aggs);
-  }
-  accs_.resize(aggs.size());
-  for (size_t i = 0; i < aggs.size(); ++i) {
-    accs_[i].agg = aggs[i];
-    if (!aggs[i]->children.empty()) {
-      accs_[i].arg.CompileExpr(aggs[i]->children[0].get());
-    }
-    accs_[i].Reset();
-  }
+  funcs_.Compile(node_);
+  funcs_.ResetStates(&states_);
 }
 
 Status AggregateOp::Open() {
@@ -189,31 +28,12 @@ Status AggregateOp::Rebind(const Row* outer) {
 }
 
 Status AggregateOp::Restart() {
-  for (Accumulator& a : accs_) a.Reset();
+  funcs_.ResetStates(&states_);
   group_open_ = false;
   pending_valid_ = false;
   done_ = false;
   emitted_any_ = false;
   return child_->Next(&pending_, &pending_valid_);
-}
-
-Status AggregateOp::EmitGroup(Row* out) {
-  Row result;
-  result.reserve(node_->agg_select.size());
-  for (const BoundExpr* item : node_->agg_select) {
-    ASSIGN_OR_RETURN(Value v, EvalWithAggs(*item, group_rep_));
-    result.push_back(std::move(v));
-  }
-  *out = std::move(result);
-  return Status::OK();
-}
-
-StatusOr<bool> AggregateOp::HavingPasses() const {
-  if (node_->having == nullptr) return true;
-  // HAVING is evaluated per group with aggregates bound to accumulators.
-  auto v = EvalWithAggs(*node_->having, group_rep_);
-  if (!v.ok()) return v.status();
-  return !v->is_null() && v->AsInt() != 0;
 }
 
 Status AggregateOp::Next(Row* out, bool* has_row) {
@@ -224,31 +44,33 @@ Status AggregateOp::Next(Row* out, bool* has_row) {
   while (pending_valid_) {
     if (!group_open_) {
       group_rep_ = pending_;
-      for (Accumulator& a : accs_) a.Reset();
+      funcs_.ResetStates(&states_);
       group_open_ = true;
     }
     if (!SameGroup(group_rep_, pending_)) {
       // Group boundary: emit if HAVING passes, else skip the group.
       group_open_ = false;
-      ASSIGN_OR_RETURN(bool keep, HavingPasses());
+      ASSIGN_OR_RETURN(bool keep,
+                       funcs_.HavingPasses(ctx_, node_, group_rep_, states_));
       if (!keep) continue;
-      RETURN_IF_ERROR(EmitGroup(out));
+      RETURN_IF_ERROR(
+          funcs_.EmitSelect(ctx_, node_, group_rep_, states_, out));
       emitted_any_ = true;
       *has_row = true;
       return Status::OK();
     }
-    for (Accumulator& a : accs_) {
-      RETURN_IF_ERROR(a.Accept(ctx_, pending_));
-    }
+    RETURN_IF_ERROR(funcs_.Accept(ctx_, pending_, &states_));
     RETURN_IF_ERROR(child_->Next(&pending_, &pending_valid_));
   }
   // End of input.
   if (group_open_) {
     group_open_ = false;
     done_ = true;
-    ASSIGN_OR_RETURN(bool keep, HavingPasses());
+    ASSIGN_OR_RETURN(bool keep,
+                     funcs_.HavingPasses(ctx_, node_, group_rep_, states_));
     if (keep) {
-      RETURN_IF_ERROR(EmitGroup(out));
+      RETURN_IF_ERROR(
+          funcs_.EmitSelect(ctx_, node_, group_rep_, states_, out));
       emitted_any_ = true;
       *has_row = true;
       return Status::OK();
@@ -262,9 +84,12 @@ Status AggregateOp::Next(Row* out, bool* has_row) {
     group_rep_ = Row(block_->row_width);
     done_ = true;
     emitted_any_ = true;
-    ASSIGN_OR_RETURN(bool keep, HavingPasses());
+    funcs_.ResetStates(&states_);
+    ASSIGN_OR_RETURN(bool keep,
+                     funcs_.HavingPasses(ctx_, node_, group_rep_, states_));
     if (keep) {
-      RETURN_IF_ERROR(EmitGroup(out));
+      RETURN_IF_ERROR(
+          funcs_.EmitSelect(ctx_, node_, group_rep_, states_, out));
       *has_row = true;
       return Status::OK();
     }

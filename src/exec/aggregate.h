@@ -2,11 +2,14 @@
 // columns (the optimizer either reuses an interesting order or inserts a
 // sort), so groups are contiguous. Evaluates the block's entire SELECT list
 // per group, substituting accumulated values for aggregate expressions.
+// The aggregate-function machinery lives in agg_common.h, shared with the
+// hash-grouping operator.
 #ifndef SYSTEMR_EXEC_AGGREGATE_H_
 #define SYSTEMR_EXEC_AGGREGATE_H_
 
 #include <memory>
 
+#include "exec/agg_common.h"
 #include "exec/operators.h"
 
 namespace systemr {
@@ -22,28 +25,9 @@ class AggregateOp : public Operator {
   void Close() override { child_->Close(); }
 
  private:
-  struct Accumulator {
-    const BoundExpr* agg = nullptr;
-    ExprProgram arg;  // Compiled argument expression (COUNT(*) has none).
-    uint64_t count = 0;
-    double sum = 0;
-    int64_t isum = 0;
-    bool int_sum = true;
-    Value min, max;
-    void Reset();
-    Status Accept(ExecContext* ctx, const Row& row);
-    Value Result() const;
-  };
-
   /// Shared tail of Open/Rebind: resets group state and pulls the first row.
   Status Restart();
 
-  /// Evaluates a SELECT item with aggregates replaced by accumulator results
-  /// and plain columns taken from the group's first row.
-  StatusOr<Value> EvalWithAggs(const BoundExpr& e, const Row& rep) const;
-
-  Status EmitGroup(Row* out);
-  StatusOr<bool> HavingPasses() const;
   bool SameGroup(const Row& a, const Row& b) const;
 
   ExecContext* ctx_;
@@ -51,8 +35,9 @@ class AggregateOp : public Operator {
   const PlanNode* node_;
   std::unique_ptr<Operator> child_;
 
-  std::vector<Accumulator> accs_;
-  Row group_rep_;       // First row of the current group.
+  AggFunctionSet funcs_;
+  std::vector<AggState> states_;  // One per function; the current group's.
+  Row group_rep_;                 // First row of the current group.
   bool group_open_ = false;
   Row pending_;
   bool pending_valid_ = false;

@@ -1,0 +1,54 @@
+// Vectorized data flow: operators exchange RowBatch blocks of up to
+// kBatchRows rows instead of single tuples. A batch is a buffer of decoded
+// rows plus a selection vector of surviving row indices — predicates filter
+// by shrinking the selection vector, never by moving rows. Operators without
+// a native batch implementation are bridged by the Operator::NextBatch shim
+// (see operators.h), so the tuple-at-a-time contract remains intact.
+//
+// This header stays dependency-light (kernel types only): the optimizer's
+// EXPLAIN also reads kBatchRows to report batch-model row counts.
+#ifndef SYSTEMR_EXEC_BATCH_H_
+#define SYSTEMR_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/schema.h"
+
+namespace systemr {
+
+/// Default rows per batch. Chosen by the batch-size sweep bench
+/// (bench_batch_sweep): large enough to amortize per-batch virtual dispatch,
+/// small enough that a batch of block-width rows stays cache-resident.
+inline constexpr size_t kBatchRows = 1024;
+
+struct RowBatch {
+  /// Row buffer; rows[0..filled) hold decoded data this batch. Buffers are
+  /// reused across batches, so a row may carry stale values in slots its
+  /// producer does not own — consumers must only read through `sel` and the
+  /// producer's column slices.
+  std::vector<Row> rows;
+  /// Indices (ascending) of rows that survived all predicates so far.
+  std::vector<uint32_t> sel;
+  size_t filled = 0;
+
+  void Clear() {
+    filled = 0;
+    sel.clear();
+  }
+  void EnsureCapacity() {
+    if (rows.size() < kBatchRows) rows.resize(kBatchRows);
+  }
+  /// Selection vector = identity over the filled prefix.
+  void SelectAll() {
+    sel.resize(filled);
+    std::iota(sel.begin(), sel.end(), 0u);
+  }
+  size_t live() const { return sel.size(); }
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_BATCH_H_

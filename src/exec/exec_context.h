@@ -45,7 +45,22 @@ struct ExecStats {
   uint64_t buffer_gets = 0;          // All buffer-pool page requests.
   uint64_t buffer_hits = 0;          // Requests served from the pool.
 
+  // --- Vectorized execution counters ---
+  uint64_t batches = 0;          // Batches produced by batch-native operators.
+  uint64_t batch_rows_in = 0;    // Rows materialized into those batches.
+  uint64_t batch_rows_out = 0;   // Rows surviving each batch's selection.
+  uint64_t hash_build_rows = 0;  // Rows inserted into hash-join build tables.
+  uint64_t hash_probe_rows = 0;  // Outer rows probed against them.
+
   uint64_t page_io() const { return page_fetches + page_writes; }
+  /// Average selection-vector density of the produced batches (1.0 = every
+  /// materialized row survived its predicates).
+  double AvgSelectionDensity() const {
+    return batch_rows_in == 0
+               ? 1.0
+               : static_cast<double>(batch_rows_out) /
+                     static_cast<double>(batch_rows_in);
+  }
   double BufferHitRatio() const {
     return buffer_gets == 0
                ? 0.0
@@ -78,6 +93,18 @@ class ExecContext {
   /// accounting reads them race-free.
   MeterCounters& meter() { return meter_; }
   const MeterCounters& meter() const { return meter_; }
+
+  /// Per-statement vectorized-execution counters, incremented by the
+  /// batch-native operators and copied into ExecStats after the run.
+  struct BatchCounters {
+    uint64_t batches = 0;
+    uint64_t batch_rows_in = 0;
+    uint64_t batch_rows_out = 0;
+    uint64_t hash_build_rows = 0;
+    uint64_t hash_probe_rows = 0;
+  };
+  BatchCounters& batch_counters() { return batch_counters_; }
+  const BatchCounters& batch_counters() const { return batch_counters_; }
 
   // --- Host variables (§2) ---
   /// Execute-time values for the statement's ? parameters (not owned; must
@@ -182,6 +209,7 @@ class ExecContext {
 
   std::vector<PageId> temp_pages_;
   MeterCounters meter_;
+  BatchCounters batch_counters_;
   ExecLimits limits_;
   bool interruptible_ = false;
   uint64_t limits_baseline_gets_ = 0;

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include "exec/aggregate.h"
+#include "exec/hash_ops.h"
 #include "exec/joins.h"
 #include "exec/operators.h"
 #include "exec/sort.h"
@@ -29,6 +30,11 @@ std::unique_ptr<Operator> BuildOperator(ExecContext* ctx,
           ctx, block, node,
           BuildOperator(ctx, block, node->left.get(), binding),
           BuildOperator(ctx, block, node->right.get(), binding));
+    case PlanKind::kHashJoin:
+      return std::make_unique<HashJoinOp>(
+          ctx, block, node,
+          BuildOperator(ctx, block, node->left.get(), binding),
+          BuildOperator(ctx, block, node->right.get(), binding));
     case PlanKind::kFilter:
       return std::make_unique<FilterOp>(
           ctx, block, node,
@@ -39,6 +45,10 @@ std::unique_ptr<Operator> BuildOperator(ExecContext* ctx,
           BuildOperator(ctx, block, node->left.get(), binding));
     case PlanKind::kAggregate:
       return std::make_unique<AggregateOp>(
+          ctx, block, node,
+          BuildOperator(ctx, block, node->left.get(), binding));
+    case PlanKind::kHashAggregate:
+      return std::make_unique<HashGroupByOp>(
           ctx, block, node,
           BuildOperator(ctx, block, node->left.get(), binding));
   }
@@ -52,6 +62,7 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
   // meter: the delta below measures exactly this statement's work even with
   // other sessions running against the same RSS.
   MeterCounters before = ctx->meter();
+  ExecContext::BatchCounters bc_before = ctx->batch_counters();
   MeterScope scope(&ctx->meter());
   ExecResult result;
   std::unique_ptr<Operator> op =
@@ -59,12 +70,18 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
   if (op == nullptr) return Status::Internal("unbuildable plan");
   ctx->ArmLimits();
   RETURN_IF_ERROR(op->Open());
+  // Drive the tree batch at a time: batch-native subtrees (scans, filters,
+  // projections, hash join) amortize virtual dispatch and page fetches over
+  // kBatchRows rows; tuple-only operators are bridged by the base-class
+  // NextBatch shim at the same per-row cost the scalar loop paid.
+  RowBatch batch;
   while (true) {
-    Row row;
     bool has;
-    RETURN_IF_ERROR(op->Next(&row, &has));
+    RETURN_IF_ERROR(op->NextBatch(&batch, &has));
     if (!has) break;
-    result.rows.push_back(std::move(row));
+    for (uint32_t idx : batch.sel) {
+      result.rows.push_back(std::move(batch.rows[idx]));
+    }
     RETURN_IF_ERROR(ctx->CheckRowLimit(result.rows.size()));
   }
   op->Close();
@@ -81,6 +98,14 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
     result.stats.subquery_evals += cache.evaluations;
     result.stats.subquery_cache_hits += cache.hits;
   }
+  const ExecContext::BatchCounters& bc = ctx->batch_counters();
+  result.stats.batches = bc.batches - bc_before.batches;
+  result.stats.batch_rows_in = bc.batch_rows_in - bc_before.batch_rows_in;
+  result.stats.batch_rows_out = bc.batch_rows_out - bc_before.batch_rows_out;
+  result.stats.hash_build_rows =
+      bc.hash_build_rows - bc_before.hash_build_rows;
+  result.stats.hash_probe_rows =
+      bc.hash_probe_rows - bc_before.hash_probe_rows;
   result.actual_cost = result.stats.ActualCost(ctx->w());
   return result;
 }

@@ -239,6 +239,7 @@ void ExprProgram::CompileExpr(const BoundExpr* e) {
   }
   // Each step pushes at most one net slot, so this bound never reallocates.
   stack_.resize(steps_.size() + 1);
+  ClassifyForBatch();
 }
 
 void ExprProgram::CompilePreds(const std::vector<const BoundExpr*>* preds) {
@@ -281,6 +282,77 @@ void ExprProgram::CompilePreds(const std::vector<const BoundExpr*>* preds) {
     lists_.clear();
   }
   stack_.resize(steps_.size() + 1);
+  ClassifyForBatch();
+}
+
+void ExprProgram::ClassifyForBatch() {
+  batch_kind_ = BatchKind::kGeneric;
+  if (!compiled_) return;
+  if (steps_.size() == 1 && steps_[0].op == Op::kPushConst) {
+    // The empty predicate list compiles to a constant-true push.
+    if (Truthy(consts_[steps_[0].a])) batch_kind_ = BatchKind::kAlwaysOn;
+    return;
+  }
+  // Single comparison: [push, push, compare] with an optional trailing
+  // kToBool (CompilePreds appends one; kCompare already yields 0/1).
+  size_t n = steps_.size();
+  bool tail_ok = n == 3 || (n == 4 && steps_[3].op == Op::kToBool);
+  if (!tail_ok || steps_[2].op != Op::kCompare) return;
+  if (steps_[0].op != Op::kPushColumn) return;
+  if (steps_[1].op == Op::kPushConst) {
+    batch_kind_ = BatchKind::kColConst;
+  } else if (steps_[1].op == Op::kPushColumn) {
+    batch_kind_ = BatchKind::kColCol;
+  }
+}
+
+Status ExprProgram::EvalBoolBatch(ExecContext* ctx,
+                                  const std::vector<Row>& rows,
+                                  std::vector<uint32_t>* sel) {
+  switch (batch_kind_) {
+    case BatchKind::kAlwaysOn:
+      return Status::OK();
+    case BatchKind::kColConst: {
+      const CompareOp cmp = steps_[2].cmp;
+      const uint32_t col = steps_[0].a;
+      const Value& rhs = consts_[steps_[1].a];
+      size_t out = 0;
+      for (uint32_t idx : *sel) {
+        const Row& r = rows[idx];
+        if (col >= r.size()) {
+          return Status::Internal("column offset out of range");
+        }
+        if (EvalCompare(cmp, r[col], rhs)) (*sel)[out++] = idx;
+      }
+      sel->resize(out);
+      return Status::OK();
+    }
+    case BatchKind::kColCol: {
+      const CompareOp cmp = steps_[2].cmp;
+      const uint32_t lhs = steps_[0].a;
+      const uint32_t rhs = steps_[1].a;
+      size_t out = 0;
+      for (uint32_t idx : *sel) {
+        const Row& r = rows[idx];
+        if (lhs >= r.size() || rhs >= r.size()) {
+          return Status::Internal("column offset out of range");
+        }
+        if (EvalCompare(cmp, r[lhs], r[rhs])) (*sel)[out++] = idx;
+      }
+      sel->resize(out);
+      return Status::OK();
+    }
+    case BatchKind::kGeneric:
+      break;
+  }
+  size_t out = 0;
+  for (uint32_t idx : *sel) {
+    bool ok = false;
+    RETURN_IF_ERROR(EvalBool(ctx, rows[idx], &ok));
+    if (ok) (*sel)[out++] = idx;
+  }
+  sel->resize(out);
+  return Status::OK();
 }
 
 Status ExprProgram::Run(ExecContext* ctx, const Row& row, const Value** top) {

@@ -41,6 +41,14 @@ class ExprProgram {
   /// Predicate evaluation; NULL is false.
   Status EvalBool(ExecContext* ctx, const Row& row, bool* out);
 
+  /// Vectorized predicate evaluation over a batch: `sel` holds candidate row
+  /// indices into `rows` on entry and is compacted in place to the indices
+  /// that pass. Single column-vs-constant / column-vs-column comparisons run
+  /// a branch-light fast path; everything else loops the compiled program
+  /// (or the interpreter fallback) per selected row.
+  Status EvalBoolBatch(ExecContext* ctx, const std::vector<Row>& rows,
+                       std::vector<uint32_t>* sel);
+
   /// Value evaluation (SELECT items, aggregate arguments).
   Status EvalValue(ExecContext* ctx, const Row& row, Value* out);
 
@@ -85,8 +93,19 @@ class ExprProgram {
   bool Emit(const BoundExpr& e);
   uint32_t AddConst(Value v);
   Status Run(ExecContext* ctx, const Row& row, const Value** top);
+  /// Classifies the finished program for EvalBoolBatch's fast paths.
+  void ClassifyForBatch();
+
+  /// Batch fast-path shapes detected at compile time.
+  enum class BatchKind : uint8_t {
+    kGeneric,   // Loop Run() (or the interpreter) per row.
+    kAlwaysOn,  // Constant-true program (empty predicate list).
+    kColConst,  // row[a] cmp consts_[b]
+    kColCol,    // row[a] cmp row[b]
+  };
 
   bool compiled_ = false;
+  BatchKind batch_kind_ = BatchKind::kGeneric;
   const BoundExpr* fallback_expr_ = nullptr;
   const std::vector<const BoundExpr*>* fallback_preds_ = nullptr;
   std::vector<Step> steps_;

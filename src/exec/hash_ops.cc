@@ -1,0 +1,267 @@
+#include "exec/hash_ops.h"
+
+#include <cstring>
+#include <functional>
+
+namespace systemr {
+
+size_t HashValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      // NULL keys are skipped by both operators; the constant only matters
+      // for multi-column group keys containing NULL.
+      return 0x9e3779b97f4a7c15ull;
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Hash the numeric value so Int(1) and Real(1.0) — equal under
+      // Value::Compare — land in the same bucket. Every int64 the engine
+      // produces from storage fits a double's exact range in practice;
+      // collisions from rounding are resolved by the Compare verification.
+      double d = v.AsNumber();
+      if (d == 0.0) d = 0.0;  // Normalize -0.0 to +0.0 (they compare equal).
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return std::hash<uint64_t>{}(bits);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(v.AsStr());
+  }
+  return 0;
+}
+
+HashJoinOp::HashJoinOp(ExecContext* ctx, const BoundQueryBlock* block,
+                       const PlanNode* node, std::unique_ptr<Operator> outer,
+                       std::unique_ptr<Operator> build)
+    : ctx_(ctx),
+      block_(block),
+      node_(node),
+      outer_(std::move(outer)),
+      build_(std::move(build)),
+      probe_offset_(node->merge_outer_offset),
+      build_offset_(node->merge_inner_offset),
+      inner_offset_(node->inner_offset),
+      inner_width_(node->inner_width) {
+  residual_.CompilePreds(&node->residual);
+}
+
+Status HashJoinOp::BuildTable() {
+  build_rows_.clear();
+  table_.clear();
+  RowBatch batch;
+  bool has = true;
+  while (true) {
+    RETURN_IF_ERROR(ctx_->CheckInterrupts());
+    RETURN_IF_ERROR(build_->NextBatch(&batch, &has));
+    if (!has) break;
+    for (uint32_t idx : batch.sel) {
+      const Row& r = batch.rows[idx];
+      const Value& key = r[build_offset_];
+      if (key.is_null()) continue;  // NULL keys never join.
+      uint32_t slot = static_cast<uint32_t>(build_rows_.size());
+      build_rows_.emplace_back(r.begin() + inner_offset_,
+                               r.begin() + inner_offset_ + inner_width_);
+      table_[HashValue(key)].push_back(slot);
+      ++ctx_->batch_counters().hash_build_rows;
+    }
+  }
+  return Status::OK();
+}
+
+void HashJoinOp::ResetProbeState() {
+  outer_batch_.Clear();
+  sel_pos_ = 0;
+  matches_ = nullptr;
+  match_pos_ = 0;
+  outer_done_ = false;
+  drain_.Clear();
+  drain_pos_ = 0;
+  drain_done_ = false;
+}
+
+Status HashJoinOp::Open() {
+  RETURN_IF_ERROR(outer_->Open());
+  RETURN_IF_ERROR(build_->Open());
+  RETURN_IF_ERROR(BuildTable());
+  ResetProbeState();
+  return Status::OK();
+}
+
+Status HashJoinOp::Rebind(const Row* outer) {
+  RETURN_IF_ERROR(outer_->Rebind(outer));
+  RETURN_IF_ERROR(build_->Rebind(outer));
+  RETURN_IF_ERROR(BuildTable());
+  ResetProbeState();
+  return Status::OK();
+}
+
+Status HashJoinOp::NextBatch(RowBatch* out, bool* has_batch) {
+  out->Clear();
+  out->EnsureCapacity();
+  while (out->filled < kBatchRows) {
+    if (matches_ != nullptr) {
+      if (match_pos_ >= matches_->size()) {
+        matches_ = nullptr;
+        ++sel_pos_;
+        continue;
+      }
+      RETURN_IF_ERROR(ctx_->CheckInterrupts());
+      const Row& orow = outer_batch_.rows[outer_batch_.sel[sel_pos_]];
+      const std::vector<Value>& slice = build_rows_[(*matches_)[match_pos_++]];
+      // Bucket verification: hash collisions resolve here.
+      if (orow[probe_offset_].Compare(slice[build_offset_ - inner_offset_]) !=
+          0) {
+        continue;
+      }
+      Row& dst = out->rows[out->filled];
+      dst = orow;  // Composite: outer columns, then overwrite inner slice.
+      for (size_t j = 0; j < inner_width_; ++j) {
+        dst[inner_offset_ + j] = slice[j];
+      }
+      ++out->filled;
+      continue;
+    }
+    if (sel_pos_ >= outer_batch_.sel.size()) {
+      if (outer_done_) break;
+      bool has = false;
+      RETURN_IF_ERROR(outer_->NextBatch(&outer_batch_, &has));
+      if (!has) {
+        outer_done_ = true;
+        break;
+      }
+      sel_pos_ = 0;
+      ctx_->batch_counters().hash_probe_rows += outer_batch_.sel.size();
+      continue;
+    }
+    const Value& key = outer_batch_.rows[outer_batch_.sel[sel_pos_]]
+                                        [probe_offset_];
+    if (!key.is_null()) {
+      auto it = table_.find(HashValue(key));
+      if (it != table_.end()) {
+        matches_ = &it->second;
+        match_pos_ = 0;
+        continue;
+      }
+    }
+    ++sel_pos_;
+  }
+  out->SelectAll();
+  RETURN_IF_ERROR(residual_.EvalBoolBatch(ctx_, out->rows, &out->sel));
+  ExecContext::BatchCounters& bc = ctx_->batch_counters();
+  ++bc.batches;
+  bc.batch_rows_in += out->filled;
+  bc.batch_rows_out += out->sel.size();
+  *has_batch = out->filled > 0;
+  return Status::OK();
+}
+
+Status HashJoinOp::Next(Row* out, bool* has_row) {
+  while (drain_pos_ >= drain_.sel.size()) {
+    if (drain_done_) {
+      *has_row = false;
+      return Status::OK();
+    }
+    bool has = false;
+    RETURN_IF_ERROR(NextBatch(&drain_, &has));
+    if (!has) {
+      drain_done_ = true;
+      *has_row = false;
+      return Status::OK();
+    }
+    drain_pos_ = 0;
+  }
+  *out = drain_.rows[drain_.sel[drain_pos_++]];
+  *has_row = true;
+  return Status::OK();
+}
+
+HashGroupByOp::HashGroupByOp(ExecContext* ctx, const BoundQueryBlock* block,
+                             const PlanNode* node,
+                             std::unique_ptr<Operator> child)
+    : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {
+  funcs_.Compile(node_);
+}
+
+size_t HashGroupByOp::HashGroupKey(const Row& row) const {
+  size_t h = 14695981039346656037ull;
+  for (size_t off : node_->group_offsets) {
+    h = (h ^ HashValue(row[off])) * 1099511628211ull;
+  }
+  return h;
+}
+
+bool HashGroupByOp::SameGroup(const Row& a, const Row& b) const {
+  for (size_t off : node_->group_offsets) {
+    if (a[off].Compare(b[off]) != 0) return false;
+  }
+  return true;
+}
+
+Status HashGroupByOp::BuildGroups() {
+  groups_.clear();
+  index_.clear();
+  bool has = true;
+  while (true) {
+    RETURN_IF_ERROR(ctx_->CheckInterrupts());
+    RETURN_IF_ERROR(child_->NextBatch(&in_batch_, &has));
+    if (!has) break;
+    for (uint32_t idx : in_batch_.sel) {
+      const Row& r = in_batch_.rows[idx];
+      std::vector<uint32_t>& bucket = index_[HashGroupKey(r)];
+      Group* g = nullptr;
+      for (uint32_t gi : bucket) {
+        if (SameGroup(groups_[gi].rep, r)) {
+          g = &groups_[gi];
+          break;
+        }
+      }
+      if (g == nullptr) {
+        bucket.push_back(static_cast<uint32_t>(groups_.size()));
+        groups_.emplace_back();
+        g = &groups_.back();
+        g->rep = r;
+        funcs_.ResetStates(&g->states);
+      }
+      RETURN_IF_ERROR(funcs_.Accept(ctx_, r, &g->states));
+    }
+  }
+  if (groups_.empty() && node_->group_offsets.empty()) {
+    // Scalar aggregate over an empty input still yields one row
+    // (COUNT = 0, others NULL) — unless HAVING rejects it. Never planned
+    // today (the optimizer only prices hash aggregation for GROUP BY
+    // blocks), but the operator honors the SQL contract regardless.
+    groups_.emplace_back();
+    groups_.back().rep = Row(block_->row_width);
+    funcs_.ResetStates(&groups_.back().states);
+  }
+  return Status::OK();
+}
+
+Status HashGroupByOp::Open() {
+  RETURN_IF_ERROR(child_->Open());
+  RETURN_IF_ERROR(BuildGroups());
+  emit_idx_ = 0;
+  return Status::OK();
+}
+
+Status HashGroupByOp::Rebind(const Row* outer) {
+  RETURN_IF_ERROR(child_->Rebind(outer));
+  RETURN_IF_ERROR(BuildGroups());
+  emit_idx_ = 0;
+  return Status::OK();
+}
+
+Status HashGroupByOp::Next(Row* out, bool* has_row) {
+  while (emit_idx_ < groups_.size()) {
+    const Group& g = groups_[emit_idx_++];
+    ASSIGN_OR_RETURN(bool keep,
+                     funcs_.HavingPasses(ctx_, node_, g.rep, g.states));
+    if (!keep) continue;
+    RETURN_IF_ERROR(funcs_.EmitSelect(ctx_, node_, g.rep, g.states, out));
+    *has_row = true;
+    return Status::OK();
+  }
+  *has_row = false;
+  return Status::OK();
+}
+
+}  // namespace systemr

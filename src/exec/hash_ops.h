@@ -1,0 +1,120 @@
+// Hash-based join and grouping operators — the unordered counterparts of the
+// merge join and sorted-group aggregation. Both follow the classic
+// build/probe shape: materialize one input into an in-memory hash table,
+// then stream the other side against it batch at a time.
+//
+// Hash keys: Value has no std::hash specialization (and the memcomparable
+// EncodeKey is unsuitable — Int(1) and Real(1.0) compare equal but encode
+// differently), so buckets are keyed by a numeric-coercing hash code and
+// verified with Value::Compare, which already defines cross-type equality.
+#ifndef SYSTEMR_EXEC_HASH_OPS_H_
+#define SYSTEMR_EXEC_HASH_OPS_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "exec/agg_common.h"
+#include "exec/operators.h"
+
+namespace systemr {
+
+/// Hash code consistent with Value::Compare equality: numerics hash their
+/// numeric value (so Int(1) and Real(1.0) collide), strings their bytes.
+size_t HashValue(const Value& v);
+
+/// Equi join via build/probe hash table (PlanKind::kHashJoin). The right
+/// child (the build side, read exactly once) is materialized into a table
+/// keyed on its join column; the left child (the probe side) streams batches
+/// whose rows look up their matches. NULL join keys never match, on either
+/// side. Output order is arbitrary — the optimizer gives hash solutions no
+/// interesting order.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(ExecContext* ctx, const BoundQueryBlock* block,
+             const PlanNode* node, std::unique_ptr<Operator> outer,
+             std::unique_ptr<Operator> build);
+
+  Status Open() override;
+  Status Rebind(const Row* outer) override;
+  Status Next(Row* out, bool* has_row) override;
+  Status NextBatch(RowBatch* out, bool* has_batch) override;
+  void Close() override {
+    outer_->Close();
+    build_->Close();
+  }
+
+ private:
+  /// Drains the build child and fills table_/build_rows_.
+  Status BuildTable();
+  void ResetProbeState();
+
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> build_;
+  ExprProgram residual_;
+
+  size_t probe_offset_ = 0;  // Block-row offset of the outer join column.
+  size_t build_offset_ = 0;  // Block-row offset of the inner join column.
+  size_t inner_offset_ = 0;  // Inner table's slot range in the block row.
+  size_t inner_width_ = 0;
+
+  /// Build-side rows, stored as just the inner table's column slice; the
+  /// hash table maps key hash code -> indices into this vector.
+  std::vector<std::vector<Value>> build_rows_;
+  std::unordered_map<size_t, std::vector<uint32_t>> table_;
+
+  // Probe state, persisted across NextBatch calls mid-outer-batch.
+  RowBatch outer_batch_;
+  size_t sel_pos_ = 0;  // Position in outer_batch_.sel.
+  const std::vector<uint32_t>* matches_ = nullptr;  // Current row's bucket.
+  size_t match_pos_ = 0;
+  bool outer_done_ = false;
+
+  // Tuple-at-a-time bridge: Next() drains an internal batch.
+  RowBatch drain_;
+  size_t drain_pos_ = 0;
+  bool drain_done_ = false;
+};
+
+/// Grouped aggregation over unordered input (PlanKind::kHashAggregate):
+/// consumes the whole child on Open, accumulating one AggState vector per
+/// distinct grouping-key combination, then emits groups in first-seen order
+/// (deterministic for the differential harness) applying HAVING.
+class HashGroupByOp : public Operator {
+ public:
+  HashGroupByOp(ExecContext* ctx, const BoundQueryBlock* block,
+                const PlanNode* node, std::unique_ptr<Operator> child);
+
+  Status Open() override;
+  Status Rebind(const Row* outer) override;
+  Status Next(Row* out, bool* has_row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct Group {
+    Row rep;  // First row seen for the group (grouping columns live here).
+    std::vector<AggState> states;
+  };
+
+  /// Drains the child and builds groups_/index_.
+  Status BuildGroups();
+  size_t HashGroupKey(const Row& row) const;
+  bool SameGroup(const Row& a, const Row& b) const;
+
+  ExecContext* ctx_;
+  const BoundQueryBlock* block_;
+  const PlanNode* node_;
+  std::unique_ptr<Operator> child_;
+  AggFunctionSet funcs_;
+
+  std::vector<Group> groups_;  // First-seen order.
+  std::unordered_map<size_t, std::vector<uint32_t>> index_;
+  RowBatch in_batch_;
+  size_t emit_idx_ = 0;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_HASH_OPS_H_

@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "exec/batch.h"
 #include "exec/exec_context.h"
 #include "exec/expr_eval.h"
 #include "exec/expr_program.h"
@@ -33,6 +34,13 @@ class Operator {
   virtual Status Rebind(const Row* outer) = 0;
   /// Produces the next row. Sets *has_row=false at end of stream.
   virtual Status Next(Row* out, bool* has_row) = 0;
+  /// Produces the next batch of rows. Sets *has_batch=false at end of
+  /// stream; a true *has_batch with an empty selection vector is legal (all
+  /// rows of the block were filtered out) — callers must keep pulling until
+  /// *has_batch is false. The base implementation bridges to Next(), so
+  /// tuple-only operators compose with batch-native consumers; a tree must
+  /// be driven either all-tuple or all-batch, never both interleaved.
+  virtual Status NextBatch(RowBatch* out, bool* has_batch);
   virtual void Close() {}
 };
 
@@ -55,6 +63,10 @@ class ScanOp : public Operator {
   Status Open() override;
   Status Rebind(const Row* outer) override;
   Status Next(Row* out, bool* has_row) override;
+  /// Batch-native scan: decodes a page's worth of tuples per RSI call via
+  /// RsiScan::NextBatch, then evaluates the residual over the whole block
+  /// with one selection-vector pass.
+  Status NextBatch(RowBatch* out, bool* has_batch) override;
 
   /// TID of the most recently returned tuple (for DML).
   Tid last_tid() const { return last_tid_; }
@@ -73,6 +85,8 @@ class ScanOp : public Operator {
   size_t offset_ = 0;        // Block-row offset of this table's slice.
   size_t static_sargs_ = 0;  // Dynamic SARGs start at this index.
   Row base_;                 // Scratch tuple the RSI scan decodes into.
+  std::vector<Row> rsi_rows_;  // Batch decode buffers, reused across calls.
+  std::vector<Tid> rsi_tids_;
   Tid last_tid_;
 };
 
@@ -87,6 +101,8 @@ class FilterOp : public Operator {
   Status Open() override { return child_->Open(); }
   Status Rebind(const Row* outer) override { return child_->Rebind(outer); }
   Status Next(Row* out, bool* has_row) override;
+  /// Refines the child batch's selection vector in place — no row copies.
+  Status NextBatch(RowBatch* out, bool* has_batch) override;
   void Close() override { child_->Close(); }
 
  private:
@@ -105,6 +121,8 @@ class ProjectOp : public Operator {
   Status Open() override { return child_->Open(); }
   Status Rebind(const Row* outer) override { return child_->Rebind(outer); }
   Status Next(Row* out, bool* has_row) override;
+  /// Evaluates the select items only over the child's surviving rows.
+  Status NextBatch(RowBatch* out, bool* has_batch) override;
   void Close() override { child_->Close(); }
 
  private:
@@ -113,7 +131,8 @@ class ProjectOp : public Operator {
   const PlanNode* node_;
   std::unique_ptr<Operator> child_;
   std::vector<ExprProgram> items_;
-  Row in_;  // Reusable block-width input buffer.
+  Row in_;            // Reusable block-width input buffer.
+  RowBatch in_batch_;  // Reusable batch input buffer.
 };
 
 }  // namespace systemr

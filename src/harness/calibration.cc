@@ -28,12 +28,14 @@ PlanIo Walk(const PlanNode& node, double w) {
       double n = node.left != nullptr ? std::max(1.0, node.left->est_rows) : 1;
       return {outer.pages + n * inner.pages, outer.rsi + n * inner.rsi};
     }
-    case PlanKind::kMergeJoin: {
+    case PlanKind::kMergeJoin:
+    case PlanKind::kHashJoin: {
       PlanIo io = Walk(*node.left, w);
       PlanIo inner = Walk(*node.right, w);
       io.pages += inner.pages;
       io.rsi += inner.rsi;
-      // Residual merge cost (repeat scans of matching groups): RSI work.
+      // Residual merge cost (repeat scans of matching groups) / hash
+      // build+probe work: attributed to the RSI component.
       double delta = node.est_cost - ChildrenCost(node);
       if (delta > 0 && w > 0) io.rsi += delta / w;
       return io;
@@ -49,7 +51,8 @@ PlanIo Walk(const PlanNode& node, double w) {
     }
     case PlanKind::kFilter:
     case PlanKind::kProject:
-    case PlanKind::kAggregate: {
+    case PlanKind::kAggregate:
+    case PlanKind::kHashAggregate: {
       // Pure evaluation work (plus, for filters, any nested subquery plans
       // folded into est_cost): attributed to the RSI component.
       PlanIo io = node.left != nullptr ? Walk(*node.left, w) : PlanIo{};
@@ -119,9 +122,16 @@ Status WriteFuzzReport(const FuzzReport& report, const std::string& path) {
   }
 
   uint64_t total_gets = 0, total_hits = 0;
+  uint64_t total_batches = 0, total_batch_in = 0, total_batch_out = 0;
+  uint64_t total_hash_build = 0, total_hash_probe = 0;
   for (const CalibrationRecord& r : report.records) {
     total_gets += r.buffer_gets;
     total_hits += r.buffer_hits;
+    total_batches += r.batches;
+    total_batch_in += r.batch_rows_in;
+    total_batch_out += r.batch_rows_out;
+    total_hash_build += r.hash_build_rows;
+    total_hash_probe += r.hash_probe_rows;
   }
 
   std::string out = "{\n";
@@ -135,6 +145,19 @@ Status WriteFuzzReport(const FuzzReport& report, const std::string& path) {
                  ? static_cast<double>(total_hits) / total_gets
                  : 0) +
          "\n";
+  out += "  },\n";
+  out += "  \"batch\": {\n";
+  out += "    \"batches\": " + std::to_string(total_batches) + ",\n";
+  out += "    \"rows_in\": " + std::to_string(total_batch_in) + ",\n";
+  out += "    \"rows_out\": " + std::to_string(total_batch_out) + ",\n";
+  out += "    \"selection_density\": " +
+         Num(total_batch_in > 0
+                 ? static_cast<double>(total_batch_out) / total_batch_in
+                 : 1.0) +
+         ",\n";
+  out += "    \"hash_build_rows\": " + std::to_string(total_hash_build) +
+         ",\n";
+  out += "    \"hash_probe_rows\": " + std::to_string(total_hash_probe) + "\n";
   out += "  },\n";
   out += "  \"faults\": {\n";
   out += "    \"queries\": " + std::to_string(report.fault_queries) + ",\n";
@@ -181,6 +204,11 @@ Status WriteFuzzReport(const FuzzReport& report, const std::string& path) {
     out += ", \"actual_rows\": " + std::to_string(r.actual_rows);
     out += ", \"buffer_gets\": " + std::to_string(r.buffer_gets);
     out += ", \"buffer_hits\": " + std::to_string(r.buffer_hits);
+    out += ", \"batches\": " + std::to_string(r.batches);
+    out += ", \"batch_rows_in\": " + std::to_string(r.batch_rows_in);
+    out += ", \"batch_rows_out\": " + std::to_string(r.batch_rows_out);
+    out += ", \"hash_build_rows\": " + std::to_string(r.hash_build_rows);
+    out += ", \"hash_probe_rows\": " + std::to_string(r.hash_probe_rows);
     out += ", \"page_fetch_ratio\": " +
            Num(r.actual_pages > 0 ? r.est_pages / r.actual_pages
                                   : r.est_pages);

@@ -149,6 +149,8 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
                              " oracle=schema-build " + built.message());
     return out;
   }
+  db.options().join.force = options.force;
+  twin.options().join.force = options.force;
 
   RefExecutor ref(&db.rss().store(), RelPageMap(&db));
   FuzzQueryGen gen(schema, seed ^ 0x9e3779b97f4a7c15ULL);
@@ -220,6 +222,11 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
       rec.actual_rows = dp->rows.size();
       rec.buffer_gets = dp->stats.buffer_gets;
       rec.buffer_hits = dp->stats.buffer_hits;
+      rec.batches = dp->stats.batches;
+      rec.batch_rows_in = dp->stats.batch_rows_in;
+      rec.batch_rows_out = dp->stats.batch_rows_out;
+      rec.hash_build_rows = dp->stats.hash_build_rows;
+      rec.hash_probe_rows = dp->stats.hash_probe_rows;
       report->records.push_back(std::move(rec));
     }
 
@@ -284,7 +291,8 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
 }
 
 SeedResult RunConcurrentFuzzSeed(uint64_t seed, int threads,
-                                 int queries_per_thread) {
+                                 int queries_per_thread,
+                                 JoinMethodForce force) {
   SeedResult out;
   out.seed = seed;
 
@@ -297,6 +305,7 @@ SeedResult RunConcurrentFuzzSeed(uint64_t seed, int threads,
                              " oracle=schema-build " + built.message());
     return out;
   }
+  db.options().join.force = force;
 
   // One shared plan cache: identical statements generated by different
   // threads compile once and execute everywhere, so plan sharing itself is

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "harness/calibration.h"
+#include "optimizer/join_enumerator.h"
 #include "rss/fault_injector.h"
 
 namespace systemr {
@@ -33,6 +34,12 @@ struct FuzzOptions {
   bool check_baselines = true;   // Differential vs. every BaselineKind.
   bool metamorphic = true;       // Shuffle / W-variation / index-drop.
   bool record_calibration = true;
+
+  /// Join-method override applied to the engine (and the index-less twin)
+  /// before planning: targeted differential coverage of one join operator
+  /// (e.g. kHash runs every multi-table query through the hash join wherever
+  /// an equi predicate allows). The reference executor is unaffected.
+  JoinMethodForce force = JoinMethodForce::kAuto;
 
   /// Fault mode: replaces the clean-run oracles with the crash-free error
   /// propagation oracle described above. Only deterministic limits (page
@@ -65,8 +72,9 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
 /// so this catches cross-statement races the single-threaded oracles
 /// cannot: torn buffer-pool state, catalog lookups under contention, plan
 /// sharing through the session plan cache.
-SeedResult RunConcurrentFuzzSeed(uint64_t seed, int threads,
-                                 int queries_per_thread);
+SeedResult RunConcurrentFuzzSeed(
+    uint64_t seed, int threads, int queries_per_thread,
+    JoinMethodForce force = JoinMethodForce::kAuto);
 
 }  // namespace systemr
 

@@ -131,6 +131,24 @@ double CostModel::SortedInnerPerProbe(double temppages, double n_outer,
   return temppages / n + params_.w * rsicard_group;
 }
 
+double CostModel::HashJoinCost(double c_outer, double c_inner_total,
+                               double n_outer, double n_inner, double n_out,
+                               double build_temppages) const {
+  double cost = c_outer + c_inner_total +
+                params_.w * (n_inner + n_outer + std::max(n_out, 0.0));
+  if (build_temppages > static_cast<double>(params_.buffer_pages)) {
+    // Grace-hash approximation: partitions are written out once and read
+    // back once when the build side does not fit in memory.
+    cost += 2.0 * build_temppages;
+  }
+  return cost;
+}
+
+double CostModel::HashAggregateCost(double input_cost, double rows,
+                                    double groups) const {
+  return input_cost + params_.w * (std::max(rows, 0.0) + std::max(groups, 1.0));
+}
+
 double CostModel::TupleBytes(const TableInfo& table) {
   if (table.has_stats && table.ncard > 0 && table.tcard > 0) {
     return static_cast<double>(table.tcard) * kPageSize /

@@ -81,6 +81,21 @@ class CostModel {
   double SortedInnerPerProbe(double temppages, double n_outer,
                              double rsicard_group) const;
 
+  /// Hash join, a third method beyond the paper's two: the inner is read
+  /// once (`c_inner_total`) and built into an in-memory table (W per insert),
+  /// then each outer row probes at CPU cost (W per probe, W per emitted
+  /// match). When the build exceeds the buffer pool the partitions spill —
+  /// one extra write + read of the build's temp pages. Produces no order.
+  ///   C-hash = C-outer + C-inner + W*(N-inner + N-outer + N-out) [+ spill]
+  double HashJoinCost(double c_outer, double c_inner_total, double n_outer,
+                      double n_inner, double n_out,
+                      double build_temppages) const;
+
+  /// Hash aggregation: one pass over an unordered input, W per input row
+  /// hashed into its group plus W per group emitted — no sort required.
+  double HashAggregateCost(double input_cost, double rows,
+                           double groups) const;
+
   /// C-sort(path): cost of reading the input via `input_cost`, forming and
   /// merging runs, and writing the temporary list. `rows` tuples of
   /// `bytes_per_row` bytes.

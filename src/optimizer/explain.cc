@@ -1,6 +1,9 @@
 #include "optimizer/explain.h"
 
+#include <cmath>
 #include <sstream>
+
+#include "exec/batch.h"
 
 namespace systemr {
 
@@ -32,12 +35,19 @@ void ExplainNode(const PlanRef& node, const BoundQueryBlock& block, int depth,
     }
     case PlanKind::kMergeJoin:
       os << " on #" << node->merge_outer_offset << " = #"
-         << node->merge_inner_offset;
+         << node->merge_inner_offset << " method=merge";
+      break;
+    case PlanKind::kHashJoin:
+      os << " on #" << node->merge_outer_offset << " = #"
+         << node->merge_inner_offset << " method=hash";
       break;
     case PlanKind::kNestedLoopJoin:
+      os << " method=nested-loop";
+      break;
     case PlanKind::kFilter:
     case PlanKind::kProject:
     case PlanKind::kAggregate:
+    case PlanKind::kHashAggregate:
       break;
   }
   if (!node->residual.empty()) {
@@ -49,6 +59,10 @@ void ExplainNode(const PlanRef& node, const BoundQueryBlock& block, int depth,
     os << ")";
   }
   os << "  [cost=" << node->est_cost << " rows=" << node->est_rows;
+  // Batch-model row count: how many kBatchRows-sized batches the vectorized
+  // executor would move through this node for the estimated cardinality.
+  os << " batches=" << std::max(
+      1.0, std::ceil(node->est_rows / static_cast<double>(kBatchRows)));
   if (!node->order.empty()) os << " order=" << OrderSpecToString(node->order);
   os << "]";
   os << "\n";

@@ -192,12 +192,35 @@ Status JoinEnumerator::Run() {
       ++subsets_expanded_;
       for (size_t t = 0; t < n; ++t) {
         if (!Eligible(mask, static_cast<int>(t))) continue;
-        if (options_.enable_nested_loop) {
-          ExtendNestedLoop(mask, static_cast<int>(t));
+        bool nl = options_.enable_nested_loop;
+        bool mj = options_.enable_merge_join;
+        bool hj = options_.enable_hash_join;
+        if (options_.force != JoinMethodForce::kAuto) {
+          // A forced method only applies where an equi predicate makes it
+          // possible; elsewhere nested loop keeps the enumeration complete.
+          bool equi = HasEquiJoinWith(mask, static_cast<int>(t));
+          switch (options_.force) {
+            case JoinMethodForce::kAuto:
+              break;
+            case JoinMethodForce::kNestedLoop:
+              mj = hj = false;
+              nl = true;
+              break;
+            case JoinMethodForce::kMerge:
+              hj = false;
+              nl = !equi;
+              mj = true;
+              break;
+            case JoinMethodForce::kHash:
+              mj = false;
+              nl = !equi;
+              hj = true;
+              break;
+          }
         }
-        if (options_.enable_merge_join) {
-          ExtendMerge(mask, static_cast<int>(t));
-        }
+        if (nl) ExtendNestedLoop(mask, static_cast<int>(t));
+        if (mj) ExtendMerge(mask, static_cast<int>(t));
+        if (hj) ExtendHash(mask, static_cast<int>(t));
       }
     }
   }
@@ -379,6 +402,80 @@ void JoinEnumerator::ExtendMerge(uint32_t mask, int t) {
           AddSolution(combined, std::move(s));
         }
       }
+    }
+  }
+}
+
+bool JoinEnumerator::HasEquiJoinWith(uint32_t mask, int t) const {
+  for (const BooleanFactor& f : *ctx_.factors) {
+    if (!f.join.has_value() || !f.join->is_equi()) continue;
+    const JoinPredInfo& j = *f.join;
+    if ((j.t1 == t && ((mask >> j.t2) & 1)) ||
+        (j.t2 == t && ((mask >> j.t1) & 1))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void JoinEnumerator::ExtendHash(uint32_t mask, int t) {
+  const BoundQueryBlock& block = *ctx_.block;
+  uint32_t combined = mask | (1u << t);
+  double n_outer = std::max(Rows(mask), 1.0);
+  double n_inner = std::max(Rows(1u << t), 1.0);
+
+  // The build side is read exactly once with only its local predicates, so
+  // the cheapest single-relation path for t is always the right input.
+  auto it = dp_.find(1u << t);
+  if (it == dp_.end() || it->second.empty()) return;
+  const JoinSolution* build = &it->second[0];
+  for (const JoinSolution& s : it->second) {
+    if (s.cost < build->cost) build = &s;
+  }
+  double build_pages = ctx_.cost->TempPages(
+      n_inner, CostModel::TupleBytes(*block.tables[t].table));
+
+  // One hash variant per equi-join predicate linking t to the joined set.
+  for (const BooleanFactor& f : *ctx_.factors) {
+    if (!f.join.has_value() || !f.join->is_equi()) continue;
+    JoinPredInfo j = *f.join;
+    if (j.t1 != t && j.t2 != t) continue;
+    j = j.OrientedFor(t);
+    if (((mask >> j.t2) & 1) == 0) continue;
+
+    size_t outer_off = block.OffsetOf(j.t2, j.c2);
+    size_t inner_off = block.OffsetOf(j.t1, j.c1);
+    std::vector<const BoundExpr*> residual =
+        NewResiduals(mask, t, /*all_simple_joins_handled=*/false, &j);
+    double rows_out = Rows(combined);
+
+    for (const JoinSolution& outer : dp_[mask]) {
+      JoinSolution s;
+      s.mask = combined;
+      s.cost = ctx_.cost->HashJoinCost(outer.cost, build->cost, n_outer,
+                                       n_inner, rows_out, build_pages);
+      s.rows = rows_out;
+      // Hash join delivers no interesting order: rows come out in probe
+      // order, but the optimizer must not rely on it (§5's order bookkeeping
+      // treats the hash output as unordered).
+      s.order = {};
+
+      auto node = NewPlanNode(PlanKind::kHashJoin);
+      node->left = outer.plan;
+      node->right = build->plan;
+      node->inner_offset = block.tables[t].offset;
+      node->inner_width = block.tables[t].table->schema.num_columns();
+      node->merge_outer_offset = outer_off;
+      node->merge_inner_offset = inner_off;
+      node->residual = residual;
+      node->est_cost = s.cost;
+      node->est_rows = s.rows;
+      node->order = s.order;
+      node->label = "HJ(" + outer.describe + " = build " + build->describe +
+                    ")";
+      s.plan = node;
+      s.describe = node->label;
+      AddSolution(combined, std::move(s));
     }
   }
 }

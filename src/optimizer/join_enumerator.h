@@ -17,6 +17,12 @@
 
 namespace systemr {
 
+/// Forced join-method override (fuzz_driver --join-method). kAuto is the
+/// normal cost-based competition; a specific method restricts the DP extend
+/// step to that method wherever an equi predicate allows it, falling back to
+/// nested loop elsewhere so the enumeration stays complete.
+enum class JoinMethodForce { kAuto, kNestedLoop, kMerge, kHash };
+
 struct JoinSolution {
   uint32_t mask = 0;
   double cost = 0;
@@ -37,6 +43,10 @@ class JoinEnumerator {
     bool use_interesting_orders = true;
     bool enable_merge_join = true;
     bool enable_nested_loop = true;
+    /// Hash join as a third method (and hash aggregation above the join):
+    /// off reverts to the paper's two-method §5 enumeration (ablation).
+    bool enable_hash_join = true;
+    JoinMethodForce force = JoinMethodForce::kAuto;
   };
 
   JoinEnumerator(const PlannerContext& ctx, Options options)
@@ -76,6 +86,12 @@ class JoinEnumerator {
 
   void ExtendNestedLoop(uint32_t mask, int t);
   void ExtendMerge(uint32_t mask, int t);
+  void ExtendHash(uint32_t mask, int t);
+
+  /// True when some equi-join predicate links `t` to the joined set — the
+  /// precondition for merge and hash variants (and for honoring a forced
+  /// method without losing DP completeness).
+  bool HasEquiJoinWith(uint32_t mask, int t) const;
 
   /// Residual predicates newly applicable when `t` joins `mask`, excluding
   /// the simple join predicates already handled (`skip_joins` = true skips

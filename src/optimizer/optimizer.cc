@@ -45,7 +45,7 @@ Status Optimizer::PlanSubqueriesIn(const BoundExpr& e,
 StatusOr<Optimizer::BlockPlan> Optimizer::FinishBlockPlan(
     const BoundQueryBlock& block, PlanRef join_root, double join_cost,
     double join_rows, OrderSpec join_order, const OrderSpec& pre_agg_required,
-    SubplanMap* subplans) const {
+    SubplanMap* subplans, bool use_hash_aggregate) const {
   CostModel cost_model(options_.cost);
   SelectivityEstimator sel(catalog_, &block);
   std::vector<BooleanFactor> factors = ExtractBooleanFactors(block);
@@ -89,9 +89,11 @@ StatusOr<Optimizer::BlockPlan> Optimizer::FinishBlockPlan(
   }
 
   if (block.has_aggregates) {
-    // Input is already ordered by the GROUP BY columns (pre_agg_required was
-    // the group order), so sorted-group aggregation applies directly.
-    auto agg = NewPlanNode(PlanKind::kAggregate);
+    // Sorted-group aggregation expects input already ordered by the GROUP BY
+    // columns (pre_agg_required was the group order); hash aggregation takes
+    // the input unordered and builds a group table instead.
+    auto agg = NewPlanNode(use_hash_aggregate ? PlanKind::kHashAggregate
+                                              : PlanKind::kAggregate);
     agg->left = plan;
     for (const BoundOrderItem& g : block.group_by) {
       agg->group_offsets.push_back(block.OffsetOf(g.table_idx, g.column));
@@ -109,9 +111,12 @@ StatusOr<Optimizer::BlockPlan> Optimizer::FinishBlockPlan(
       groups = std::max(1.0, rows / 10.0);
     }
     agg->est_rows = groups;
-    agg->est_cost = est_cost + options_.cost.w * rows;
-    agg->label = block.group_by.empty() ? "scalar aggregate"
-                                        : "grouped aggregate";
+    agg->est_cost = use_hash_aggregate
+                        ? cost_model.HashAggregateCost(est_cost, rows, groups)
+                        : est_cost + options_.cost.w * rows;
+    agg->label = use_hash_aggregate ? "hash aggregate"
+                : block.group_by.empty() ? "scalar aggregate"
+                                          : "grouped aggregate";
     plan = agg;
     rows = groups;
     est_cost = agg->est_cost;
@@ -140,8 +145,9 @@ StatusOr<Optimizer::BlockPlan> Optimizer::FinishBlockPlan(
         }
         out_keys.push_back(SortKey{static_cast<size_t>(position), o.asc});
         // If ORDER BY is a prefix of GROUP BY (same columns, ascending), the
-        // grouped output is already ordered.
-        if (i >= block.group_by.size() || !o.asc ||
+        // grouped output is already ordered — but only for sorted-group
+        // aggregation; hash-aggregate output carries no order at all.
+        if (use_hash_aggregate || i >= block.group_by.size() || !o.asc ||
             block.group_by[i].table_idx != o.table_idx ||
             block.group_by[i].column != o.column) {
           needed = true;
@@ -263,6 +269,32 @@ StatusOr<Optimizer::BlockPlan> Optimizer::PlanBlock(
   OrderSpec required = RequiredOrder(block, &classes, &sort_keys);
   ASSIGN_OR_RETURN(JoinSolution sol, enumerator.Best(required, sort_keys));
 
+  // Grouped aggregation has a second strategy: hash-aggregate over the
+  // cheapest *unordered* join solution, trading the GROUP BY sort for W per
+  // row hashed (plus a re-sort of the small grouped output if ORDER BY asks
+  // for one). When a cheap access path delivers the group order anyway, the
+  // sorted-group plan wins because it skips the per-row hashing charge.
+  bool use_hash_agg = false;
+  bool hash_allowed = options_.join.enable_hash_join &&
+                      options_.join.force != JoinMethodForce::kNestedLoop &&
+                      options_.join.force != JoinMethodForce::kMerge;
+  if (block.has_aggregates && !block.group_by.empty() && hash_allowed) {
+    ASSIGN_OR_RETURN(JoinSolution unordered, enumerator.Best({}, {}));
+    double rows = std::max(unordered.rows, 0.0);
+    double groups = std::max(1.0, rows / 10.0);
+    double sorted_total = sol.cost + options_.cost.w * rows;
+    double hash_total = cost_model.HashAggregateCost(unordered.cost, rows,
+                                                     groups);
+    if (!block.order_by.empty()) {
+      hash_total += cost_model.SortCost(0, groups, 32.0);
+    }
+    if (options_.join.force == JoinMethodForce::kHash ||
+        hash_total < sorted_total) {
+      use_hash_agg = true;
+      sol = unordered;
+    }
+  }
+
   if (stats_sink != nullptr) {
     stats_sink->solutions_stored = enumerator.solutions_stored();
     stats_sink->solutions_generated = enumerator.solutions_generated();
@@ -270,7 +302,7 @@ StatusOr<Optimizer::BlockPlan> Optimizer::PlanBlock(
   }
 
   return FinishBlockPlan(block, sol.plan, sol.cost, sol.rows, sol.order,
-                         required, subplans);
+                         required, subplans, use_hash_agg);
 }
 
 StatusOr<OptimizedQuery> Optimizer::Optimize(

@@ -64,11 +64,17 @@ class Optimizer {
   /// (subquery/correlated predicates), aggregation, output ORDER BY sort,
   /// projection. Used by the DP optimizer and by the baselines, so all
   /// strategies produce directly comparable full plans.
+  ///
+  /// `use_hash_aggregate` switches the aggregation node to kHashAggregate
+  /// over unordered input; the join phase then need not deliver the GROUP BY
+  /// order, but any ORDER BY must be re-established by an output sort. The
+  /// baselines never set it (they always sort to the required order first).
   StatusOr<BlockPlan> FinishBlockPlan(const BoundQueryBlock& block,
                                       PlanRef join_root, double join_cost,
                                       double join_rows, OrderSpec join_order,
                                       const OrderSpec& pre_agg_required,
-                                      SubplanMap* subplans) const;
+                                      SubplanMap* subplans,
+                                      bool use_hash_aggregate = false) const;
 
   /// Recursively plans every nested query block inside `e` into `subplans`
   /// (used for SELECT filters and for DML WHERE clauses).

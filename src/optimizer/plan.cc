@@ -20,12 +20,16 @@ std::string PlanKindName(PlanKind kind) {
       return "NestedLoopJoin";
     case PlanKind::kMergeJoin:
       return "MergeJoin";
+    case PlanKind::kHashJoin:
+      return "HashJoin";
     case PlanKind::kFilter:
       return "Filter";
     case PlanKind::kProject:
       return "Project";
     case PlanKind::kAggregate:
       return "Aggregate";
+    case PlanKind::kHashAggregate:
+      return "HashAggregate";
   }
   return "?";
 }

@@ -34,9 +34,11 @@ enum class PlanKind {
   kSort,           // Sorts child rows by sort_keys.
   kNestedLoopJoin, // left = outer composite, right = inner scan.
   kMergeJoin,      // left = outer (ordered), right = inner (ordered).
+  kHashJoin,       // left = outer (probe), right = inner (build); no order.
   kFilter,         // Residual predicates (incl. subquery predicates).
   kProject,        // Evaluates the SELECT list.
   kAggregate,      // Grouped or scalar aggregation; emits projected rows.
+  kHashAggregate,  // Grouped aggregation over unordered input (hash table).
 };
 
 /// One equality bound on an index key column, in key-column order. Exactly
@@ -109,12 +111,13 @@ struct PlanNode {
   /// kSort: drop consecutive rows equal on all sort keys (SELECT DISTINCT).
   bool distinct = false;
 
-  // kNestedLoopJoin / kMergeJoin: the inner table's slot range in the block
-  // row, used to merge inner columns into the composite row.
+  // kNestedLoopJoin / kMergeJoin / kHashJoin: the inner table's slot range in
+  // the block row, used to merge inner columns into the composite row.
   size_t inner_offset = 0;
   size_t inner_width = 0;
 
-  // kMergeJoin: block-row offsets of the outer and inner join columns.
+  // kMergeJoin / kHashJoin: block-row offsets of the outer and inner join
+  // columns (the merge equality / the hash build+probe key).
   size_t merge_outer_offset = 0;
   size_t merge_inner_offset = 0;
 
@@ -124,8 +127,9 @@ struct PlanNode {
   // kProject.
   std::vector<const BoundExpr*> project;
 
-  // kAggregate: grouping keys are block-row offsets; the node evaluates the
-  // whole select list per group (group columns + aggregates).
+  // kAggregate / kHashAggregate: grouping keys are block-row offsets; the
+  // node evaluates the whole select list per group (group columns +
+  // aggregates).
   std::vector<size_t> group_offsets;
   std::vector<const BoundExpr*> agg_select;  // The block's select list.
   const BoundExpr* having = nullptr;         // Group filter (may be null).

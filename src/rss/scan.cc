@@ -67,6 +67,76 @@ Status SegmentScan::Next(Row* row, Tid* tid, bool* has_row) {
   return Status::OK();
 }
 
+Status RsiScan::NextBatch(std::vector<Row>* rows, std::vector<Tid>* tids,
+                          size_t max_rows, size_t* n) {
+  if (rows->size() < max_rows) rows->resize(max_rows);
+  if (tids->size() < max_rows) tids->resize(max_rows);
+  size_t count = 0;
+  while (count < max_rows) {
+    bool has = false;
+    RETURN_IF_ERROR(Next(&(*rows)[count], &(*tids)[count], &has));
+    if (!has) break;
+    ++count;
+  }
+  *n = count;
+  return Status::OK();
+}
+
+Status SegmentScan::NextBatch(std::vector<Row>* rows, std::vector<Tid>* tids,
+                              size_t max_rows, size_t* n) {
+  if (rows->size() < max_rows) rows->resize(max_rows);
+  if (tids->size() < max_rows) tids->resize(max_rows);
+  MeterCounters* meter = CurrentMeter();
+  size_t count = 0;
+  while (!at_end_ && count < max_rows) {
+    PageId pid = segment_->pages()[page_idx_];
+    ASSIGN_OR_RETURN(Page * page, pool_->Fetch(pid));
+    SlottedPage sp(page);
+    if (slot_ == 0 && !sp.ValidateHeader()) {
+      return Status::DataLoss("corrupt slotted page " + std::to_string(pid));
+    }
+    // Decode every remaining slot of this page under the one buffer get
+    // above — the batched scan pays one logical get per page visit where
+    // the tuple-at-a-time path pays one per delivered tuple.
+    while (slot_ < sp.slot_count() && count < max_rows) {
+      uint16_t slot = slot_++;
+      std::string_view record;
+      switch (sp.ReadSlot(slot, &record)) {
+        case SlotState::kEmpty:
+          continue;  // Tombstone.
+        case SlotState::kCorrupt:
+          return Status::DataLoss("corrupt slot directory on page " +
+                                  std::to_string(pid));
+        case SlotState::kLive:
+          break;
+      }
+      RelId rel;
+      if (!DecodeRelId(record, &rel)) {
+        return Status::DataLoss("undecodable record on page " +
+                                std::to_string(pid));
+      }
+      if (rel != relid_) continue;  // Tuple of a co-located relation.
+      Row* row = &(*rows)[count];
+      if (!DecodeTuple(record, &rel, row)) {
+        return Status::DataLoss("undecodable tuple on page " +
+                                std::to_string(pid));
+      }
+      if (!MatchesAll(sargs_, *row)) continue;
+      (*tids)[count] = Tid{pid, slot};
+      counters_->rsi_calls.fetch_add(1, std::memory_order_relaxed);
+      if (meter != nullptr) ++meter->rsi_calls;
+      ++count;
+    }
+    if (slot_ >= sp.slot_count()) {
+      ++page_idx_;
+      slot_ = 0;
+      if (page_idx_ >= segment_->pages().size()) at_end_ = true;
+    }
+  }
+  *n = count;
+  return Status::OK();
+}
+
 Status IndexScan::Open() {
   opened_ = true;
   if (range_.start.has_value()) {

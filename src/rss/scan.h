@@ -57,6 +57,15 @@ class RsiScan {
   /// deleted) is skipped silently.
   virtual Status Next(Row* row, Tid* tid, bool* has_row) = 0;
 
+  /// Batch variant: decodes up to `max_rows` qualifying tuples into
+  /// rows[0..*n) (resizing `rows`/`tids` as needed). The default bridges to
+  /// Next(); SegmentScan overrides it with page-at-a-time decoding, so a
+  /// batched segment scan pays one buffer get per page visited instead of
+  /// one per tuple delivered. RSI-call metering is per delivered tuple
+  /// either way.
+  virtual Status NextBatch(std::vector<Row>* rows, std::vector<Tid>* tids,
+                           size_t max_rows, size_t* n);
+
   /// Mutable view of the scan's SARGs, so dynamically-bound terms (§5 join
   /// SARGs) can be updated in place between re-Opens instead of rebuilding
   /// the scan.
@@ -77,6 +86,8 @@ class SegmentScan : public RsiScan {
 
   Status Open() override;
   Status Next(Row* row, Tid* tid, bool* has_row) override;
+  Status NextBatch(std::vector<Row>* rows, std::vector<Tid>* tids,
+                   size_t max_rows, size_t* n) override;
   SargList* mutable_sargs() override { return &sargs_; }
   void Close() override {}
 

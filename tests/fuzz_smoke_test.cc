@@ -98,6 +98,39 @@ TEST(FuzzSmokeTest, CorrelatedSubqueriesAndMultiwayJoinsMatchReference) {
   }
 }
 
+// Targeted hash-join differential run: 200 seeds with every multi-table
+// query forced through the hash join wherever an equi predicate allows
+// (non-equi joins keep nested loop — forcing must never lose DP
+// completeness). Baselines and metamorphic variants are off: this is pure
+// engine-vs-reference coverage of the hash build/probe paths, including
+// hash aggregation (forced by the same knob for GROUP BY blocks).
+TEST(FuzzSmokeTest, TwoHundredSeedsForcedHashJoinClean) {
+  FuzzOptions options;
+  options.queries_per_seed = 3;
+  options.check_baselines = false;
+  options.metamorphic = false;
+  options.record_calibration = true;
+  options.force = JoinMethodForce::kHash;
+  FuzzReport report;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    SeedResult result = RunFuzzSeed(seed, options, &report);
+    for (const std::string& v : result.violations) {
+      ADD_FAILURE() << v;
+    }
+  }
+  EXPECT_EQ(report.seeds, 200u);
+  EXPECT_EQ(report.queries, 600u);
+  // The forced runs must actually exercise the hash table: across 600
+  // queries at least some joins build and probe.
+  uint64_t build = 0, probe = 0;
+  for (const CalibrationRecord& r : report.records) {
+    build += r.hash_build_rows;
+    probe += r.hash_probe_rows;
+  }
+  EXPECT_GT(build, 0u);
+  EXPECT_GT(probe, 0u);
+}
+
 TEST(FuzzSmokeTest, Deterministic) {
   FuzzOptions options;
   options.queries_per_seed = 3;

@@ -121,8 +121,62 @@ TEST_F(OptimizerTest, Figure1QueryPlans) {
   EXPECT_NE(plan.find("DEPT"), std::string::npos);
   EXPECT_NE(plan.find("JOB"), std::string::npos);
   EXPECT_TRUE(plan.find("NestedLoopJoin") != std::string::npos ||
-              plan.find("MergeJoin") != std::string::npos)
+              plan.find("MergeJoin") != std::string::npos ||
+              plan.find("HashJoin") != std::string::npos)
       << plan;
+}
+
+TEST_F(OptimizerTest, HashJoinWinsWhenNoOrderIsUseful) {
+  // EMP.NAME = DEPT.DNAME: neither join column has an index, so no
+  // interesting order comes for free. Merge join must sort both inputs and
+  // nested loop rescans the inner per outer row; the hash join's single
+  // build pass + W-weighted probes must be the cheapest solution.
+  const std::string sql =
+      "SELECT NAME FROM EMP, DEPT WHERE EMP.NAME = DEPT.DNAME";
+  auto h = Harness::Make(&db_, sql);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  auto best = (*h)->enumerator->Best({}, {});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->plan->kind, PlanKind::kHashJoin) << best->describe;
+
+  auto prepared = db_.Prepare(sql);
+  ASSERT_TRUE(prepared.ok());
+  std::string plan = ExplainPlan(prepared->root, *prepared->block);
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("method=hash"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, MergeJoinStillWinsWhenInterestingOrderPays) {
+  // EMP.DNO = DEPT.DNO with ORDER BY DNO: the clustered EMP_DNO index and
+  // DEPT's DNO index deliver the join order for free AND satisfy the ORDER
+  // BY — a hash join would claim no order and force a sort on top, so the
+  // order-preserving solution must survive (no HashJoin in the final plan).
+  auto prepared = db_.Prepare(
+      "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO "
+      "ORDER BY EMP.DNO");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  std::string plan = ExplainPlan(prepared->root, *prepared->block);
+  EXPECT_EQ(plan.find("HashJoin"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("Sort"), std::string::npos)
+      << "interesting order should eliminate the sort:\n" << plan;
+}
+
+TEST_F(OptimizerTest, ForcedJoinMethodRespectedWhereApplicable) {
+  const std::string sql =
+      "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO";
+  for (auto [force, expect] :
+       {std::pair<JoinMethodForce, PlanKind>{JoinMethodForce::kHash,
+                                             PlanKind::kHashJoin},
+        {JoinMethodForce::kMerge, PlanKind::kMergeJoin},
+        {JoinMethodForce::kNestedLoop, PlanKind::kNestedLoopJoin}}) {
+    JoinEnumerator::Options options;
+    options.force = force;
+    auto h = Harness::Make(&db_, sql, options);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    auto best = (*h)->enumerator->Best({}, {});
+    ASSERT_TRUE(best.ok());
+    EXPECT_EQ(best->plan->kind, expect) << best->describe;
+  }
 }
 
 TEST_F(OptimizerTest, ChosenPlanIsCheapestCompleteSolution) {

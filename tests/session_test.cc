@@ -205,6 +205,50 @@ TEST_F(SessionTest, CreateIndexReoptimizesToIndexScan) {
   EXPECT_LT(r2->stats.rsi_calls, 10u);
 }
 
+TEST_F(SessionTest, HashJoinChosenWithoutUsefulOrderAndInvalidated) {
+  // Two tables joined on a column with no index on either side: no access
+  // path delivers the join order, so merge join pays two sorts and nested
+  // loop pays |outer| inner scans — the hash join must win the §5
+  // enumeration on cost alone.
+  ASSERT_TRUE(db_->Execute("CREATE TABLE BIG1 (K INT, V INT)").ok());
+  ASSERT_TRUE(db_->Execute("CREATE TABLE BIG2 (K INT, V INT)").ok());
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(db_->Execute("INSERT INTO BIG1 VALUES (" + std::to_string(i) +
+                             ", " + std::to_string(i) + ")")
+                    .ok());
+    ASSERT_TRUE(db_->Execute("INSERT INTO BIG2 VALUES (" + std::to_string(i) +
+                             ", " + std::to_string(2 * i) + ")")
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Execute("UPDATE STATISTICS BIG1").ok());
+  ASSERT_TRUE(db_->Execute("UPDATE STATISTICS BIG2").ok());
+
+  PlanCache cache;
+  Session session(db_.get(), &cache);
+  auto stmt = session.Prepare(
+      "SELECT BIG1.K, BIG2.K FROM BIG1, BIG2 WHERE BIG1.V = BIG2.V");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_NE(stmt->Explain().find("HashJoin"), std::string::npos)
+      << stmt->Explain();
+  EXPECT_NE(stmt->Explain().find("method=hash"), std::string::npos)
+      << stmt->Explain();
+  auto r1 = stmt->Execute();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  // BIG1.V = i, BIG2.V = 2i: matches are the even i in [0, 1500).
+  EXPECT_EQ(r1->rows.size(), 750u);
+  EXPECT_GT(r1->stats.hash_build_rows, 0u);
+  EXPECT_GT(r1->stats.hash_probe_rows, 0u);
+
+  // CREATE INDEX on the join column bumps the catalog version: the cached
+  // hash plan is invalidated and the statement recompiles (possibly onto an
+  // order-delivering access path) with identical results.
+  ASSERT_TRUE(db_->Execute("CREATE INDEX BIG2_V ON BIG2 (V)").ok());
+  auto r2 = stmt->Execute();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->rows.size(), 750u);
+  EXPECT_EQ(session.stats().reprepares, 1u);
+}
+
 TEST_F(SessionTest, LruEvictionAtCapacity) {
   PlanCache cache(2);
   Session session(db_.get(), &cache);

@@ -3,6 +3,11 @@
 //
 //   fuzz_driver [--seeds N] [--queries M] [--start S] [--out PATH]
 //               [--no-baselines] [--no-metamorphic] [--threads T]
+//               [--join-method nlj|merge|hash|auto]
+//
+// `--join-method` forces one join algorithm wherever predicates allow it
+// (equi joins for merge/hash; nested loop always applies), for targeted
+// differential coverage of a single operator.
 //
 // Every iteration is fully determined by its seed: to reproduce a reported
 // failure run `fuzz_driver --seeds 1 --start <seed>`.
@@ -51,11 +56,26 @@ int main(int argc, char** argv) {
       options.inject_faults = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<int>(std::strtol(need_value("--threads"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--join-method") == 0) {
+      const char* m = need_value("--join-method");
+      if (std::strcmp(m, "nlj") == 0) {
+        options.force = systemr::JoinMethodForce::kNestedLoop;
+      } else if (std::strcmp(m, "merge") == 0) {
+        options.force = systemr::JoinMethodForce::kMerge;
+      } else if (std::strcmp(m, "hash") == 0) {
+        options.force = systemr::JoinMethodForce::kHash;
+      } else if (std::strcmp(m, "auto") == 0) {
+        options.force = systemr::JoinMethodForce::kAuto;
+      } else {
+        std::fprintf(stderr, "bad --join-method %s (nlj|merge|hash|auto)\n", m);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: fuzz_driver [--seeds N] [--queries M] [--start S] "
                    "[--out PATH] [--no-baselines] [--no-metamorphic] "
-                   "[--faults] [--threads T]\n");
+                   "[--faults] [--threads T] "
+                   "[--join-method nlj|merge|hash|auto]\n");
       return 2;
     }
   }
@@ -65,7 +85,7 @@ int main(int argc, char** argv) {
     uint64_t failed_seeds = 0, queries = 0, violations = 0;
     for (uint64_t seed = start; seed < start + seeds; ++seed) {
       systemr::SeedResult result = systemr::RunConcurrentFuzzSeed(
-          seed, threads, options.queries_per_seed);
+          seed, threads, options.queries_per_seed, options.force);
       queries += result.queries;
       violations += result.violations.size();
       if (!result.violations.empty()) {

@@ -235,6 +235,12 @@ class Repl {
         r->rows.size(), r->rows.size() == 1 ? "" : "s",
         (unsigned long long)st.page_fetches, (unsigned long long)st.buffer_gets,
         (unsigned long long)st.rsi_calls, r->est_cost, r->actual_cost);
+    // Accumulate per-statement batch counters for \stats.
+    batch_totals_.batches += st.batches;
+    batch_totals_.batch_rows_in += st.batch_rows_in;
+    batch_totals_.batch_rows_out += st.batch_rows_out;
+    batch_totals_.hash_build_rows += st.hash_build_rows;
+    batch_totals_.hash_probe_rows += st.hash_probe_rows;
   }
 
   void PrintStats() {
@@ -258,6 +264,14 @@ class Repl {
                 (unsigned long long)b.fetches, (unsigned long long)b.writes,
                 db_.rss().pool().resident(),
                 (unsigned long long)db_.catalog().version());
+    std::printf("batch:      batches=%llu rows_in=%llu rows_out=%llu "
+                "sel_density=%.3f hash_build=%llu hash_probe=%llu\n",
+                (unsigned long long)batch_totals_.batches,
+                (unsigned long long)batch_totals_.batch_rows_in,
+                (unsigned long long)batch_totals_.batch_rows_out,
+                batch_totals_.AvgSelectionDensity(),
+                (unsigned long long)batch_totals_.hash_build_rows,
+                (unsigned long long)batch_totals_.hash_probe_rows);
   }
 
   void PrintHelp() {
@@ -277,6 +291,7 @@ class Repl {
   Database db_;
   PlanCache cache_;
   Session session_;
+  ExecStats batch_totals_;  // Running batch/hash counters across statements.
   std::string buffer_;
   std::map<std::string, std::unique_ptr<PreparedStatement>> prepared_;
 };
