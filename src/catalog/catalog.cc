@@ -109,6 +109,10 @@ Status Catalog::InsertLocked(const std::string& table_name, const Row& row) {
     const IndexInfo& info = *indexes_[iid];
     RETURN_IF_ERROR(rss_->index(iid)->Insert(ExtractKey(info, row), tid));
   }
+  if (table->has_stats &&
+      ++table->mutations_since_stats >= kInsertsPerVersionBump) {
+    table->stats_stale = true;
+  }
   if (++mutations_since_bump_ >= kInsertsPerVersionBump) {
     mutations_since_bump_ = 0;
     BumpVersion();
@@ -133,6 +137,10 @@ Status Catalog::DeleteRowLocked(const std::string& table_name, Tid tid) {
     RETURN_IF_ERROR(rss_->index(iid)->Delete(ExtractKey(info, row), tid));
   }
   RETURN_IF_ERROR(rss_->heap(table->id)->Delete(tid));
+  if (table->has_stats &&
+      ++table->mutations_since_stats >= kInsertsPerVersionBump) {
+    table->stats_stale = true;
+  }
   if (++mutations_since_bump_ >= kInsertsPerVersionBump) {
     mutations_since_bump_ = 0;
     BumpVersion();

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "catalog/column_stats.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "rss/rss.h"
@@ -57,6 +58,14 @@ struct TableInfo {
   uint64_t ncard = 0;      // NCARD.
   uint64_t tcard = 0;      // TCARD.
   double p = 1.0;          // P(T).
+  /// Per-column equi-depth histograms + distinct counts, indexed by column
+  /// ordinal. Built by UPDATE STATISTICS; empty until then.
+  std::vector<ColumnStats> column_stats;
+  /// Set once kInsertsPerVersionBump row mutations have hit this table since
+  /// its stats were built: the histograms may no longer reflect the data.
+  /// EXPLAIN flags plans built on stale stats; UPDATE STATISTICS clears it.
+  bool stats_stale = false;
+  uint64_t mutations_since_stats = 0;
 };
 
 class Catalog {

@@ -1,0 +1,130 @@
+#include "catalog/column_stats.h"
+
+#include <algorithm>
+
+namespace systemr {
+
+namespace {
+
+/// Lower bound of bucket b: the previous bucket's upper, or min for b == 0.
+const Value& BucketLower(const ColumnStats& s, size_t b) {
+  return b == 0 ? s.min_value : s.buckets[b - 1].upper;
+}
+
+/// True iff v falls inside bucket b's span. Bucket 0 is closed on both ends;
+/// later buckets are half-open (lower, upper].
+bool InBucket(const ColumnStats& s, size_t b, const Value& v) {
+  const HistogramBucket& bucket = s.buckets[b];
+  if (v.Compare(bucket.upper) > 0) return false;
+  const Value& lo = BucketLower(s, b);
+  int cl = v.Compare(lo);
+  return b == 0 ? cl >= 0 : cl > 0;
+}
+
+}  // namespace
+
+double ColumnStats::EqFraction(const Value& v) const {
+  if (!valid || nrows == 0 || v.is_null()) return 0.0;
+  if (buckets.empty()) return 0.0;  // All-NULL column: nothing matches.
+  if (v.Compare(min_value) < 0 || v.Compare(max_value) > 0) return 0.0;
+  // A heavy value can fill several buckets outright (boundaries land on
+  // value changes, so such buckets have ndistinct == 1 and upper == v).
+  double matched = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (!InBucket(*this, b, v)) continue;
+    const HistogramBucket& bucket = buckets[b];
+    if (bucket.ndistinct <= 1) {
+      matched += bucket.upper.Compare(v) == 0
+                     ? static_cast<double>(bucket.count)
+                     : 0.0;
+    } else {
+      // Even spread among the bucket's distinct values.
+      matched += static_cast<double>(bucket.count) / bucket.ndistinct;
+    }
+  }
+  return matched / nrows;
+}
+
+double ColumnStats::LeFraction(const Value& v, bool inclusive) const {
+  if (!valid || nrows == 0 || v.is_null()) return 0.0;
+  if (buckets.empty()) return 0.0;
+  if (!inclusive) {
+    // `< v` == `<= v` minus the rows equal to v (keeps both self-consistent).
+    return std::max(0.0, LeFraction(v, true) - EqFraction(v));
+  }
+  double matched = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const HistogramBucket& bucket = buckets[b];
+    if (bucket.upper.Compare(v) <= 0) {
+      matched += static_cast<double>(bucket.count);  // Whole bucket qualifies.
+      continue;
+    }
+    const Value& lo = BucketLower(*this, b);
+    int cl = lo.Compare(v);
+    // Bucket lies entirely above v: nothing from here on qualifies (except
+    // bucket 0 whose span includes its lower bound).
+    if (cl > 0 || (cl == 0 && b > 0)) break;
+    if (cl == 0) {  // b == 0 and v == min: exactly the rows equal to min.
+      matched += nrows * EqFraction(v);
+      break;
+    }
+    // v splits this bucket: linear interpolation for numeric spans, half a
+    // bucket when the span is non-numeric or degenerate.
+    double frac = 0.5;
+    if (IsArithmetic(lo.type()) && IsArithmetic(bucket.upper.type()) &&
+        IsArithmetic(v.type())) {
+      double dlo = lo.AsNumber();
+      double dhi = bucket.upper.AsNumber();
+      if (dhi > dlo) {
+        frac = (v.AsNumber() - dlo) / (dhi - dlo);
+        frac = std::clamp(frac, 0.0, 1.0);
+      }
+    }
+    matched += frac * bucket.count;
+    break;
+  }
+  return std::min(matched / nrows, 1.0);
+}
+
+ColumnStats BuildColumnStats(std::vector<Value> values) {
+  ColumnStats s;
+  s.valid = true;
+  s.nrows = values.size();
+  std::vector<Value> present;
+  present.reserve(values.size());
+  for (Value& v : values) {
+    if (v.is_null()) {
+      ++s.nulls;
+    } else {
+      present.push_back(std::move(v));
+    }
+  }
+  if (present.empty()) return s;  // All-NULL (or empty) column.
+  std::sort(present.begin(), present.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  s.min_value = present.front();
+  s.max_value = present.back();
+  for (size_t i = 0; i < present.size(); ++i) {
+    if (i == 0 || present[i].Compare(present[i - 1]) != 0) ++s.ndistinct;
+  }
+
+  // Equi-depth buckets: close a bucket once it holds >= depth rows, but only
+  // at a value change so each bucket's upper bound is exact.
+  size_t nbuckets = std::min<size_t>(kHistogramBuckets, s.ndistinct);
+  uint64_t depth = (present.size() + nbuckets - 1) / nbuckets;
+  HistogramBucket cur;
+  for (size_t i = 0; i < present.size(); ++i) {
+    bool new_value = cur.count == 0 || present[i].Compare(cur.upper) != 0;
+    if (new_value && cur.count >= depth) {
+      s.buckets.push_back(std::move(cur));
+      cur = HistogramBucket{};
+    }
+    if (cur.count == 0 || new_value) ++cur.ndistinct;
+    cur.upper = present[i];
+    ++cur.count;
+  }
+  if (cur.count > 0) s.buckets.push_back(std::move(cur));
+  return s;
+}
+
+}  // namespace systemr

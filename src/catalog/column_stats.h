@@ -1,0 +1,62 @@
+// Per-column statistics beyond the paper's §4 set: an equi-depth histogram
+// (~32 buckets, each holding an equal share of the non-null rows) plus
+// distinct/null counts and the min/max. UPDATE STATISTICS builds these from
+// the stored data; the selectivity estimator consults them for =, range,
+// BETWEEN, and IN predicates and falls back to the Table 1 guesses only when
+// they are absent (no UPDATE STATISTICS yet, or `?` host variables whose
+// value is unknown at compile time).
+#ifndef SYSTEMR_CATALOG_COLUMN_STATS_H_
+#define SYSTEMR_CATALOG_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+
+namespace systemr {
+
+/// Equi-depth histogram resolution. With B buckets a within-bucket estimate
+/// can be off by at most ~1/B of the rows, so 32 bounds the error at ~3%.
+inline constexpr size_t kHistogramBuckets = 32;
+
+struct HistogramBucket {
+  Value upper;         // Inclusive upper bound (a value present in the data).
+  uint64_t count = 0;  // Rows in the bucket.
+  uint64_t ndistinct = 0;  // Distinct values in the bucket.
+};
+
+struct ColumnStats {
+  bool valid = false;
+  uint64_t nrows = 0;      // All rows of the relation (incl. NULLs).
+  uint64_t nulls = 0;      // Rows where this column is NULL.
+  uint64_t ndistinct = 0;  // Distinct non-null values.
+  Value min_value;         // Min / max over non-null values.
+  Value max_value;
+  /// Bucket b spans (upper[b-1], upper[b]]; bucket 0 spans [min, upper[0]].
+  /// Boundaries fall on value changes, so one heavy value never straddles a
+  /// boundary unless it fills several buckets entirely.
+  std::vector<HistogramBucket> buckets;
+
+  /// Fraction of ALL rows (NULLs in the denominator, matching NCARD-based
+  /// cardinality math) with column = v.
+  double EqFraction(const Value& v) const;
+
+  /// Fraction of all rows with column <= v (inclusive) or < v (!inclusive).
+  /// NULLs never satisfy a comparison.
+  double LeFraction(const Value& v, bool inclusive) const;
+
+  double NullFraction() const {
+    return nrows == 0 ? 0.0 : static_cast<double>(nulls) / nrows;
+  }
+  double NotNullFraction() const {
+    return nrows == 0 ? 0.0 : 1.0 - NullFraction();
+  }
+};
+
+/// Builds stats for one column from every row's value (NULLs included).
+/// Deterministic for a given multiset of values.
+ColumnStats BuildColumnStats(std::vector<Value> values);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_CATALOG_COLUMN_STATS_H_

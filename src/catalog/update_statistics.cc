@@ -25,12 +25,14 @@ Status Catalog::UpdateStatisticsLocked(const std::string& table_name) {
     return Status::NotFound("no such table: " + table_name);
   }
 
-  // --- Relation statistics: NCARD, TCARD, P ---
+  // --- Relation statistics: NCARD, TCARD, P + per-column histograms ---
   const Segment* segment = rss_->heap(table->id)->segment();
   BufferPool& pool = rss_->pool();
   uint64_t ncard = 0;
   std::set<PageId> pages_with_t;
   uint64_t non_empty_pages = 0;
+  const size_t ncols = table->schema.num_columns();
+  std::vector<std::vector<Value>> column_values(ncols);
   for (PageId pid : segment->pages()) {
     ASSIGN_OR_RETURN(Page * page, pool.Fetch(pid));
     SlottedPage sp(page);
@@ -58,6 +60,14 @@ Status Catalog::UpdateStatisticsLocked(const std::string& table_name) {
       if (rel == table->id) {
         ++ncard;
         pages_with_t.insert(pid);
+        Row row;
+        if (!DecodeTuple(record, &rel, &row) || row.size() != ncols) {
+          return Status::DataLoss("undecodable tuple on page " +
+                                  std::to_string(pid));
+        }
+        for (size_t c = 0; c < ncols; ++c) {
+          column_values[c].push_back(std::move(row[c]));
+        }
       }
     }
     if (page_non_empty) ++non_empty_pages;
@@ -68,6 +78,13 @@ Status Catalog::UpdateStatisticsLocked(const std::string& table_name) {
                  ? 1.0
                  : static_cast<double>(table->tcard) / non_empty_pages;
   table->has_stats = true;
+  table->column_stats.clear();
+  table->column_stats.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    table->column_stats.push_back(BuildColumnStats(std::move(column_values[c])));
+  }
+  table->stats_stale = false;
+  table->mutations_since_stats = 0;
 
   // --- Index statistics: ICARD, NINDX, key range, clustering ---
   for (IndexId iid : table->indexes) {

@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "db/dml.h"
@@ -12,6 +13,11 @@ namespace systemr {
 Database::Database(size_t buffer_pages, OptimizerOptions options)
     : options_(options), rss_(buffer_pages), catalog_(&rss_) {
   options_.cost.buffer_pages = buffer_pages;
+  // The feedback loop is on by default; callers opting out (the Table 1
+  // measurement baseline) explicitly passed feedback == nullptr... which is
+  // also the default-constructed value, so wire the store up here and let
+  // set_feedback_enabled(false) detach it.
+  options_.feedback = &feedback_;
 }
 
 StatusOr<std::unique_ptr<BoundQueryBlock>> Database::BindSql(
@@ -65,6 +71,7 @@ StatusOr<QueryResult> Database::Run(const OptimizedQuery& query,
   ctx.set_params(&params);
   ASSIGN_OR_RETURN(ExecResult exec, ExecutePlan(&ctx, *query.block,
                                                 query.root));
+  if (options_.feedback != nullptr) RecordFeedback(ctx, query);
   QueryResult result;
   result.columns = query.block->select_names;
   result.rows = std::move(exec.rows);
@@ -73,6 +80,46 @@ StatusOr<QueryResult> Database::Run(const OptimizedQuery& query,
   result.est_cost = query.est_cost;
   result.est_rows = query.est_rows;
   return result;
+}
+
+void Database::RecordFeedback(const ExecContext& ctx,
+                              const OptimizedQuery& query) {
+  // Walk the main plan for scan nodes that ran exactly once and to
+  // completion; their total row count observes the joint selectivity of
+  // their local factors. The observed/estimated ratio is attributed to each
+  // factor in log space, weighted by the factor's share of the estimate
+  // (the AQO marginal-selectivity decomposition) — so a factor the planner
+  // already considered non-selective absorbs little of the error.
+  std::vector<const PlanNode*> stack = {query.root.get()};
+  while (!stack.empty()) {
+    const PlanNode* node = stack.back();
+    stack.pop_back();
+    if (node->left != nullptr) stack.push_back(node->left.get());
+    if (node->right != nullptr) stack.push_back(node->right.get());
+    if (node->kind != PlanKind::kSegScan && node->kind != PlanKind::kIndexScan) {
+      continue;
+    }
+    const ScanSpec& spec = node->scan;
+    if (!spec.feedback_eligible || spec.feedback_terms.empty()) continue;
+    auto it = ctx.scan_observations().find(node);
+    if (it == ctx.scan_observations().end() || !it->second.exhausted) continue;
+
+    double base = std::max(spec.est_base_card, 1.0);
+    double obs = std::clamp(static_cast<double>(it->second.rows) / base,
+                            1e-9, 1.0);
+    double est = std::clamp(spec.est_sel_used, 1e-9, 1.0);
+    double log_ratio = std::log(obs) - std::log(est);
+    double log_est = std::log(est);
+    for (const ScanSpec::FeedbackTerm& term : spec.feedback_terms) {
+      double used = std::clamp(term.used_sel, 1e-9, 1.0);
+      // Share of the joint estimate this factor claimed (equal shares when
+      // nothing was estimated selective).
+      double w = log_est < -1e-12
+                     ? std::log(used) / log_est
+                     : 1.0 / static_cast<double>(spec.feedback_terms.size());
+      feedback_.Record(term.signature, used * std::exp(w * log_ratio));
+    }
+  }
 }
 
 StatusOr<QueryResult> Database::Query(const std::string& sql) {

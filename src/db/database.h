@@ -12,6 +12,7 @@
 #include "catalog/catalog.h"
 #include "exec/executor.h"
 #include "optimizer/baseline.h"
+#include "optimizer/feedback.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 
@@ -69,6 +70,16 @@ class Database {
   OptimizerOptions& options() { return options_; }
   const OptimizerOptions& options() const { return options_; }
 
+  /// The database-wide learned-selectivity store (see optimizer/feedback.h).
+  /// Run() records per-scan observations here after every successful SELECT;
+  /// the optimizer reads it through options().feedback.
+  SelectivityFeedback& feedback() { return feedback_; }
+  const SelectivityFeedback& feedback() const { return feedback_; }
+  /// Detaches (or re-attaches) the feedback loop from planning + recording.
+  void set_feedback_enabled(bool enabled) {
+    options_.feedback = enabled ? &feedback_ : nullptr;
+  }
+
   /// Per-statement resource limits applied to every subsequent SELECT run
   /// through this database. A statement that trips a limit aborts with
   /// kResourceExhausted/kCancelled; the database stays usable.
@@ -81,10 +92,13 @@ class Database {
   Status ExecuteStatement(Statement& stmt);
   StatusOr<size_t> ExecuteDml(Statement& stmt);
 
+  void RecordFeedback(const ExecContext& ctx, const OptimizedQuery& query);
+
   OptimizerOptions options_;
   Rss rss_;
   Catalog catalog_;
   ExecLimits exec_limits_;
+  SelectivityFeedback feedback_;
 };
 
 }  // namespace systemr

@@ -36,10 +36,11 @@ StatusOr<DmlScan> CollectTargets(Catalog* catalog,
 
   // Access path selection, exactly as for a single-relation query (§4).
   CostModel cost_model(options.cost);
-  SelectivityEstimator sel(catalog, &block);
+  SelectivityEstimator sel(catalog, &block, options.use_column_stats);
   std::vector<BooleanFactor> factors = ExtractBooleanFactors(block);
   for (BooleanFactor& f : factors) {
-    f.selectivity = sel.FactorSelectivity(*f.expr);
+    f.model_selectivity = sel.FactorSelectivity(*f.expr);
+    f.selectivity = f.model_selectivity;
   }
   OrderClasses classes;
   PlannerContext ctx{&block, catalog, &cost_model, &sel, &factors, &classes};

@@ -106,6 +106,21 @@ class ExecContext {
   BatchCounters& batch_counters() { return batch_counters_; }
   const BatchCounters& batch_counters() const { return batch_counters_; }
 
+  /// Total rows each scan node produced over the statement, flushed by
+  /// ScanOp::Close. `exhausted` records whether the scan ran to end of
+  /// stream — only then is the row count a complete selectivity observation
+  /// (a merge join may abandon its inner scan early).
+  struct ScanObservation {
+    uint64_t rows = 0;
+    bool exhausted = false;
+  };
+  std::map<const PlanNode*, ScanObservation>& scan_observations() {
+    return scan_observations_;
+  }
+  const std::map<const PlanNode*, ScanObservation>& scan_observations() const {
+    return scan_observations_;
+  }
+
   // --- Host variables (§2) ---
   /// Execute-time values for the statement's ? parameters (not owned; must
   /// outlive execution). Null when the statement has no parameters.
@@ -210,6 +225,7 @@ class ExecContext {
   std::vector<PageId> temp_pages_;
   MeterCounters meter_;
   BatchCounters batch_counters_;
+  std::map<const PlanNode*, ScanObservation> scan_observations_;
   ExecLimits limits_;
   bool interruptible_ = false;
   uint64_t limits_baseline_gets_ = 0;

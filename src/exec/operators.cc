@@ -151,9 +151,11 @@ Status ScanOp::Next(Row* out, bool* has_row) {
     RETURN_IF_ERROR(residual_.EvalBool(ctx_, *out, &ok));
     if (!ok) continue;
     last_tid_ = tid;
+    ++rows_out_;
     *has_row = true;
     return Status::OK();
   }
+  exhausted_ = true;
   *has_row = false;
   return Status::OK();
 }
@@ -167,6 +169,7 @@ Status ScanOp::NextBatch(RowBatch* out, bool* has_batch) {
   size_t n = 0;
   RETURN_IF_ERROR(scan_->NextBatch(&rsi_rows_, &rsi_tids_, kBatchRows, &n));
   if (n == 0) {
+    exhausted_ = true;
     *has_batch = false;
     return Status::OK();
   }
@@ -187,8 +190,16 @@ Status ScanOp::NextBatch(RowBatch* out, bool* has_batch) {
   ++bc.batches;
   bc.batch_rows_in += out->filled;
   bc.batch_rows_out += out->sel.size();
+  rows_out_ += out->sel.size();
   *has_batch = true;
   return Status::OK();
+}
+
+void ScanOp::Close() {
+  ExecContext::ScanObservation& obs = ctx_->scan_observations()[node_];
+  obs.rows += rows_out_;
+  obs.exhausted = exhausted_;
+  rows_out_ = 0;
 }
 
 Status FilterOp::Next(Row* out, bool* has_row) {

@@ -67,6 +67,9 @@ class ScanOp : public Operator {
   /// RsiScan::NextBatch, then evaluates the residual over the whole block
   /// with one selection-vector pass.
   Status NextBatch(RowBatch* out, bool* has_batch) override;
+  /// Flushes this scan's produced-row count into the context's per-node
+  /// observations (the selectivity-feedback input).
+  void Close() override;
 
   /// TID of the most recently returned tuple (for DML).
   Tid last_tid() const { return last_tid_; }
@@ -88,6 +91,8 @@ class ScanOp : public Operator {
   std::vector<Row> rsi_rows_;  // Batch decode buffers, reused across calls.
   std::vector<Tid> rsi_tids_;
   Tid last_tid_;
+  uint64_t rows_out_ = 0;    // Rows produced since the last Close() flush.
+  bool exhausted_ = false;   // Reached end of stream at least once.
 };
 
 class FilterOp : public Operator {

@@ -151,6 +151,12 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
   }
   db.options().join.force = options.force;
   twin.options().join.force = options.force;
+  db.options().use_column_stats = options.use_column_stats;
+  twin.options().use_column_stats = options.use_column_stats;
+  if (!options.use_feedback) {
+    db.set_feedback_enabled(false);
+    twin.set_feedback_enabled(false);
+  }
 
   RefExecutor ref(&db.rss().store(), RelPageMap(&db));
   FuzzQueryGen gen(schema, seed ^ 0x9e3779b97f4a7c15ULL);

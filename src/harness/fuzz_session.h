@@ -35,6 +35,12 @@ struct FuzzOptions {
   bool metamorphic = true;       // Shuffle / W-variation / index-drop.
   bool record_calibration = true;
 
+  /// Estimation-quality knobs: disabling both reproduces the paper's pure
+  /// Table 1 estimator, which is how the calibration baseline in
+  /// EXPERIMENTS.md was measured (fuzz_driver --table1).
+  bool use_column_stats = true;  // Equi-depth histograms in the estimator.
+  bool use_feedback = true;      // Execution-feedback selectivity learning.
+
   /// Join-method override applied to the engine (and the index-less twin)
   /// before planning: targeted differential coverage of one join operator
   /// (e.g. kHash runs every multi-table query through the hash join wherever

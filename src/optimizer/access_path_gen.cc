@@ -1,6 +1,7 @@
 #include "optimizer/access_path_gen.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace systemr {
 
@@ -15,6 +16,11 @@ struct ApplicablePreds {
   // Local non-sargable residuals and their selectivity product.
   std::vector<const BoundExpr*> residual;
   double f_residual = 1.0;
+  // Feedback bookkeeping over the local (non-join) factors: the planned and
+  // pure-model selectivity products, and the signable factors' signatures.
+  double f_local_used = 1.0;
+  double f_local_model = 1.0;
+  std::vector<ScanSpec::FeedbackTerm> feedback_terms;
   // Parameter (host-variable) terms applied as dynamic SARGs, values filled
   // at execute time.
   std::vector<DynamicSargTerm> param_sargs;
@@ -44,6 +50,13 @@ ApplicablePreds CollectPreds(const PlannerContext& ctx, int table_idx,
                              uint32_t outer_mask) {
   ApplicablePreds out;
   uint32_t self = 1u << table_idx;
+  auto track_local = [&out](const BooleanFactor& f) {
+    out.f_local_used *= f.selectivity;
+    out.f_local_model *= f.model_selectivity;
+    if (!f.signature.empty()) {
+      out.feedback_terms.push_back({f.signature, f.selectivity});
+    }
+  };
   for (const BooleanFactor& f : *ctx.factors) {
     if (f.has_subquery || f.correlated) continue;
     if (f.join.has_value()) {
@@ -62,6 +75,7 @@ ApplicablePreds CollectPreds(const PlannerContext& ctx, int table_idx,
       s.disjuncts = f.dnf;
       out.sargs.push_back(std::move(s));
       out.f_sargable *= f.selectivity;
+      track_local(f);
       // Single-conjunct factors can bound an index scan.
       if (f.dnf.size() == 1) {
         const auto& conj = f.dnf[0];
@@ -94,6 +108,7 @@ ApplicablePreds CollectPreds(const PlannerContext& ctx, int table_idx,
         }
       }
       out.f_sargable *= f.selectivity;
+      track_local(f);
       // Index-matching entries: a single comparison, or a BETWEEN shape.
       if (f.param_terms.size() == 1) {
         const auto& t = f.param_terms[0];
@@ -113,6 +128,7 @@ ApplicablePreds CollectPreds(const PlannerContext& ctx, int table_idx,
     if (f.tables_mask == self) {
       out.residual.push_back(f.expr);
       out.f_residual *= f.selectivity;
+      track_local(f);
     }
   }
   return out;
@@ -149,6 +165,21 @@ std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
   double rsicard = ncard * preds.f_sargable;
   double rows = rsicard * preds.f_residual;
 
+  // Feedback annotations, identical for every path over this table. Join
+  // factors are never blended, so the pure-model row count differs from
+  // `rows` exactly by the local used/model selectivity ratio.
+  auto annotate_scan = [&](ScanSpec* spec) {
+    spec->feedback_terms = preds.feedback_terms;
+    spec->est_base_card = ncard;
+    spec->est_sel_used = preds.f_local_used;
+    spec->est_rows_model =
+        rows * (preds.f_local_model / std::max(preds.f_local_used, 1e-12));
+    spec->learned_applied =
+        std::abs(preds.f_local_used - preds.f_local_model) >
+        1e-12 * preds.f_local_model;
+    spec->feedback_eligible = outer_mask == 0;
+  };
+
   // Dynamic SARG terms: join predicates (outer-row sourced, all comparison
   // ops) plus host-variable terms (parameter sourced).
   std::vector<DynamicSargTerm> dyn_sargs;
@@ -170,6 +201,7 @@ std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
     p.node->scan.sargs = preds.sargs;
     p.node->scan.dyn_sargs = dyn_sargs;
     p.node->scan.residual = preds.residual;
+    annotate_scan(&p.node->scan);
     p.cost = ctx.cost->SegmentScan(table, rsicard);
     p.rows = rows;
     p.rsicard = rsicard;
@@ -194,6 +226,7 @@ std::vector<AccessPath> GenerateAccessPaths(const PlannerContext& ctx,
     spec.sargs = preds.sargs;
     spec.dyn_sargs = dyn_sargs;
     spec.residual = preds.residual;
+    annotate_scan(&spec);
 
     // Find the matching predicate prefix: equality factors on the leading
     // key columns, then a range on the next column.

@@ -85,10 +85,11 @@ StatusOr<OptimizedQuery> OptimizeBaseline(
   Optimizer optimizer(catalog, options);
   const BoundQueryBlock& b = *block;
   CostModel cost_model(options.cost);
-  SelectivityEstimator sel(catalog, &b);
+  SelectivityEstimator sel(catalog, &b, options.use_column_stats);
   std::vector<BooleanFactor> factors = ExtractBooleanFactors(b);
   for (BooleanFactor& f : factors) {
-    f.selectivity = sel.FactorSelectivity(*f.expr);
+    f.model_selectivity = sel.FactorSelectivity(*f.expr);
+    f.selectivity = f.model_selectivity;
   }
   OrderClasses classes;
   for (const BooleanFactor& f : factors) {

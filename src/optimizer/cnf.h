@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "optimizer/bound_expr.h"
@@ -41,7 +42,11 @@ struct BooleanFactor {
   uint32_t tables_mask = 0;         // Current-block tables referenced.
   bool has_subquery = false;
   bool correlated = false;          // References enclosing blocks.
-  double selectivity = 1.0;         // F, filled by the selectivity estimator.
+  double selectivity = 1.0;         // F used for planning (feedback-blended).
+  double model_selectivity = 1.0;   // F from statistics/Table 1 alone.
+  /// Normalized predicate signature for the feedback store ("" = unsignable
+  /// or feedback disabled). Single-table factors only.
+  std::string signature;
 
   /// Set if the factor is a single join predicate between two tables.
   std::optional<JoinPredInfo> join;

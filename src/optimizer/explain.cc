@@ -59,6 +59,19 @@ void ExplainNode(const PlanRef& node, const BoundQueryBlock& block, int depth,
     os << ")";
   }
   os << "  [cost=" << node->est_cost << " rows=" << node->est_rows;
+  if (node->kind == PlanKind::kSegScan || node->kind == PlanKind::kIndexScan) {
+    // Calibration visibility: `est=` is what the statistics-only model
+    // predicts; `learned=` appears when feedback observations shifted the
+    // estimate actually used; `stats=stale` warns that enough mutations
+    // landed since UPDATE STATISTICS to distrust the histograms.
+    if (node->scan.learned_applied && node->scan.est_rows_model >= 0) {
+      os << " est=" << node->scan.est_rows_model
+         << " learned=" << node->est_rows;
+    }
+    if (node->scan.table != nullptr && node->scan.table->stats_stale) {
+      os << " stats=stale";
+    }
+  }
   // Batch-model row count: how many kBatchRows-sized batches the vectorized
   // executor would move through this node for the estimated cardinality.
   os << " batches=" << std::max(

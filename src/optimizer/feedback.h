@@ -1,0 +1,80 @@
+// Adaptive selectivity feedback (AQO-style). Every executed statement
+// records, per single-table boolean factor, the observed marginal
+// selectivity of that factor keyed by a normalized predicate signature
+// (literals and parameters replaced by `$`, tables named not aliased). At
+// planning time the optimizer blends the learned selectivity into the model
+// estimate with a weight that ramps up as observations accumulate, so one
+// noisy execution cannot hijack the plan but a persistent mis-estimate is
+// corrected after a few runs.
+#ifndef SYSTEMR_OPTIMIZER_FEEDBACK_H_
+#define SYSTEMR_OPTIMIZER_FEEDBACK_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "optimizer/bound_expr.h"
+
+namespace systemr {
+
+/// A prepared statement whose actual row count diverges from the estimate by
+/// more than this q-error is re-optimized once (so the new plan sees the
+/// feedback recorded by the bad execution). 8x leaves routine histogram
+/// resolution error alone and catches genuinely wrong plans.
+inline constexpr double kReplanQErrorThreshold = 8.0;
+
+/// Normalized signature for a boolean factor: a canonical rendering with
+/// every literal / parameter replaced by `$` and columns rendered as
+/// `table.column` (real table name, so equivalent predicates on different
+/// aliases share feedback). Returns "" when the factor is not signable:
+/// touches more than one table, references the outer block, or contains a
+/// subquery (their selectivity is not a property of the predicate text).
+std::string FactorSignature(const BoundExpr& e, const BoundQueryBlock& block);
+
+/// Bounded, thread-safe store of learned selectivities.
+class SelectivityFeedback {
+ public:
+  struct Learned {
+    double selectivity = 1.0;  // Geometric running mean of observations.
+    uint64_t n = 0;            // Number of observations.
+  };
+
+  explicit SelectivityFeedback(size_t capacity = 1024)
+      : capacity_(capacity) {}
+
+  /// Records one observed marginal selectivity for `signature`.
+  void Record(const std::string& signature, double observed);
+
+  std::optional<Learned> Lookup(const std::string& signature) const;
+
+  /// Blends a model estimate with a learned one: geometric interpolation
+  /// with weight n / (n + kRampObservations) on the learned side.
+  static double Blend(double model, double learned, uint64_t n);
+
+  size_t size() const;
+  uint64_t records() const;  // Total observations ever recorded.
+  void Clear();
+
+  /// Observations before the learned estimate carries 50% of the weight.
+  static constexpr double kRampObservations = 4.0;
+
+ private:
+  struct Entry {
+    double mean_log = 0.0;  // Running mean of log(observed selectivity).
+    uint64_t n = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // Front = most recently touched.
+  uint64_t total_records_ = 0;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_FEEDBACK_H_

@@ -3,9 +3,34 @@
 #include <algorithm>
 
 #include "optimizer/cnf.h"
+#include "optimizer/feedback.h"
 #include "optimizer/selectivity.h"
 
 namespace systemr {
+
+namespace {
+
+/// Expected GROUP BY group count: product of the grouping columns' distinct
+/// counts when statistics know them, capped by the input cardinality; the
+/// old rows/10 guess otherwise.
+double EstimateGroups(const SelectivityEstimator& sel,
+                      const BoundQueryBlock& block, double rows) {
+  if (block.group_by.empty()) return 1.0;
+  double product = 1.0;
+  bool known = true;
+  for (const BoundOrderItem& g : block.group_by) {
+    double d = sel.DistinctCount(g.table_idx, g.column);
+    if (d <= 0) {
+      known = false;
+      break;
+    }
+    product *= d;
+  }
+  double groups = known ? product : rows / 10.0;
+  return std::max(1.0, std::min(groups, std::max(rows, 1.0)));
+}
+
+}  // namespace
 
 OrderSpec Optimizer::RequiredOrder(const BoundQueryBlock& block,
                                    OrderClasses* classes,
@@ -47,7 +72,7 @@ StatusOr<Optimizer::BlockPlan> Optimizer::FinishBlockPlan(
     double join_rows, OrderSpec join_order, const OrderSpec& pre_agg_required,
     SubplanMap* subplans, bool use_hash_aggregate) const {
   CostModel cost_model(options_.cost);
-  SelectivityEstimator sel(catalog_, &block);
+  SelectivityEstimator sel(catalog_, &block, options_.use_column_stats);
   std::vector<BooleanFactor> factors = ExtractBooleanFactors(block);
   // `pre_agg_required` documents the order the join phase delivered (the
   // GROUP BY order when aggregating); the ORDER-BY-vs-GROUP-BY check below
@@ -105,11 +130,7 @@ StatusOr<Optimizer::BlockPlan> Optimizer::FinishBlockPlan(
       RETURN_IF_ERROR(PlanSubqueriesIn(*block.having, subplans));
       agg->having = block.having.get();
     }
-    double groups = 1.0;
-    if (!block.group_by.empty()) {
-      // Crude group-count estimate: one tenth of input, at least 1.
-      groups = std::max(1.0, rows / 10.0);
-    }
+    double groups = EstimateGroups(sel, block, rows);
     agg->est_rows = groups;
     agg->est_cost = use_hash_aggregate
                         ? cost_model.HashAggregateCost(est_cost, rows, groups)
@@ -242,10 +263,18 @@ StatusOr<Optimizer::BlockPlan> Optimizer::PlanBlock(
     const BoundQueryBlock& block, SubplanMap* subplans,
     OptimizedQuery* stats_sink) const {
   CostModel cost_model(options_.cost);
-  SelectivityEstimator sel(catalog_, &block);
+  SelectivityEstimator sel(catalog_, &block, options_.use_column_stats);
   std::vector<BooleanFactor> factors = ExtractBooleanFactors(block);
   for (BooleanFactor& f : factors) {
-    f.selectivity = sel.FactorSelectivity(*f.expr);
+    f.model_selectivity = sel.FactorSelectivity(*f.expr);
+    f.selectivity = f.model_selectivity;
+    if (options_.feedback != nullptr && !f.has_subquery && !f.correlated) {
+      f.signature = FactorSignature(*f.expr, block);
+      if (auto learned = options_.feedback->Lookup(f.signature)) {
+        f.selectivity = ClampSelectivity(SelectivityFeedback::Blend(
+            f.model_selectivity, learned->selectivity, learned->n));
+      }
+    }
   }
   OrderClasses classes;
   for (const BooleanFactor& f : factors) {
@@ -281,7 +310,7 @@ StatusOr<Optimizer::BlockPlan> Optimizer::PlanBlock(
   if (block.has_aggregates && !block.group_by.empty() && hash_allowed) {
     ASSIGN_OR_RETURN(JoinSolution unordered, enumerator.Best({}, {}));
     double rows = std::max(unordered.rows, 0.0);
-    double groups = std::max(1.0, rows / 10.0);
+    double groups = EstimateGroups(sel, block, rows);
     double sorted_total = sol.cost + options_.cost.w * rows;
     double hash_total = cost_model.HashAggregateCost(unordered.cost, rows,
                                                      groups);

@@ -14,9 +14,17 @@
 
 namespace systemr {
 
+class SelectivityFeedback;
+
 struct OptimizerOptions {
   CostParams cost;
   JoinEnumerator::Options join;
+  /// Consult equi-depth column histograms (UPDATE STATISTICS). Off = the
+  /// paper's pure Table 1 behavior, the before/after measurement knob.
+  bool use_column_stats = true;
+  /// Learned-selectivity store; the optimizer blends its observations into
+  /// factor selectivities. nullptr disables the feedback loop.
+  const SelectivityFeedback* feedback = nullptr;
 };
 
 /// Plans for every nested query block, keyed by block identity.
@@ -33,6 +41,11 @@ struct OptimizedQuery {
   /// many values (§2: parameters are checked at execute time, the plan is
   /// compiled without their values).
   int num_params = 0;
+
+  /// True once a divergence-triggered re-optimization produced this plan —
+  /// the session replans a statement at most once per cached plan, so a
+  /// persistent mis-estimate cannot cause replanning on every execution.
+  bool feedback_replanned = false;
 
   // Search statistics of the top-level block (§7 claims).
   size_t solutions_stored = 0;

@@ -86,6 +86,24 @@ struct ScanSpec {
   /// Non-sargable single-table predicates, evaluated on the block row right
   /// after this scan (no subqueries, no correlation).
   std::vector<const BoundExpr*> residual;
+
+  // --- Selectivity-feedback annotations ---
+  /// (signature, planned selectivity) per signable local factor applied by
+  /// this scan; the executor's observed row count is attributed back to
+  /// these signatures after execution.
+  struct FeedbackTerm {
+    std::string signature;
+    double used_sel = 1.0;
+  };
+  std::vector<FeedbackTerm> feedback_terms;
+  double est_base_card = 0.0;    // NCARD basis of the row estimate.
+  double est_sel_used = 1.0;     // Product of local factor F's used to plan.
+  double est_rows_model = -1.0;  // Rows under pure statistics (no feedback).
+  bool learned_applied = false;  // Some factor used a blended selectivity.
+  /// True when the scan runs exactly once per statement (it is not re-bound
+  /// per outer row), so its total row count is a valid observation of its
+  /// local factors' joint selectivity.
+  bool feedback_eligible = false;
 };
 
 struct SortKey {

@@ -30,8 +30,34 @@ const IndexInfo* SelectivityEstimator::LeadingIndexOn(int table_idx,
   return best;
 }
 
+const ColumnStats* SelectivityEstimator::StatsFor(int table_idx,
+                                                  size_t column) const {
+  if (!use_column_stats_) return nullptr;
+  const TableInfo* t = block_->tables[table_idx].table;
+  if (column >= t->column_stats.size()) return nullptr;
+  const ColumnStats* s = &t->column_stats[column];
+  return s->valid ? s : nullptr;
+}
+
+double SelectivityEstimator::DistinctCount(int table_idx,
+                                           size_t column) const {
+  const ColumnStats* s = StatsFor(table_idx, column);
+  if (s != nullptr) return static_cast<double>(s->ndistinct);
+  const IndexInfo* idx = LeadingIndexOn(table_idx, column);
+  if (idx != nullptr && idx->icard_leading > 0) {
+    return static_cast<double>(idx->icard_leading);
+  }
+  return 0.0;
+}
+
 double SelectivityEstimator::EqSelectivity(int table_idx,
                                            size_t column) const {
+  // Value unknown at compile time (`?` host variable, subquery result):
+  // even distribution among the distinct values, per Table 1 row 1.
+  const ColumnStats* s = StatsFor(table_idx, column);
+  if (s != nullptr && s->ndistinct > 0) {
+    return ClampSelectivity(s->NotNullFraction() / s->ndistinct);
+  }
   const IndexInfo* idx = LeadingIndexOn(table_idx, column);
   if (idx != nullptr && idx->icard_leading > 0) {
     // "F = 1 / ICARD(column index): even distribution of tuples among the
@@ -41,14 +67,40 @@ double SelectivityEstimator::EqSelectivity(int table_idx,
   return kDefaultEqSelectivity;
 }
 
+double SelectivityEstimator::EqSelectivity(int table_idx, size_t column,
+                                           const Value& v) const {
+  const ColumnStats* s = StatsFor(table_idx, column);
+  if (s != nullptr) return ClampSelectivity(s->EqFraction(v));
+  return EqSelectivity(table_idx, column);
+}
+
 double SelectivityEstimator::RangeSelectivity(const BoundExpr& col,
                                               CompareOp op,
                                               const Value& v) const {
+  if (col.kind != BoundExprKind::kColumn || col.outer_level != 0) {
+    return kDefaultRangeSelectivity;
+  }
+  // Histogram: sum whole buckets below the value, interpolate inside the
+  // boundary bucket. Works for any comparable type.
+  const ColumnStats* s = StatsFor(col.table_idx, col.column);
+  if (s != nullptr && !v.is_null()) {
+    switch (op) {
+      case CompareOp::kLe:
+        return ClampSelectivity(s->LeFraction(v, true));
+      case CompareOp::kLt:
+        return ClampSelectivity(s->LeFraction(v, false));
+      case CompareOp::kGe:
+        return ClampSelectivity(s->NotNullFraction() - s->LeFraction(v, false));
+      case CompareOp::kGt:
+        return ClampSelectivity(s->NotNullFraction() - s->LeFraction(v, true));
+      default:
+        break;
+    }
+  }
   // "Linear interpolation of the value in the range of key values yields F
   // if the column is an arithmetic type and value is known at access path
   // selection time; F = 1/3 otherwise."
-  if (col.kind == BoundExprKind::kColumn && col.outer_level == 0 &&
-      IsArithmetic(col.type) && IsArithmetic(v.type())) {
+  if (IsArithmetic(col.type) && IsArithmetic(v.type())) {
     const IndexInfo* idx = LeadingIndexOn(col.table_idx, col.column);
     if (idx != nullptr && IsArithmetic(idx->low_key.type()) &&
         IsArithmetic(idx->high_key.type())) {
@@ -85,37 +137,36 @@ double SelectivityEstimator::CompareSelectivity(const BoundExpr& e) const {
 
   // column1 = column2 (Table 1 row 2).
   if (lhs_col && rhs_col) {
-    if (op == CompareOp::kEq) {
-      const IndexInfo* i1 = LeadingIndexOn(lhs->table_idx, lhs->column);
-      const IndexInfo* i2 = LeadingIndexOn(rhs->table_idx, rhs->column);
-      double ic1 = (i1 != nullptr && i1->icard_leading > 0)
-                       ? static_cast<double>(i1->icard_leading)
-                       : 0.0;
-      double ic2 = (i2 != nullptr && i2->icard_leading > 0)
-                       ? static_cast<double>(i2->icard_leading)
-                       : 0.0;
-      if (ic1 > 0 && ic2 > 0) return 1.0 / std::max(ic1, ic2);
-      if (ic1 > 0) return 1.0 / ic1;
-      if (ic2 > 0) return 1.0 / ic2;
-      return kDefaultEqSelectivity;
-    }
+    if (op == CompareOp::kEq) return ColEqColSelectivity(lhs, rhs);
     if (op == CompareOp::kNe) {
-      return ClampSelectivity(1.0 - CompareSelectivityEqProxy(e));
+      return ClampSelectivity(1.0 - ColEqColSelectivity(lhs, rhs));
     }
     return kDefaultRangeSelectivity;
   }
 
   // column op (literal | unknown-at-compile-time value): literal values give
-  // the Table-1 formulas; subquery/correlated/arith right sides fall back to
-  // the same defaults the paper uses when the value is not known.
+  // the histogram/Table-1 formulas; subquery/correlated/arith right sides
+  // fall back to the same estimates the paper uses for unknown values.
   if (lhs_col) {
     const bool known = rhs->kind == BoundExprKind::kLiteral;
     switch (op) {
       case CompareOp::kEq:
+        if (known) {
+          return EqSelectivity(lhs->table_idx, lhs->column, rhs->literal);
+        }
         return EqSelectivity(lhs->table_idx, lhs->column);
-      case CompareOp::kNe:
+      case CompareOp::kNe: {
+        const ColumnStats* s = StatsFor(lhs->table_idx, lhs->column);
+        if (s != nullptr && known) {
+          // Everything non-null except the rows equal to the literal.
+          return ClampSelectivity(s->NotNullFraction() -
+                                  s->EqFraction(rhs->literal));
+        }
         return ClampSelectivity(
-            1.0 - EqSelectivity(lhs->table_idx, lhs->column));
+            1.0 - (known ? EqSelectivity(lhs->table_idx, lhs->column,
+                                         rhs->literal)
+                         : EqSelectivity(lhs->table_idx, lhs->column)));
+      }
       case CompareOp::kGt:
       case CompareOp::kGe:
       case CompareOp::kLt:
@@ -130,22 +181,15 @@ double SelectivityEstimator::CompareSelectivity(const BoundExpr& e) const {
                               : kDefaultRangeSelectivity;
 }
 
-// Helper for the `col1 <> col2` case above.
-double SelectivityEstimator::CompareSelectivityEqProxy(
-    const BoundExpr& e) const {
-  const BoundExpr* lhs = e.children[0].get();
-  const BoundExpr* rhs = e.children[1].get();
-  const IndexInfo* i1 = LeadingIndexOn(lhs->table_idx, lhs->column);
-  const IndexInfo* i2 = LeadingIndexOn(rhs->table_idx, rhs->column);
-  double ic1 = (i1 != nullptr && i1->icard_leading > 0)
-                   ? static_cast<double>(i1->icard_leading)
-                   : 0.0;
-  double ic2 = (i2 != nullptr && i2->icard_leading > 0)
-                   ? static_cast<double>(i2->icard_leading)
-                   : 0.0;
-  if (ic1 > 0 && ic2 > 0) return 1.0 / std::max(ic1, ic2);
-  if (ic1 > 0) return 1.0 / ic1;
-  if (ic2 > 0) return 1.0 / ic2;
+// `col1 = col2`: 1 / MAX(NDISTINCT(col1), NDISTINCT(col2)) — the larger
+// domain dominates, assuming containment of the smaller value set.
+double SelectivityEstimator::ColEqColSelectivity(const BoundExpr* lhs,
+                                                 const BoundExpr* rhs) const {
+  double d1 = DistinctCount(lhs->table_idx, lhs->column);
+  double d2 = DistinctCount(rhs->table_idx, rhs->column);
+  if (d1 > 0 && d2 > 0) return 1.0 / std::max(d1, d2);
+  if (d1 > 0) return 1.0 / d1;
+  if (d2 > 0) return 1.0 / d2;
   return kDefaultEqSelectivity;
 }
 
@@ -153,21 +197,29 @@ double SelectivityEstimator::BetweenSelectivity(const BoundExpr& e) const {
   const BoundExpr* col = e.children[0].get();
   const BoundExpr* lo = e.children[1].get();
   const BoundExpr* hi = e.children[2].get();
-  // "A ratio of the BETWEEN value range to the entire key value range...
-  // if column is arithmetic and both values are known; F = 1/4 otherwise."
-  if (col->kind == BoundExprKind::kColumn && col->outer_level == 0 &&
-      IsArithmetic(col->type) && lo->kind == BoundExprKind::kLiteral &&
-      hi->kind == BoundExprKind::kLiteral &&
-      IsArithmetic(lo->literal.type()) && IsArithmetic(hi->literal.type())) {
-    const IndexInfo* idx = LeadingIndexOn(col->table_idx, col->column);
-    if (idx != nullptr && IsArithmetic(idx->low_key.type()) &&
-        IsArithmetic(idx->high_key.type())) {
-      double klo = idx->low_key.AsNumber();
-      double khi = idx->high_key.AsNumber();
-      if (khi > klo) {
-        double f = (hi->literal.AsNumber() - lo->literal.AsNumber()) /
-                   (khi - klo);
-        return ClampSelectivity(f);
+  const bool known = lo->kind == BoundExprKind::kLiteral &&
+                     hi->kind == BoundExprKind::kLiteral;
+  if (col->kind == BoundExprKind::kColumn && col->outer_level == 0 && known) {
+    // Histogram mass inside [lo, hi].
+    const ColumnStats* s = StatsFor(col->table_idx, col->column);
+    if (s != nullptr && !lo->literal.is_null() && !hi->literal.is_null()) {
+      return ClampSelectivity(s->LeFraction(hi->literal, true) -
+                              s->LeFraction(lo->literal, false));
+    }
+    // "A ratio of the BETWEEN value range to the entire key value range...
+    // if column is arithmetic and both values are known; F = 1/4 otherwise."
+    if (IsArithmetic(col->type) && IsArithmetic(lo->literal.type()) &&
+        IsArithmetic(hi->literal.type())) {
+      const IndexInfo* idx = LeadingIndexOn(col->table_idx, col->column);
+      if (idx != nullptr && IsArithmetic(idx->low_key.type()) &&
+          IsArithmetic(idx->high_key.type())) {
+        double klo = idx->low_key.AsNumber();
+        double khi = idx->high_key.AsNumber();
+        if (khi > klo) {
+          double f = (hi->literal.AsNumber() - lo->literal.AsNumber()) /
+                     (khi - klo);
+          return ClampSelectivity(f);
+        }
       }
     }
   }
@@ -176,13 +228,27 @@ double SelectivityEstimator::BetweenSelectivity(const BoundExpr& e) const {
 
 double SelectivityEstimator::InListSelectivity(const BoundExpr& e) const {
   const BoundExpr* col = e.children[0].get();
-  double per_item = kDefaultEqSelectivity;
   if (col->kind == BoundExprKind::kColumn && col->outer_level == 0) {
-    per_item = EqSelectivity(col->table_idx, col->column);
+    const ColumnStats* s = StatsFor(col->table_idx, col->column);
+    if (s != nullptr) {
+      // Sum the histogram mass of each listed value (`$` items fall back to
+      // the unknown-value estimate). Distinct list items cannot overlap, so
+      // the cap is 1, not the Table 1 guess of 1/2.
+      double f = 0;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        f += e.children[i]->kind == BoundExprKind::kLiteral
+                 ? s->EqFraction(e.children[i]->literal)
+                 : EqSelectivity(col->table_idx, col->column);
+      }
+      return ClampSelectivity(f);
+    }
+    // "F = (number of items in the list) * (selectivity for column = value),
+    // allowed to be no more than 1/2."
+    double per_item = EqSelectivity(col->table_idx, col->column);
+    double f = static_cast<double>(e.children.size() - 1) * per_item;
+    return std::min(f, kMaxInListSelectivity);
   }
-  // "F = (number of items in the list) * (selectivity for column = value),
-  // allowed to be no more than 1/2."
-  double f = static_cast<double>(e.children.size() - 1) * per_item;
+  double f = static_cast<double>(e.children.size() - 1) * kDefaultEqSelectivity;
   return std::min(f, kMaxInListSelectivity);
 }
 
@@ -190,7 +256,7 @@ double SelectivityEstimator::InSubquerySelectivity(const BoundExpr& e) const {
   // "F = (expected cardinality of the subquery result) / (product of the
   // cardinalities of all the relations in the subquery's FROM-list)."
   const BoundQueryBlock& sub = *e.subquery;
-  double qcard = EstimateBlockCardinality(catalog_, sub);
+  double qcard = EstimateBlockCardinality(catalog_, sub, use_column_stats_);
   double denom = 1.0;
   for (size_t t = 0; t < sub.tables.size(); ++t) {
     const TableInfo* ti = sub.tables[t].table;
@@ -199,6 +265,20 @@ double SelectivityEstimator::InSubquerySelectivity(const BoundExpr& e) const {
   }
   if (denom <= 0) return kMaxInListSelectivity;
   return ClampSelectivity(qcard / denom);
+}
+
+double SelectivityEstimator::IsNullSelectivity(const BoundExpr& e) const {
+  const BoundExpr* col = e.children[0].get();
+  if (col->kind == BoundExprKind::kColumn && col->outer_level == 0) {
+    const ColumnStats* s = StatsFor(col->table_idx, col->column);
+    if (s != nullptr) {
+      double f = s->NullFraction();
+      return ClampSelectivity(e.negated ? 1.0 - f : f);
+    }
+  }
+  // Not in Table 1; use the equal-predicate default guess.
+  return e.negated ? ClampSelectivity(1.0 - kDefaultEqSelectivity)
+                   : kDefaultEqSelectivity;
 }
 
 double SelectivityEstimator::FactorSelectivity(const BoundExpr& e) const {
@@ -225,9 +305,7 @@ double SelectivityEstimator::FactorSelectivity(const BoundExpr& e) const {
     case BoundExprKind::kNot:
       return ClampSelectivity(1.0 - FactorSelectivity(*e.children[0]));
     case BoundExprKind::kIsNull:
-      // Not in Table 1; use the equal-predicate default guess.
-      return e.negated ? ClampSelectivity(1.0 - kDefaultEqSelectivity)
-                       : kDefaultEqSelectivity;
+      return IsNullSelectivity(e);
     case BoundExprKind::kLike:
       // Not in Table 1; LIKE behaves like an equal-predicate guess.
       return e.negated ? ClampSelectivity(1.0 - kDefaultEqSelectivity)
@@ -239,9 +317,10 @@ double SelectivityEstimator::FactorSelectivity(const BoundExpr& e) const {
 }
 
 double SelectivityEstimator::EstimateBlockCardinality(
-    const Catalog* catalog, const BoundQueryBlock& block) {
+    const Catalog* catalog, const BoundQueryBlock& block,
+    bool use_column_stats) {
   // QCARD = product of FROM cardinalities * product of factor selectivities.
-  SelectivityEstimator est(catalog, &block);
+  SelectivityEstimator est(catalog, &block, use_column_stats);
   double card = 1.0;
   for (size_t t = 0; t < block.tables.size(); ++t) {
     card *= est.TableCardinality(static_cast<int>(t));

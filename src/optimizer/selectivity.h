@@ -1,8 +1,11 @@
-// Selectivity factors: a complete implementation of TABLE 1 (§4).
+// Selectivity factors: TABLE 1 (§4) upgraded with per-column statistics.
 // Each boolean factor gets a selectivity F, "the expected fraction of tuples
-// which will satisfy the predicate", computed from the catalog statistics
-// when they exist and from the paper's fixed default guesses when they do
-// not (1/10 for equal, 1/3 for range, 1/4 for BETWEEN, cap 1/2 for IN).
+// which will satisfy the predicate". When UPDATE STATISTICS has built
+// equi-depth histograms the estimator reads them directly (=, ranges,
+// BETWEEN, IN, IS NULL); otherwise it uses the paper's ICARD formulas and
+// fixed default guesses (1/10 for equal, 1/3 for range, 1/4 for BETWEEN,
+// cap 1/2 for IN). `?` host variables have no value at compile time, so they
+// get the value-independent 1/NDISTINCT (or the Table 1 default).
 #ifndef SYSTEMR_OPTIMIZER_SELECTIVITY_H_
 #define SYSTEMR_OPTIMIZER_SELECTIVITY_H_
 
@@ -23,8 +26,12 @@ inline constexpr double kNoStatsCardinality = 100.0;
 
 class SelectivityEstimator {
  public:
-  SelectivityEstimator(const Catalog* catalog, const BoundQueryBlock* block)
-      : catalog_(catalog), block_(block) {}
+  /// `use_column_stats` = false pins the estimator to the paper's Table 1
+  /// behavior even when histograms exist (the before/after measurement knob).
+  SelectivityEstimator(const Catalog* catalog, const BoundQueryBlock* block,
+                       bool use_column_stats = true)
+      : catalog_(catalog), block_(block),
+        use_column_stats_(use_column_stats) {}
 
   /// F for one boolean factor (any boolean expression).
   double FactorSelectivity(const BoundExpr& e) const;
@@ -35,26 +42,39 @@ class SelectivityEstimator {
   /// QCARD of an entire block: product of FROM cardinalities times the
   /// product of all factor selectivities (used for the IN-subquery formula).
   static double EstimateBlockCardinality(const Catalog* catalog,
-                                         const BoundQueryBlock& block);
+                                         const BoundQueryBlock& block,
+                                         bool use_column_stats = true);
 
   /// The index whose *leading* key column is (table, column), if any — the
   /// paper's "index on column". Prefers the one with statistics.
   const IndexInfo* LeadingIndexOn(int table_idx, size_t column) const;
 
-  /// ICARD-based selectivity of `column = value` (Table 1 row 1).
+  /// Histogram for (table, column), or nullptr when absent or disabled.
+  const ColumnStats* StatsFor(int table_idx, size_t column) const;
+
+  /// Distinct values of (table, column): histogram NDISTINCT, else leading
+  /// ICARD of an index on the column, else 0 (= unknown).
+  double DistinctCount(int table_idx, size_t column) const;
+
+  /// Selectivity of `column = <unknown value>` (Table 1 row 1 / NDISTINCT).
   double EqSelectivity(int table_idx, size_t column) const;
+  /// Selectivity of `column = v` with the value known at compile time: reads
+  /// the histogram, falling back to the value-independent estimate.
+  double EqSelectivity(int table_idx, size_t column, const Value& v) const;
 
  private:
   double CompareSelectivity(const BoundExpr& e) const;
-  double CompareSelectivityEqProxy(const BoundExpr& e) const;
+  double ColEqColSelectivity(const BoundExpr* lhs, const BoundExpr* rhs) const;
   double RangeSelectivity(const BoundExpr& col, CompareOp op,
                           const Value& v) const;
   double BetweenSelectivity(const BoundExpr& e) const;
   double InListSelectivity(const BoundExpr& e) const;
   double InSubquerySelectivity(const BoundExpr& e) const;
+  double IsNullSelectivity(const BoundExpr& e) const;
 
   const Catalog* catalog_;
   const BoundQueryBlock* block_;
+  const bool use_column_stats_;
 };
 
 /// Clamps a selectivity into (0, 1].

@@ -77,6 +77,15 @@ void PlanCache::Insert(const std::string& key, uint64_t version,
   }
 }
 
+void PlanCache::Remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  ++stats_.invalidations;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

@@ -61,6 +61,11 @@ class PlanCache {
   void Insert(const std::string& key, uint64_t version,
               std::shared_ptr<const OptimizedQuery> plan);
 
+  /// Drops the entry under `key`, if any (used when execution feedback finds
+  /// the cached plan's estimates badly diverged). Running executions keep
+  /// their shared_ptr; future lookups re-optimize.
+  void Remove(const std::string& key);
+
   void Clear();
   size_t size() const;
   size_t capacity() const { return capacity_; }

@@ -1,16 +1,21 @@
 #include "session/session.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "optimizer/explain.h"
+#include "optimizer/feedback.h"
 
 namespace systemr {
 
 StatusOr<std::shared_ptr<const OptimizedQuery>> Session::PlanFor(
-    const std::string& sql, const std::string& key, uint64_t* version_out) {
+    const std::string& sql, const std::string& key, uint64_t* version_out,
+    bool mark_replanned) {
   // The version is read BEFORE optimizing: if DDL lands between the read and
   // the Prepare, the entry is stored under the older version and the next
   // lookup conservatively re-optimizes — never the reverse.
   uint64_t version = db_->catalog().version();
-  if (cache_ != nullptr) {
+  if (cache_ != nullptr && !mark_replanned) {
     if (std::shared_ptr<const OptimizedQuery> plan =
             cache_->Lookup(key, version)) {
       ++stats_.cache_hits;
@@ -20,6 +25,7 @@ StatusOr<std::shared_ptr<const OptimizedQuery>> Session::PlanFor(
   }
   ASSIGN_OR_RETURN(OptimizedQuery query, db_->Prepare(sql));
   ++stats_.optimizations;
+  query.feedback_replanned = mark_replanned;
   auto plan = std::make_shared<const OptimizedQuery>(std::move(query));
   if (cache_ != nullptr) cache_->Insert(key, version, plan);
   *version_out = version;
@@ -53,6 +59,25 @@ StatusOr<QueryResult> PreparedStatement::Execute(
   ASSIGN_OR_RETURN(QueryResult result,
                    session_->db()->Run(*plan_, params, &session_->limits_));
   ++session_->stats_.executions;
+
+  // Selectivity-feedback divergence: when the actual result cardinality is
+  // off the estimate by more than the q-error threshold, the execution above
+  // has already pushed corrected selectivities into the feedback store —
+  // re-optimize once so the cached plan benefits. The replanned flag stops a
+  // statement whose cardinality the model simply cannot capture from
+  // re-optimizing on every execution.
+  if (session_->db()->options().feedback != nullptr &&
+      !plan_->feedback_replanned) {
+    double est = std::max(plan_->est_rows, 1.0);
+    double actual = std::max(static_cast<double>(result.rows.size()), 1.0);
+    double q = std::max(est / actual, actual / est);
+    if (q > kReplanQErrorThreshold) {
+      if (session_->cache() != nullptr) session_->cache()->Remove(key_);
+      ASSIGN_OR_RETURN(plan_, session_->PlanFor(sql_, key_, &catalog_version_,
+                                                /*mark_replanned=*/true));
+      ++session_->stats_.feedback_replans;
+    }
+  }
   return result;
 }
 

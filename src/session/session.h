@@ -65,6 +65,7 @@ struct SessionStats {
   uint64_t optimizations = 0;  // Times parse+bind+optimize actually ran.
   uint64_t cache_hits = 0;     // Plans served by the shared PlanCache.
   uint64_t reprepares = 0;     // Stale plans re-optimized at EXECUTE time.
+  uint64_t feedback_replans = 0;  // Plans re-optimized on estimate divergence.
 };
 
 class Session {
@@ -96,9 +97,12 @@ class Session {
 
   /// Plan lookup through the shared cache; optimizes on miss and publishes
   /// the result. `*version_out` receives the catalog version the returned
-  /// plan is valid for.
+  /// plan is valid for. `mark_replanned` skips the cache lookup, optimizes
+  /// fresh (with whatever the feedback store has learned by now), and stamps
+  /// the plan so estimate divergence can never trigger a second replan.
   StatusOr<std::shared_ptr<const OptimizedQuery>> PlanFor(
-      const std::string& sql, const std::string& key, uint64_t* version_out);
+      const std::string& sql, const std::string& key, uint64_t* version_out,
+      bool mark_replanned = false);
 
   Database* db_;
   PlanCache* cache_;

@@ -1,0 +1,71 @@
+// Calibration regression gate: runs the fuzz harness over 100 seeds with
+// histograms + selectivity feedback enabled (the default configuration, with
+// UPDATE STATISTICS issued by the harness after loading) and asserts that the
+// aggregate row-cardinality q-error stays below the recorded ceiling.
+//
+// Recorded baselines (see EXPERIMENTS.md, `fuzz_driver --seeds 100
+// --no-baselines --no-metamorphic [--table1]`):
+//
+//   estimator             rows q-error median   rows q-error p90
+//   Table 1 constants            1.25                 6.19
+//   histograms + feedback        1.03                 3.33
+//
+// The ceilings below carry headroom over the measured stats numbers but sit
+// far below the Table 1 baseline, so a regression that silently disables the
+// histograms or the feedback loop (or mis-wires UPDATE STATISTICS) trips the
+// gate instead of drifting by unnoticed.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/calibration.h"
+#include "harness/fuzz_session.h"
+
+namespace systemr {
+namespace {
+
+constexpr uint64_t kSeeds = 100;
+// Measured 1.03 / 3.33; Table 1 regression would land at 1.25 / 6.19.
+constexpr double kMedianCeiling = 1.15;
+constexpr double kP90Ceiling = 4.5;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+TEST(CalibrationGateTest, RowQErrorStaysBelowRecordedCeiling) {
+  FuzzOptions options;
+  // The differential and metamorphic oracles have their own tests and a
+  // dedicated CI fuzz run; here we only need the calibration records.
+  options.check_baselines = false;
+  options.metamorphic = false;
+
+  FuzzReport report;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SeedResult result = RunFuzzSeed(seed, options, &report);
+    EXPECT_TRUE(result.violations.empty())
+        << "seed " << seed << ": " << result.violations.front();
+  }
+  ASSERT_TRUE(report.violations.empty());
+  ASSERT_GT(report.records.size(), 100u) << "calibration records missing";
+
+  std::vector<double> q;
+  q.reserve(report.records.size());
+  for (const CalibrationRecord& rec : report.records) {
+    q.push_back(QError(rec.est_rows, static_cast<double>(rec.actual_rows)));
+  }
+  double median = Percentile(q, 0.5);
+  double p90 = Percentile(q, 0.9);
+
+  EXPECT_LE(median, kMedianCeiling)
+      << "rows q-error median regressed past the recorded ceiling";
+  EXPECT_LE(p90, kP90Ceiling)
+      << "rows q-error p90 regressed past the recorded ceiling";
+}
+
+}  // namespace
+}  // namespace systemr

@@ -361,6 +361,49 @@ TEST_F(SessionTest, ConcurrentSessionsSharedCache) {
   EXPECT_GT(cs.misses, 0u);
 }
 
+// Statistics invalidation: enough row mutations since UPDATE STATISTICS
+// mark the table's histograms stale, EXPLAIN flags plans over it, and
+// re-running UPDATE STATISTICS clears the flag and the mutation counter.
+TEST_F(SessionTest, MutationsMarkStatisticsStale) {
+  const TableInfo* emp = db_->catalog().FindTable("EMP");
+  ASSERT_NE(emp, nullptr);
+  EXPECT_FALSE(emp->stats_stale);
+
+  // Stay below the threshold: still fresh.
+  for (int i = 30; i < 30 + 200; ++i) {
+    ASSERT_TRUE(db_->Execute("INSERT INTO EMP VALUES (" + std::to_string(i) +
+                             ", 'E" + std::to_string(i) + "', 0, 1000, 0)")
+                    .ok());
+  }
+  EXPECT_FALSE(emp->stats_stale);
+
+  // Crossing kInsertsPerVersionBump mutations flips the flag (deletes count
+  // too — mutations of either kind distort the histograms).
+  for (int i = 230; i < 230 + 60; ++i) {
+    ASSERT_TRUE(db_->Execute("INSERT INTO EMP VALUES (" + std::to_string(i) +
+                             ", 'E" + std::to_string(i) + "', 0, 1000, 0)")
+                    .ok());
+  }
+  EXPECT_TRUE(emp->stats_stale);
+
+  // EXPLAIN surfaces the staleness on every scan of the table.
+  auto plan = db_->Explain("SELECT NAME FROM EMP WHERE SAL > 2000");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("stats=stale"), std::string::npos) << *plan;
+  auto dept_plan = db_->Explain("SELECT DNAME FROM DEPT");
+  ASSERT_TRUE(dept_plan.ok());
+  EXPECT_EQ(dept_plan->find("stats=stale"), std::string::npos)
+      << "DEPT was not mutated";
+
+  // UPDATE STATISTICS rebuilds the histograms and resets the state.
+  ASSERT_TRUE(db_->Execute("UPDATE STATISTICS EMP").ok());
+  EXPECT_FALSE(emp->stats_stale);
+  EXPECT_EQ(emp->mutations_since_stats, 0u);
+  plan = db_->Explain("SELECT NAME FROM EMP WHERE SAL > 2000");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->find("stats=stale"), std::string::npos) << *plan;
+}
+
 TEST_F(SessionTest, DatabaseRunRejectsUnboundParams) {
   // The plain Run(query) entry point must refuse a parameterized plan
   // instead of executing with dangling markers.

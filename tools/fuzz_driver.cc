@@ -54,6 +54,11 @@ int main(int argc, char** argv) {
       options.metamorphic = false;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       options.inject_faults = true;
+    } else if (std::strcmp(argv[i], "--table1") == 0) {
+      // Paper-faithful estimator: no histograms, no feedback. Used to record
+      // the calibration baseline in EXPERIMENTS.md.
+      options.use_column_stats = false;
+      options.use_feedback = false;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<int>(std::strtol(need_value("--threads"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--join-method") == 0) {
@@ -74,7 +79,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fuzz_driver [--seeds N] [--queries M] [--start S] "
                    "[--out PATH] [--no-baselines] [--no-metamorphic] "
-                   "[--faults] [--threads T] "
+                   "[--faults] [--table1] [--threads T] "
                    "[--join-method nlj|merge|hash|auto]\n");
       return 2;
     }

@@ -246,11 +246,15 @@ class Repl {
   void PrintStats() {
     const SessionStats& s = session_.stats();
     std::printf("session:    executions=%llu optimizations=%llu "
-                "cache_hits=%llu reprepares=%llu\n",
+                "cache_hits=%llu reprepares=%llu feedback_replans=%llu\n",
                 (unsigned long long)s.executions,
                 (unsigned long long)s.optimizations,
                 (unsigned long long)s.cache_hits,
-                (unsigned long long)s.reprepares);
+                (unsigned long long)s.reprepares,
+                (unsigned long long)s.feedback_replans);
+    const SelectivityFeedback& fb = db_.feedback();
+    std::printf("feedback:   signatures=%zu observations=%llu\n", fb.size(),
+                (unsigned long long)fb.records());
     PlanCacheStats c = cache_.stats();
     std::printf("plan cache: entries=%zu/%zu hits=%llu misses=%llu "
                 "evictions=%llu invalidations=%llu\n",
