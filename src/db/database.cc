@@ -42,6 +42,20 @@ StatusOr<OptimizedQuery> Database::Prepare(const std::string& sql) {
   return query;
 }
 
+StatusOr<OptimizedQuery> Database::Prepare(const std::string& sql, int max_dop,
+                                           bool force_parallel) {
+  int num_params = 0;
+  ASSIGN_OR_RETURN(std::unique_ptr<BoundQueryBlock> block,
+                   BindSql(sql, &num_params));
+  OptimizerOptions opts = options_;
+  opts.max_dop = max_dop;
+  opts.force_parallel = force_parallel;
+  Optimizer optimizer(&catalog_, opts);
+  ASSIGN_OR_RETURN(OptimizedQuery query, optimizer.Optimize(std::move(block)));
+  query.num_params = num_params;
+  return query;
+}
+
 StatusOr<OptimizedQuery> Database::PrepareBaseline(const std::string& sql,
                                                    BaselineKind kind) {
   int num_params = 0;
@@ -69,6 +83,7 @@ StatusOr<QueryResult> Database::Run(const OptimizedQuery& query,
   ExecContext ctx(&rss_, &catalog_, &query.subquery_plans, options_.cost.w);
   ctx.set_limits(limits != nullptr ? *limits : exec_limits_);
   ctx.set_params(&params);
+  ctx.set_worker_pool(&worker_pool_);
   ASSIGN_OR_RETURN(ExecResult exec, ExecutePlan(&ctx, *query.block,
                                                 query.root));
   if (options_.feedback != nullptr) RecordFeedback(ctx, query);

@@ -11,6 +11,7 @@
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
+#include "exec/parallel/worker_pool.h"
 #include "optimizer/baseline.h"
 #include "optimizer/feedback.h"
 #include "optimizer/optimizer.h"
@@ -50,6 +51,12 @@ class Database {
 
   /// Parse+bind+optimize without executing (for benches and tests).
   StatusOr<OptimizedQuery> Prepare(const std::string& sql);
+  /// Same, overriding the optimizer's degree-of-parallelism knobs for this
+  /// one statement (the PARALLEL n session setting). max_dop <= 1 plans
+  /// serially; force_parallel wraps every eligible fragment regardless of
+  /// cost (fuzzing).
+  StatusOr<OptimizedQuery> Prepare(const std::string& sql, int max_dop,
+                                   bool force_parallel = false);
   /// Same, with a baseline strategy instead of the DP optimizer.
   StatusOr<OptimizedQuery> PrepareBaseline(const std::string& sql,
                                            BaselineKind kind);
@@ -99,6 +106,9 @@ class Database {
   Catalog catalog_;
   ExecLimits exec_limits_;
   SelectivityFeedback feedback_;
+  // Shared by every statement's exchange operators; threads start lazily on
+  // the first parallel fragment, so serial workloads never spawn any.
+  WorkerPool worker_pool_;
 };
 
 }  // namespace systemr

@@ -35,6 +35,35 @@ void AggState::Reset() {
   max = Value::Null();
 }
 
+void AggState::Merge(const AggState& other) {
+  count += other.count;
+  if (int_sum && other.int_sum) {
+    isum += other.isum;
+  } else {
+    // Either side degraded to double: combine both totals as doubles, same
+    // as Accept does when a non-integer value arrives mid-group.
+    double mine = int_sum ? static_cast<double>(isum) : sum;
+    double theirs = other.int_sum ? static_cast<double>(other.isum) : other.sum;
+    sum = mine + theirs;
+    int_sum = false;
+  }
+  if (!other.min.is_null() &&
+      (min.is_null() || other.min.Compare(min) < 0)) {
+    min = other.min;
+  }
+  if (!other.max.is_null() &&
+      (max.is_null() || other.max.Compare(max) > 0)) {
+    max = other.max;
+  }
+}
+
+void MergeAggStates(std::vector<AggState>* into,
+                    const std::vector<AggState>& from) {
+  for (size_t i = 0; i < into->size() && i < from.size(); ++i) {
+    (*into)[i].Merge(from[i]);
+  }
+}
+
 void AggFunctionSet::Compile(const PlanNode* node) {
   std::vector<const BoundExpr*> aggs;
   for (const BoundExpr* item : node->agg_select) {

@@ -24,7 +24,16 @@ struct AggState {
   bool int_sum = true;
   Value min, max;
   void Reset();
+
+  /// Folds another partial state into this one (parallel partial
+  /// aggregation): counts and sums add — degrading to double arithmetic if
+  /// either side already did — min/max combine by Value::Compare.
+  void Merge(const AggState& other);
 };
+
+/// Element-wise AggState::Merge over two equally-sized state vectors.
+void MergeAggStates(std::vector<AggState>* into,
+                    const std::vector<AggState>& from);
 
 /// The compiled aggregate functions of one query block.
 class AggFunctionSet {

@@ -5,6 +5,7 @@
 // For the Operator definition: the cached subquery operator trees are
 // destroyed here (the header only forward-declares Operator).
 #include "exec/operators.h"
+#include "exec/parallel/shared_state.h"
 
 namespace systemr {
 
@@ -51,13 +52,51 @@ void ExecContext::ArmLimits() {
   limits_baseline_gets_ = meter_.logical_gets;
 }
 
+void ExecContext::ConfigureParallelWorker(
+    SharedFragmentState* shared, MorselDispenser* morsels,
+    const PlanNode* morsel_node,
+    const std::map<const PlanNode*, HashJoinTable>* shared_builds,
+    const ExecLimits& limits) {
+  shared_fragment_ = shared;
+  morsel_source_ = morsels;
+  morsel_node_ = morsel_node;
+  shared_builds_ = shared_builds;
+  limits_ = limits;
+  // Workers are always interruptible: even an unlimited statement needs the
+  // abort flag observed so a sibling's failure stops the whole fragment.
+  interruptible_ = true;
+  limits_baseline_gets_ = meter_.logical_gets;
+  shared_published_gets_ = meter_.logical_gets;
+}
+
+const HashJoinTable* ExecContext::SharedBuildFor(const PlanNode* node) const {
+  if (shared_builds_ == nullptr) return nullptr;
+  auto it = shared_builds_->find(node);
+  return it == shared_builds_->end() ? nullptr : &it->second;
+}
+
 Status ExecContext::CheckInterruptsSlow() {
+  if (shared_fragment_ != nullptr) {
+    // Publish this worker's buffer gets so every sibling's budget check sees
+    // the fragment's total work, then observe the shared abort flag.
+    uint64_t now = meter_.logical_gets;
+    if (now != shared_published_gets_) {
+      shared_fragment_->gets.fetch_add(now - shared_published_gets_,
+                                       std::memory_order_relaxed);
+      shared_published_gets_ = now;
+    }
+    if (shared_fragment_->abort.load(std::memory_order_acquire)) {
+      return Status::Cancelled("parallel fragment aborted");
+    }
+  }
   if (limits_.cancel != nullptr &&
       limits_.cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled("statement cancelled");
   }
   if (limits_.max_buffer_gets > 0) {
-    uint64_t used = meter_.logical_gets - limits_baseline_gets_;
+    uint64_t used = shared_fragment_ != nullptr
+                        ? shared_fragment_->gets.load(std::memory_order_relaxed)
+                        : meter_.logical_gets - limits_baseline_gets_;
     if (used > limits_.max_buffer_gets) {
       return Status::ResourceExhausted(
           "statement page-access budget exceeded (" +

@@ -20,6 +20,10 @@
 namespace systemr {
 
 class Operator;
+class MorselDispenser;
+class WorkerPool;
+struct HashJoinTable;
+struct SharedFragmentState;
 
 /// Per-statement resource limits — graceful degradation instead of runaway
 /// queries. Zero/absent fields mean unlimited. Budget and row limits are
@@ -51,6 +55,10 @@ struct ExecStats {
   uint64_t batch_rows_out = 0;   // Rows surviving each batch's selection.
   uint64_t hash_build_rows = 0;  // Rows inserted into hash-join build tables.
   uint64_t hash_probe_rows = 0;  // Outer rows probed against them.
+
+  // --- Parallel-execution counters (merged from worker contexts) ---
+  uint64_t parallel_workers = 0;  // Worker tasks run by exchange operators.
+  uint64_t parallel_morsels = 0;  // Page-range morsels those workers pulled.
 
   uint64_t page_io() const { return page_fetches + page_writes; }
   /// Average selection-vector density of the produced batches (1.0 = every
@@ -86,7 +94,13 @@ class ExecContext {
 
   Rss* rss() { return rss_; }
   const Catalog* catalog() const { return catalog_; }
+  const SubplanMap* subplans() const { return subplans_; }
   double w() const { return w_; }
+
+  /// Shared worker pool for exchange operators (not owned; null = parallel
+  /// fragments run their workers inline on the calling thread).
+  void set_worker_pool(WorkerPool* pool) { worker_pool_ = pool; }
+  WorkerPool* worker_pool() { return worker_pool_; }
 
   /// This statement's private work counters. ExecutePlan installs them as
   /// the thread's meter (rss/meter.h) for the duration of the run; limits
@@ -102,6 +116,8 @@ class ExecContext {
     uint64_t batch_rows_out = 0;
     uint64_t hash_build_rows = 0;
     uint64_t hash_probe_rows = 0;
+    uint64_t parallel_workers = 0;
+    uint64_t parallel_morsels = 0;
   };
   BatchCounters& batch_counters() { return batch_counters_; }
   const BatchCounters& batch_counters() const { return batch_counters_; }
@@ -199,6 +215,36 @@ class ExecContext {
   }
   /// kResourceExhausted once the statement has produced > max_rows rows.
   Status CheckRowLimit(uint64_t rows_produced) const;
+  /// This statement's limits with the buffer-get budget rebased to what is
+  /// left right now — the budget handed to parallel-fragment workers, whose
+  /// shared gets counter starts from zero.
+  ExecLimits LimitsForWorker() const {
+    ExecLimits l = limits_;
+    if (l.max_buffer_gets > 0) {
+      uint64_t used = meter_.logical_gets - limits_baseline_gets_;
+      l.max_buffer_gets =
+          used >= l.max_buffer_gets ? 1 : l.max_buffer_gets - used;
+    }
+    return l;
+  }
+
+  // --- Parallel-fragment plumbing (see exec/parallel/) ---
+  /// Marks this context as a parallel-fragment worker: morsel-driven scans
+  /// pull page ranges from `morsels` for the plan node `morsel_node`, hash
+  /// joins probe the pre-built `shared_builds` tables, and interrupt checks
+  /// publish buffer gets to / observe the abort flag of `shared`. `limits`
+  /// carries the parent statement's limits with the buffer-get budget
+  /// rebased to what the statement had left when the fragment started.
+  void ConfigureParallelWorker(
+      SharedFragmentState* shared, MorselDispenser* morsels,
+      const PlanNode* morsel_node,
+      const std::map<const PlanNode*, HashJoinTable>* shared_builds,
+      const ExecLimits& limits);
+  MorselDispenser* morsel_source() { return morsel_source_; }
+  const PlanNode* morsel_node() const { return morsel_node_; }
+  /// The shared build table for a hash-join node, or null when this context
+  /// is not a worker (or the node's build was not pre-built).
+  const HashJoinTable* SharedBuildFor(const PlanNode* node) const;
 
   // --- Temp storage for sorts (metered through the buffer pool) ---
   /// Allocates a page owned by this statement's temp space.
@@ -212,6 +258,7 @@ class ExecContext {
   const Catalog* catalog_;
   const SubplanMap* subplans_;
   double w_;
+  WorkerPool* worker_pool_ = nullptr;
   const std::vector<Value>* params_ = nullptr;
   std::vector<const Row*> ancestors_;
   std::map<const BoundQueryBlock*, SubqueryCache> caches_;
@@ -229,6 +276,13 @@ class ExecContext {
   ExecLimits limits_;
   bool interruptible_ = false;
   uint64_t limits_baseline_gets_ = 0;
+
+  // Parallel-worker state (null/zero on statement-level contexts).
+  SharedFragmentState* shared_fragment_ = nullptr;
+  MorselDispenser* morsel_source_ = nullptr;
+  const PlanNode* morsel_node_ = nullptr;
+  const std::map<const PlanNode*, HashJoinTable>* shared_builds_ = nullptr;
+  uint64_t shared_published_gets_ = 0;
 };
 
 }  // namespace systemr

@@ -4,6 +4,7 @@
 #include "exec/hash_ops.h"
 #include "exec/joins.h"
 #include "exec/operators.h"
+#include "exec/parallel/exchange.h"
 #include "exec/sort.h"
 
 namespace systemr {
@@ -30,11 +31,19 @@ std::unique_ptr<Operator> BuildOperator(ExecContext* ctx,
           ctx, block, node,
           BuildOperator(ctx, block, node->left.get(), binding),
           BuildOperator(ctx, block, node->right.get(), binding));
-    case PlanKind::kHashJoin:
+    case PlanKind::kHashJoin: {
+      // Parallel-fragment workers probe a shared pre-built table; they get
+      // no build child at all (the exchange already drained the build side
+      // serially, exactly once).
+      std::unique_ptr<Operator> build =
+          ctx->SharedBuildFor(node) != nullptr
+              ? nullptr
+              : BuildOperator(ctx, block, node->right.get(), binding);
       return std::make_unique<HashJoinOp>(
           ctx, block, node,
           BuildOperator(ctx, block, node->left.get(), binding),
-          BuildOperator(ctx, block, node->right.get(), binding));
+          std::move(build));
+    }
     case PlanKind::kFilter:
       return std::make_unique<FilterOp>(
           ctx, block, node,
@@ -51,6 +60,10 @@ std::unique_ptr<Operator> BuildOperator(ExecContext* ctx,
       return std::make_unique<HashGroupByOp>(
           ctx, block, node,
           BuildOperator(ctx, block, node->left.get(), binding));
+    case PlanKind::kExchange:
+      // The exchange builds its fragment's operator trees itself, one per
+      // worker context.
+      return std::make_unique<ExchangeOp>(ctx, block, node);
   }
   return nullptr;
 }
@@ -106,6 +119,10 @@ StatusOr<ExecResult> ExecutePlan(ExecContext* ctx,
       bc.hash_build_rows - bc_before.hash_build_rows;
   result.stats.hash_probe_rows =
       bc.hash_probe_rows - bc_before.hash_probe_rows;
+  result.stats.parallel_workers =
+      bc.parallel_workers - bc_before.parallel_workers;
+  result.stats.parallel_morsels =
+      bc.parallel_morsels - bc_before.parallel_morsels;
   result.actual_cost = result.stats.ActualCost(ctx->w());
   return result;
 }

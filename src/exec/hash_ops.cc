@@ -29,6 +29,31 @@ size_t HashValue(const Value& v) {
   return 0;
 }
 
+Status FillHashJoinTable(ExecContext* ctx, Operator* build,
+                         size_t build_offset, size_t inner_offset,
+                         size_t inner_width, HashJoinTable* table) {
+  table->rows.clear();
+  table->index.clear();
+  RowBatch batch;
+  bool has = true;
+  while (true) {
+    RETURN_IF_ERROR(ctx->CheckInterrupts());
+    RETURN_IF_ERROR(build->NextBatch(&batch, &has));
+    if (!has) break;
+    for (uint32_t idx : batch.sel) {
+      const Row& r = batch.rows[idx];
+      const Value& key = r[build_offset];
+      if (key.is_null()) continue;  // NULL keys never join.
+      uint32_t slot = static_cast<uint32_t>(table->rows.size());
+      table->rows.emplace_back(r.begin() + inner_offset,
+                               r.begin() + inner_offset + inner_width);
+      table->index[HashValue(key)].push_back(slot);
+      ++ctx->batch_counters().hash_build_rows;
+    }
+  }
+  return Status::OK();
+}
+
 HashJoinOp::HashJoinOp(ExecContext* ctx, const BoundQueryBlock* block,
                        const PlanNode* node, std::unique_ptr<Operator> outer,
                        std::unique_ptr<Operator> build)
@@ -45,25 +70,14 @@ HashJoinOp::HashJoinOp(ExecContext* ctx, const BoundQueryBlock* block,
 }
 
 Status HashJoinOp::BuildTable() {
-  build_rows_.clear();
-  table_.clear();
-  RowBatch batch;
-  bool has = true;
-  while (true) {
-    RETURN_IF_ERROR(ctx_->CheckInterrupts());
-    RETURN_IF_ERROR(build_->NextBatch(&batch, &has));
-    if (!has) break;
-    for (uint32_t idx : batch.sel) {
-      const Row& r = batch.rows[idx];
-      const Value& key = r[build_offset_];
-      if (key.is_null()) continue;  // NULL keys never join.
-      uint32_t slot = static_cast<uint32_t>(build_rows_.size());
-      build_rows_.emplace_back(r.begin() + inner_offset_,
-                               r.begin() + inner_offset_ + inner_width_);
-      table_[HashValue(key)].push_back(slot);
-      ++ctx_->batch_counters().hash_build_rows;
-    }
+  if (const HashJoinTable* shared = ctx_->SharedBuildFor(node_)) {
+    table_ = shared;  // Pre-built serially by the exchange; read-only here.
+    return Status::OK();
   }
+  RETURN_IF_ERROR(FillHashJoinTable(ctx_, build_.get(), build_offset_,
+                                    inner_offset_, inner_width_,
+                                    &own_table_));
+  table_ = &own_table_;
   return Status::OK();
 }
 
@@ -80,7 +94,7 @@ void HashJoinOp::ResetProbeState() {
 
 Status HashJoinOp::Open() {
   RETURN_IF_ERROR(outer_->Open());
-  RETURN_IF_ERROR(build_->Open());
+  if (build_ != nullptr) RETURN_IF_ERROR(build_->Open());
   RETURN_IF_ERROR(BuildTable());
   ResetProbeState();
   return Status::OK();
@@ -88,7 +102,7 @@ Status HashJoinOp::Open() {
 
 Status HashJoinOp::Rebind(const Row* outer) {
   RETURN_IF_ERROR(outer_->Rebind(outer));
-  RETURN_IF_ERROR(build_->Rebind(outer));
+  if (build_ != nullptr) RETURN_IF_ERROR(build_->Rebind(outer));
   RETURN_IF_ERROR(BuildTable());
   ResetProbeState();
   return Status::OK();
@@ -106,7 +120,8 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_batch) {
       }
       RETURN_IF_ERROR(ctx_->CheckInterrupts());
       const Row& orow = outer_batch_.rows[outer_batch_.sel[sel_pos_]];
-      const std::vector<Value>& slice = build_rows_[(*matches_)[match_pos_++]];
+      const std::vector<Value>& slice =
+          table_->rows[(*matches_)[match_pos_++]];
       // Bucket verification: hash collisions resolve here.
       if (orow[probe_offset_].Compare(slice[build_offset_ - inner_offset_]) !=
           0) {
@@ -135,8 +150,8 @@ Status HashJoinOp::NextBatch(RowBatch* out, bool* has_batch) {
     const Value& key = outer_batch_.rows[outer_batch_.sel[sel_pos_]]
                                         [probe_offset_];
     if (!key.is_null()) {
-      auto it = table_.find(HashValue(key));
-      if (it != table_.end()) {
+      auto it = table_->index.find(HashValue(key));
+      if (it != table_->index.end()) {
         matches_ = &it->second;
         match_pos_ = 0;
         continue;
@@ -174,14 +189,16 @@ Status HashJoinOp::Next(Row* out, bool* has_row) {
   return Status::OK();
 }
 
-HashGroupByOp::HashGroupByOp(ExecContext* ctx, const BoundQueryBlock* block,
-                             const PlanNode* node,
-                             std::unique_ptr<Operator> child)
-    : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {
-  funcs_.Compile(node_);
+void GroupTable::Reset(const PlanNode* node) {
+  if (node != node_) {
+    node_ = node;
+    funcs_.Compile(node);
+  }
+  groups_.clear();
+  index_.clear();
 }
 
-size_t HashGroupByOp::HashGroupKey(const Row& row) const {
+size_t GroupTable::HashGroupKey(const Row& row) const {
   size_t h = 14695981039346656037ull;
   for (size_t off : node_->group_offsets) {
     h = (h ^ HashValue(row[off])) * 1099511628211ull;
@@ -189,50 +206,81 @@ size_t HashGroupByOp::HashGroupKey(const Row& row) const {
   return h;
 }
 
-bool HashGroupByOp::SameGroup(const Row& a, const Row& b) const {
+bool GroupTable::SameGroup(const Row& a, const Row& b) const {
   for (size_t off : node_->group_offsets) {
     if (a[off].Compare(b[off]) != 0) return false;
   }
   return true;
 }
 
+Status GroupTable::Accept(ExecContext* ctx, const Row& row) {
+  std::vector<uint32_t>& bucket = index_[HashGroupKey(row)];
+  Group* g = nullptr;
+  for (uint32_t gi : bucket) {
+    if (SameGroup(groups_[gi].rep, row)) {
+      g = &groups_[gi];
+      break;
+    }
+  }
+  if (g == nullptr) {
+    bucket.push_back(static_cast<uint32_t>(groups_.size()));
+    groups_.emplace_back();
+    g = &groups_.back();
+    g->rep = row;
+    funcs_.ResetStates(&g->states);
+  }
+  return funcs_.Accept(ctx, row, &g->states);
+}
+
+void GroupTable::MergeFrom(GroupTable* other) {
+  for (Group& og : other->groups_) {
+    std::vector<uint32_t>& bucket = index_[HashGroupKey(og.rep)];
+    Group* g = nullptr;
+    for (uint32_t gi : bucket) {
+      if (SameGroup(groups_[gi].rep, og.rep)) {
+        g = &groups_[gi];
+        break;
+      }
+    }
+    if (g == nullptr) {
+      bucket.push_back(static_cast<uint32_t>(groups_.size()));
+      groups_.push_back(std::move(og));
+    } else {
+      MergeAggStates(&g->states, og.states);
+    }
+  }
+  other->groups_.clear();
+  other->index_.clear();
+}
+
+void GroupTable::EnsureScalarGroup(size_t row_width) {
+  if (!groups_.empty() || !node_->group_offsets.empty()) return;
+  groups_.emplace_back();
+  groups_.back().rep = Row(row_width);
+  funcs_.ResetStates(&groups_.back().states);
+}
+
+HashGroupByOp::HashGroupByOp(ExecContext* ctx, const BoundQueryBlock* block,
+                             const PlanNode* node,
+                             std::unique_ptr<Operator> child)
+    : ctx_(ctx), block_(block), node_(node), child_(std::move(child)) {}
+
 Status HashGroupByOp::BuildGroups() {
-  groups_.clear();
-  index_.clear();
+  table_.Reset(node_);
   bool has = true;
   while (true) {
     RETURN_IF_ERROR(ctx_->CheckInterrupts());
     RETURN_IF_ERROR(child_->NextBatch(&in_batch_, &has));
     if (!has) break;
     for (uint32_t idx : in_batch_.sel) {
-      const Row& r = in_batch_.rows[idx];
-      std::vector<uint32_t>& bucket = index_[HashGroupKey(r)];
-      Group* g = nullptr;
-      for (uint32_t gi : bucket) {
-        if (SameGroup(groups_[gi].rep, r)) {
-          g = &groups_[gi];
-          break;
-        }
-      }
-      if (g == nullptr) {
-        bucket.push_back(static_cast<uint32_t>(groups_.size()));
-        groups_.emplace_back();
-        g = &groups_.back();
-        g->rep = r;
-        funcs_.ResetStates(&g->states);
-      }
-      RETURN_IF_ERROR(funcs_.Accept(ctx_, r, &g->states));
+      RETURN_IF_ERROR(table_.Accept(ctx_, in_batch_.rows[idx]));
     }
   }
-  if (groups_.empty() && node_->group_offsets.empty()) {
-    // Scalar aggregate over an empty input still yields one row
-    // (COUNT = 0, others NULL) — unless HAVING rejects it. Never planned
-    // today (the optimizer only prices hash aggregation for GROUP BY
-    // blocks), but the operator honors the SQL contract regardless.
-    groups_.emplace_back();
-    groups_.back().rep = Row(block_->row_width);
-    funcs_.ResetStates(&groups_.back().states);
-  }
+  // Scalar aggregate over an empty input still yields one row (COUNT = 0,
+  // others NULL) — unless HAVING rejects it. Never planned today (the
+  // optimizer only prices hash aggregation for GROUP BY blocks), but the
+  // operator honors the SQL contract regardless.
+  table_.EnsureScalarGroup(block_->row_width);
   return Status::OK();
 }
 
@@ -251,12 +299,14 @@ Status HashGroupByOp::Rebind(const Row* outer) {
 }
 
 Status HashGroupByOp::Next(Row* out, bool* has_row) {
-  while (emit_idx_ < groups_.size()) {
-    const Group& g = groups_[emit_idx_++];
-    ASSIGN_OR_RETURN(bool keep,
-                     funcs_.HavingPasses(ctx_, node_, g.rep, g.states));
+  const std::vector<GroupTable::Group>& groups = table_.groups();
+  while (emit_idx_ < groups.size()) {
+    const GroupTable::Group& g = groups[emit_idx_++];
+    ASSIGN_OR_RETURN(bool keep, table_.funcs().HavingPasses(ctx_, node_, g.rep,
+                                                            g.states));
     if (!keep) continue;
-    RETURN_IF_ERROR(funcs_.EmitSelect(ctx_, node_, g.rep, g.states, out));
+    RETURN_IF_ERROR(
+        table_.funcs().EmitSelect(ctx_, node_, g.rep, g.states, out));
     *has_row = true;
     return Status::OK();
   }

@@ -7,6 +7,12 @@
 // EncodeKey is unsuitable — Int(1) and Real(1.0) compare equal but encode
 // differently), so buckets are keyed by a numeric-coercing hash code and
 // verified with Value::Compare, which already defines cross-type equality.
+//
+// Parallel fragments: a hash join inside a morsel-driven fragment probes a
+// HashJoinTable built ONCE, serially, by the exchange operator (the build
+// child is then null); the table is read-only during the probe, so every
+// worker shares it without locking. Hash aggregation parallelizes by
+// per-worker GroupTables merged at the exchange barrier.
 #ifndef SYSTEMR_EXEC_HASH_OPS_H_
 #define SYSTEMR_EXEC_HASH_OPS_H_
 
@@ -15,12 +21,21 @@
 
 #include "exec/agg_common.h"
 #include "exec/operators.h"
+#include "exec/parallel/shared_state.h"
 
 namespace systemr {
 
 /// Hash code consistent with Value::Compare equality: numerics hash their
 /// numeric value (so Int(1) and Real(1.0) collide), strings their bytes.
 size_t HashValue(const Value& v);
+
+/// Drains `build` and fills `table` with its rows' inner slices, keyed on
+/// the block-row offset `build_offset`. NULL keys are dropped (they never
+/// join). Shared by HashJoinOp's private build and the exchange operator's
+/// serial pre-build of fragment-shared tables.
+Status FillHashJoinTable(ExecContext* ctx, Operator* build,
+                         size_t build_offset, size_t inner_offset,
+                         size_t inner_width, HashJoinTable* table);
 
 /// Equi join via build/probe hash table (PlanKind::kHashJoin). The right
 /// child (the build side, read exactly once) is materialized into a table
@@ -30,6 +45,8 @@ size_t HashValue(const Value& v);
 /// interesting order.
 class HashJoinOp : public Operator {
  public:
+  /// `build` may be null when the context carries a pre-built shared table
+  /// for this node (parallel fragment workers).
   HashJoinOp(ExecContext* ctx, const BoundQueryBlock* block,
              const PlanNode* node, std::unique_ptr<Operator> outer,
              std::unique_ptr<Operator> build);
@@ -40,11 +57,11 @@ class HashJoinOp : public Operator {
   Status NextBatch(RowBatch* out, bool* has_batch) override;
   void Close() override {
     outer_->Close();
-    build_->Close();
+    if (build_ != nullptr) build_->Close();
   }
 
  private:
-  /// Drains the build child and fills table_/build_rows_.
+  /// Drains the build child into own_table_ (or adopts the shared table).
   Status BuildTable();
   void ResetProbeState();
 
@@ -60,10 +77,8 @@ class HashJoinOp : public Operator {
   size_t inner_offset_ = 0;  // Inner table's slot range in the block row.
   size_t inner_width_ = 0;
 
-  /// Build-side rows, stored as just the inner table's column slice; the
-  /// hash table maps key hash code -> indices into this vector.
-  std::vector<std::vector<Value>> build_rows_;
-  std::unordered_map<size_t, std::vector<uint32_t>> table_;
+  HashJoinTable own_table_;
+  const HashJoinTable* table_ = nullptr;  // own_table_ or the shared table.
 
   // Probe state, persisted across NextBatch calls mid-outer-batch.
   RowBatch outer_batch_;
@@ -76,6 +91,46 @@ class HashJoinOp : public Operator {
   RowBatch drain_;
   size_t drain_pos_ = 0;
   bool drain_done_ = false;
+};
+
+/// Hash-grouped aggregation state: groups in first-seen order plus the
+/// key-hash index, with the compiled aggregate functions of the owning
+/// node. Extracted from HashGroupByOp so parallel partial aggregation can
+/// keep one table per worker and merge them at the exchange barrier.
+class GroupTable {
+ public:
+  struct Group {
+    Row rep;  // First row seen for the group (grouping columns live here).
+    std::vector<AggState> states;
+  };
+
+  /// Binds to an aggregation node and clears all groups; the aggregate
+  /// functions are recompiled only when the node changes.
+  void Reset(const PlanNode* node);
+
+  /// Folds one input row into its group (creating the group on first sight).
+  Status Accept(ExecContext* ctx, const Row& row);
+
+  /// Moves every group of `other` into this table: states of key-equal
+  /// groups merge (AggState::Merge); new keys append in arrival order.
+  void MergeFrom(GroupTable* other);
+
+  /// Scalar aggregate over an empty input still yields one row (COUNT = 0,
+  /// others NULL); creates that group when no grouping keys exist and no
+  /// input row arrived.
+  void EnsureScalarGroup(size_t row_width);
+
+  const std::vector<Group>& groups() const { return groups_; }
+  AggFunctionSet& funcs() { return funcs_; }
+
+ private:
+  size_t HashGroupKey(const Row& row) const;
+  bool SameGroup(const Row& a, const Row& b) const;
+
+  const PlanNode* node_ = nullptr;
+  AggFunctionSet funcs_;
+  std::vector<Group> groups_;  // First-seen order.
+  std::unordered_map<size_t, std::vector<uint32_t>> index_;
 };
 
 /// Grouped aggregation over unordered input (PlanKind::kHashAggregate):
@@ -93,24 +148,14 @@ class HashGroupByOp : public Operator {
   void Close() override { child_->Close(); }
 
  private:
-  struct Group {
-    Row rep;  // First row seen for the group (grouping columns live here).
-    std::vector<AggState> states;
-  };
-
-  /// Drains the child and builds groups_/index_.
+  /// Drains the child into table_.
   Status BuildGroups();
-  size_t HashGroupKey(const Row& row) const;
-  bool SameGroup(const Row& a, const Row& b) const;
 
   ExecContext* ctx_;
   const BoundQueryBlock* block_;
   const PlanNode* node_;
   std::unique_ptr<Operator> child_;
-  AggFunctionSet funcs_;
-
-  std::vector<Group> groups_;  // First-seen order.
-  std::unordered_map<size_t, std::vector<uint32_t>> index_;
+  GroupTable table_;
   RowBatch in_batch_;
   size_t emit_idx_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel/morsel.h"
+
 namespace systemr {
 
 Status Operator::NextBatch(RowBatch* out, bool* has_batch) {
@@ -44,6 +46,32 @@ ScanOp::ScanOp(ExecContext* ctx, const BoundQueryBlock* block,
     scan_ = ctx_->rss()->OpenIndexScan(spec.table->id, spec.index->id,
                                        KeyRange{}, std::move(sargs));
   }
+  morsel_mode_ = spec.index == nullptr &&
+                 ctx_->morsel_source() != nullptr &&
+                 ctx_->morsel_node() == node_;
+}
+
+Status ScanOp::AdvanceMorsel(bool* got) {
+  MorselDispenser::Morsel m;
+  if (!ctx_->morsel_source()->Next(&m)) {
+    morsel_drained_ = true;
+    *got = false;
+    return Status::OK();
+  }
+  ++ctx_->batch_counters().parallel_morsels;
+  static_cast<SegmentScan*>(scan_.get())->SetPageRange(m.begin, m.end);
+  *got = true;
+  return scan_->Open();
+}
+
+Status ScanOp::OpenScan() {
+  if (!morsel_mode_) return scan_->Open();
+  morsel_drained_ = false;
+  bool got = false;
+  // A drained dispenser (empty segment, or more workers than morsels) leaves
+  // the scan empty; Next/NextBatch observe morsel_drained_ before touching
+  // the unopened scan.
+  return AdvanceMorsel(&got);
 }
 
 Status ScanOp::BindDynamic() {
@@ -123,13 +151,13 @@ Status ScanOp::BindDynamic() {
 
 Status ScanOp::Open() {
   RETURN_IF_ERROR(BindDynamic());
-  return scan_->Open();
+  return OpenScan();
 }
 
 Status ScanOp::Rebind(const Row* outer) {
   if (outer != nullptr) binding_ = outer;
   RETURN_IF_ERROR(BindDynamic());
-  return scan_->Open();
+  return OpenScan();
 }
 
 Status ScanOp::Next(Row* out, bool* has_row) {
@@ -139,9 +167,17 @@ Status ScanOp::Next(Row* out, bool* has_row) {
     // Every candidate tuple is a cancellation/budget point: a runaway scan
     // aborts within one tuple of the limit being hit.
     RETURN_IF_ERROR(ctx_->CheckInterrupts());
+    if (morsel_mode_ && morsel_drained_) break;
     bool has;
     RETURN_IF_ERROR(scan_->Next(&base_, &tid, &has));
-    if (!has) break;
+    if (!has) {
+      if (morsel_mode_) {
+        bool got = false;
+        RETURN_IF_ERROR(AdvanceMorsel(&got));
+        if (got) continue;
+      }
+      break;
+    }
     size_t limit = out->size() > offset_ ? out->size() - offset_ : 0;
     size_t n = std::min(base_.size(), limit);
     for (size_t i = 0; i < n; ++i) {
@@ -167,7 +203,13 @@ Status ScanOp::NextBatch(RowBatch* out, bool* has_batch) {
   // slack versus the per-tuple check of the scalar path.
   RETURN_IF_ERROR(ctx_->CheckInterrupts());
   size_t n = 0;
-  RETURN_IF_ERROR(scan_->NextBatch(&rsi_rows_, &rsi_tids_, kBatchRows, &n));
+  while (true) {
+    if (morsel_mode_ && morsel_drained_) break;
+    RETURN_IF_ERROR(scan_->NextBatch(&rsi_rows_, &rsi_tids_, kBatchRows, &n));
+    if (n > 0 || !morsel_mode_) break;
+    bool got = false;
+    RETURN_IF_ERROR(AdvanceMorsel(&got));
+  }
   if (n == 0) {
     exhausted_ = true;
     *has_batch = false;

@@ -78,6 +78,13 @@ class ScanOp : public Operator {
   /// Writes the current binding's values into the scan's dynamic SARG slots
   /// and (for index scans) recomputes the key range.
   Status BindDynamic();
+  /// Positions the scan (morsel mode claims the first page range; a drained
+  /// dispenser leaves the scan empty).
+  Status OpenScan();
+  /// Claims the next morsel and re-opens the scan on its page range. *got
+  /// is false (and the scan is permanently drained) once the dispenser is
+  /// empty.
+  Status AdvanceMorsel(bool* got);
 
   ExecContext* ctx_;
   const BoundQueryBlock* block_;
@@ -93,6 +100,12 @@ class ScanOp : public Operator {
   Tid last_tid_;
   uint64_t rows_out_ = 0;    // Rows produced since the last Close() flush.
   bool exhausted_ = false;   // Reached end of stream at least once.
+
+  // Morsel-driven mode: this is the driving segment scan of a parallel
+  // fragment worker — instead of the whole segment, it scans page ranges
+  // claimed from the context's shared dispenser until that is drained.
+  bool morsel_mode_ = false;
+  bool morsel_drained_ = false;
 };
 
 class FilterOp : public Operator {

@@ -1,0 +1,64 @@
+// Morsel dispenser: the shared work queue of morsel-driven parallel
+// execution. A morsel is a contiguous range of segment pages; workers pull
+// ranges from one atomic cursor, so load balances itself — a worker stalled
+// on a slow page simply claims fewer morsels. The dispenser is created per
+// exchange Open and never blocks: Next() either hands out the next range or
+// reports that the segment is drained.
+#ifndef SYSTEMR_EXEC_PARALLEL_MORSEL_H_
+#define SYSTEMR_EXEC_PARALLEL_MORSEL_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace systemr {
+
+/// Pages per morsel. Small enough that a dop-8 worker pool balances a
+/// few-hundred-page segment, large enough that the dispenser's atomic
+/// fetch-add and the scan re-open are amortized over thousands of tuples.
+inline constexpr size_t kMorselPages = 8;
+
+class MorselDispenser {
+ public:
+  struct Morsel {
+    size_t begin = 0;  // First segment-page index (inclusive).
+    size_t end = 0;    // One past the last page index (exclusive).
+  };
+
+  MorselDispenser(size_t num_pages, size_t pages_per_morsel = kMorselPages)
+      : num_pages_(num_pages),
+        pages_per_morsel_(pages_per_morsel == 0 ? 1 : pages_per_morsel) {}
+
+  /// Claims the next page range. False once the segment is fully dispensed.
+  bool Next(Morsel* m) {
+    size_t begin =
+        cursor_.fetch_add(pages_per_morsel_, std::memory_order_relaxed);
+    if (begin >= num_pages_) return false;
+    m->begin = begin;
+    m->end = begin + pages_per_morsel_ < num_pages_
+                 ? begin + pages_per_morsel_
+                 : num_pages_;
+    return true;
+  }
+
+  size_t num_pages() const { return num_pages_; }
+  size_t num_morsels() const {
+    return (num_pages_ + pages_per_morsel_ - 1) / pages_per_morsel_;
+  }
+
+ private:
+  std::atomic<size_t> cursor_{0};
+  const size_t num_pages_;
+  const size_t pages_per_morsel_;
+};
+
+/// Morsel count for a table of `pages` data pages (used by the optimizer to
+/// cap the useful degree of parallelism before the segment exists at its
+/// runtime size — estimates in, estimates out).
+inline size_t MorselCountForPages(double pages) {
+  if (pages <= 0) return 0;
+  return (static_cast<size_t>(pages) + kMorselPages - 1) / kMorselPages;
+}
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_PARALLEL_MORSEL_H_

@@ -1,0 +1,62 @@
+// State shared between the workers of one parallel fragment: the read-only
+// hash-join build tables (built once, serially, before the workers start)
+// and the cooperative limit/abort state every worker's interrupt check
+// consults. Kept separate from exchange.h so ExecContext can hold pointers
+// to these types without depending on the operator layer.
+#ifndef SYSTEMR_EXEC_PARALLEL_SHARED_STATE_H_
+#define SYSTEMR_EXEC_PARALLEL_SHARED_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace systemr {
+
+/// A materialized hash-join build side: inner-slice rows plus the key-hash
+/// index. Read-only once built, so a parallel probe needs no locking.
+struct HashJoinTable {
+  /// Build rows, stored as just the inner table's column slice.
+  std::vector<std::vector<Value>> rows;
+  /// Key hash code -> indices into `rows`.
+  std::unordered_map<size_t, std::vector<uint32_t>> index;
+};
+
+/// Cooperative cross-worker limit enforcement for one parallel fragment.
+/// Workers publish their buffer gets here so the statement-wide budget is
+/// checked against the fragment's TOTAL work, and the first failure (a
+/// tripped limit, a cancel, a storage error) flips `abort` so every sibling
+/// stops at its next interrupt check instead of running to completion.
+struct SharedFragmentState {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<bool> abort{false};
+
+  /// Records the fragment's primary error (first writer wins) and aborts
+  /// the siblings. Cancellations caused by the abort flag itself are echoes,
+  /// not causes — callers pass only original failures here.
+  void RecordError(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = std::move(s);
+    }
+    abort.store(true, std::memory_order_release);
+  }
+
+  Status first_error() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+
+ private:
+  std::mutex mu_;
+  Status first_error_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_PARALLEL_SHARED_STATE_H_

@@ -1,0 +1,85 @@
+#include "exec/parallel/worker_pool.h"
+
+namespace systemr {
+
+namespace {
+
+size_t DefaultMaxThreads() {
+  // Floor of 8: fragment workers in the paper's regime are I/O-bound (cost
+  // is dominated by page fetches, the CPU idles between them), so full
+  // overlap at the PARALLEL 1..8 surface must not be capped by a small
+  // host's core count. CPU oversubscription stays bounded because the
+  // optimizer's dop choice — not the pool — limits workers per statement.
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw < 8 ? 8 : hw;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(size_t max_threads)
+    : max_threads_(max_threads == 0 ? DefaultMaxThreads() : max_threads) {}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t WorkerPool::threads_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+void WorkerPool::EnsureThreads(size_t want) {
+  if (want > max_threads_) want = max_threads_;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (threads_.size() < want) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+void WorkerPool::Loop() {
+  while (true) {
+    QueuedTask task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+    {
+      std::lock_guard<std::mutex> lock(task.batch->mu);
+      --task.batch->pending;
+    }
+    task.batch->done_cv.notify_all();
+  }
+}
+
+void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  EnsureThreads(tasks.size() - 1);
+  auto batch = std::make_shared<BatchState>();
+  batch->pending = tasks.size() - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 1; i < tasks.size(); ++i) {
+      queue_.push_back(QueuedTask{std::move(tasks[i]), batch});
+    }
+  }
+  cv_.notify_all();
+  // The caller participates: progress never depends on pool capacity.
+  tasks[0]();
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&] { return batch->pending == 0; });
+}
+
+}  // namespace systemr

@@ -1,0 +1,65 @@
+// Persistent worker pool for morsel-driven parallel execution. Threads are
+// started lazily on the first parallel fragment and live until the pool is
+// destroyed (one pool per Database), so a query's startup cost is a task
+// enqueue, not a thread spawn.
+//
+// Deadlock freedom: RunAll's calling thread always executes tasks itself, so
+// every batch completes even when the pool threads are saturated by other
+// queries' fragments — and fragment tasks never submit nested tasks (the
+// parallelizer inserts at most one exchange per statement, never inside
+// subqueries).
+#ifndef SYSTEMR_EXEC_PARALLEL_WORKER_POOL_H_
+#define SYSTEMR_EXEC_PARALLEL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace systemr {
+
+class WorkerPool {
+ public:
+  /// `max_threads` caps the pool size; 0 means hardware concurrency.
+  explicit WorkerPool(size_t max_threads = 0);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Runs every task to completion before returning. The calling thread
+  /// executes tasks[0] itself while pool threads drain the rest; tasks must
+  /// not throw — engine errors travel through captured Status.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  size_t threads_started() const;
+
+ private:
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending = 0;  // Queued tasks not yet finished.
+  };
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::shared_ptr<BatchState> batch;
+  };
+
+  void Loop();
+  /// Grows the pool toward `want` threads (bounded by max_threads_).
+  void EnsureThreads(size_t want);
+
+  const size_t max_threads_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedTask> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_EXEC_PARALLEL_WORKER_POOL_H_

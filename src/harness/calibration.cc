@@ -52,7 +52,11 @@ PlanIo Walk(const PlanNode& node, double w) {
     case PlanKind::kFilter:
     case PlanKind::kProject:
     case PlanKind::kAggregate:
-    case PlanKind::kHashAggregate: {
+    case PlanKind::kHashAggregate:
+    // An exchange performs its fragment's I/O once across all workers; the
+    // fragment subtree (left) already carries those estimates, and the
+    // barrier's own work (startup + row handoff) is CPU, i.e. RSI-like.
+    case PlanKind::kExchange: {
       // Pure evaluation work (plus, for filters, any nested subquery plans
       // folded into est_cost): attributed to the RSI component.
       PlanIo io = node.left != nullptr ? Walk(*node.left, w) : PlanIo{};

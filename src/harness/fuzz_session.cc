@@ -153,6 +153,14 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
   twin.options().join.force = options.force;
   db.options().use_column_stats = options.use_column_stats;
   twin.options().use_column_stats = options.use_column_stats;
+  if (options.max_dop > 1) {
+    // Forced: fuzz tables are tiny, so the startup penalty would otherwise
+    // keep every plan serial and the parallel machinery untested.
+    db.options().max_dop = options.max_dop;
+    db.options().force_parallel = true;
+    twin.options().max_dop = options.max_dop;
+    twin.options().force_parallel = true;
+  }
   if (!options.use_feedback) {
     db.set_feedback_enabled(false);
     twin.set_feedback_enabled(false);
@@ -298,7 +306,7 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
 
 SeedResult RunConcurrentFuzzSeed(uint64_t seed, int threads,
                                  int queries_per_thread,
-                                 JoinMethodForce force) {
+                                 JoinMethodForce force, int max_dop) {
   SeedResult out;
   out.seed = seed;
 
@@ -312,6 +320,10 @@ SeedResult RunConcurrentFuzzSeed(uint64_t seed, int threads,
     return out;
   }
   db.options().join.force = force;
+  if (max_dop > 1) {
+    db.options().max_dop = max_dop;
+    db.options().force_parallel = true;
+  }
 
   // One shared plan cache: identical statements generated by different
   // threads compile once and execute everywhere, so plan sharing itself is

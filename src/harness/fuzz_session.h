@@ -47,6 +47,13 @@ struct FuzzOptions {
   /// an equi predicate allows). The reference executor is unaffected.
   JoinMethodForce force = JoinMethodForce::kAuto;
 
+  /// Degree of parallelism for the engine (and the index-less twin): with
+  /// max_dop > 1 every eligible query plans a morsel-parallel fragment —
+  /// forced past the cost model, so even tiny fuzz tables exercise the
+  /// exchange — and its multiset must still match the serial reference.
+  /// Baselines always stay serial (an independent serial differential).
+  int max_dop = 1;
+
   /// Fault mode: replaces the clean-run oracles with the crash-free error
   /// propagation oracle described above. Only deterministic limits (page
   /// budget) are exercised — never wall-clock deadlines — so a seed's
@@ -80,7 +87,7 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
 /// sharing through the session plan cache.
 SeedResult RunConcurrentFuzzSeed(
     uint64_t seed, int threads, int queries_per_thread,
-    JoinMethodForce force = JoinMethodForce::kAuto);
+    JoinMethodForce force = JoinMethodForce::kAuto, int max_dop = 1);
 
 }  // namespace systemr
 

@@ -149,6 +149,13 @@ double CostModel::HashAggregateCost(double input_cost, double rows,
   return input_cost + params_.w * (std::max(rows, 0.0) + std::max(groups, 1.0));
 }
 
+double CostModel::ParallelFragmentCost(double serial_cost, double rows_out,
+                                       int dop) const {
+  double d = static_cast<double>(std::max(dop, 1));
+  return serial_cost / d + params_.w * std::max(rows_out, 0.0) +
+         kExchangeStartupCost * d;
+}
+
 double CostModel::TupleBytes(const TableInfo& table) {
   if (table.has_stats && table.ncard > 0 && table.tcard > 0) {
     return static_cast<double>(table.tcard) * kPageSize /

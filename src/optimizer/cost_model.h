@@ -24,6 +24,12 @@ struct CostParams {
   size_t buffer_pages = 128;
 };
 
+/// Fixed per-worker cost (in COST units) of starting a parallel fragment:
+/// worker dispatch, a private ExecContext, and the barrier merge. Chosen so
+/// a fragment must save at least this much work per worker before the
+/// optimizer parallelizes — single-morsel queries always stay serial.
+inline constexpr double kExchangeStartupCost = 4.0;
+
 /// Table 2 situations, for diagnostics and the Table-2 bench.
 enum class AccessSituation {
   kUniqueIndexEqual,
@@ -95,6 +101,16 @@ class CostModel {
   /// hashed into its group plus W per group emitted — no sort required.
   double HashAggregateCost(double input_cost, double rows,
                            double groups) const;
+
+  /// Morsel-parallel fragment behind an exchange: the fragment's serial cost
+  /// divides across `dop` workers (page fetches overlap because the buffer
+  /// pool releases its latch during fetches, CPU divides trivially), plus W
+  /// per row crossing the exchange (gather/merge transfer), plus a fixed
+  /// startup term per worker. The startup term is what keeps small queries
+  /// serial: a fragment cheaper than ~kExchangeStartupCost*dop can never win.
+  ///   C-par(d) = C-serial/d + W*N-out + kExchangeStartupCost*d
+  double ParallelFragmentCost(double serial_cost, double rows_out,
+                              int dop) const;
 
   /// C-sort(path): cost of reading the input via `input_cost`, forming and
   /// merging runs, and writing the temporary list. `rows` tuples of

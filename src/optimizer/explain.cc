@@ -13,8 +13,11 @@ void Indent(std::ostringstream& os, int depth) {
   for (int i = 0; i < depth; ++i) os << "  ";
 }
 
+// `dop` is the inherited degree of parallelism: 1 outside an exchange, the
+// exchange's worker count inside its fragment (printed on the scans so the
+// morsel-parallel part of the plan is visible at a glance).
 void ExplainNode(const PlanRef& node, const BoundQueryBlock& block, int depth,
-                 std::ostringstream& os) {
+                 std::ostringstream& os, int dop = 1) {
   if (node == nullptr) return;
   Indent(os, depth);
   os << PlanKindName(node->kind);
@@ -22,6 +25,11 @@ void ExplainNode(const PlanRef& node, const BoundQueryBlock& block, int depth,
     case PlanKind::kSegScan:
     case PlanKind::kIndexScan:
       os << " " << DescribeScan(node->scan, block);
+      if (dop > 1) os << " dop=" << dop;
+      break;
+    case PlanKind::kExchange:
+      os << " dop=" << node->dop << " exchange="
+         << (node->exchange_partial_agg ? "partial-agg" : "gather");
       break;
     case PlanKind::kSort: {
       os << " by [";
@@ -79,8 +87,11 @@ void ExplainNode(const PlanRef& node, const BoundQueryBlock& block, int depth,
   if (!node->order.empty()) os << " order=" << OrderSpecToString(node->order);
   os << "]";
   os << "\n";
-  ExplainNode(node->left, block, depth + 1, os);
-  ExplainNode(node->right, block, depth + 1, os);
+  int child_dop = node->kind == PlanKind::kExchange ? node->dop : dop;
+  ExplainNode(node->left, block, depth + 1, os, child_dop);
+  // A hash join's build side runs serially even inside a parallel fragment.
+  ExplainNode(node->right, block, depth + 1, os,
+              node->kind == PlanKind::kHashJoin ? 1 : child_dop);
 }
 
 }  // namespace

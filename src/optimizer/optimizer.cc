@@ -4,6 +4,7 @@
 
 #include "optimizer/cnf.h"
 #include "optimizer/feedback.h"
+#include "optimizer/parallel.h"
 #include "optimizer/selectivity.h"
 
 namespace systemr {
@@ -340,7 +341,10 @@ StatusOr<OptimizedQuery> Optimizer::Optimize(
   ASSIGN_OR_RETURN(BlockPlan plan,
                    PlanBlock(*block, &out.subquery_plans, &out));
   out.block = std::move(block);
-  out.root = plan.root;
+  // Parallel post-pass on the top-level plan only: DML plans its scans
+  // through GenerateAccessPaths directly and nested blocks go through
+  // PlanBlock, so neither can pick up an exchange.
+  out.root = ParallelizePlan(plan.root, options_);
   out.est_cost = plan.est_cost;
   out.est_rows = plan.est_rows;
   return out;

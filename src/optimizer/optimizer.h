@@ -25,6 +25,15 @@ struct OptimizerOptions {
   /// Learned-selectivity store; the optimizer blends its observations into
   /// factor selectivities. nullptr disables the feedback loop.
   const SelectivityFeedback* feedback = nullptr;
+  /// Maximum degree of parallelism for morsel-driven fragments. 1 (the
+  /// default) disables the parallel post-pass entirely, keeping plans
+  /// byte-identical to the serial optimizer.
+  int max_dop = 1;
+  /// Wrap every structurally eligible fragment in an exchange regardless of
+  /// cost (fuzzing knob: exercises the parallel executor on plans the cost
+  /// model would keep serial). Never changes WHAT is eligible, only whether
+  /// the cheaper serial alternative is allowed to win.
+  bool force_parallel = false;
 };
 
 /// Plans for every nested query block, keyed by block identity.

@@ -1,0 +1,22 @@
+// Parallel post-pass: after serial access path selection picks the best
+// plan, decide whether its leaf fragment should run morsel-parallel behind
+// an exchange operator. Runs only on top-level SELECT plans (DML and nested
+// query blocks always execute serially) and only when the session allows
+// dop > 1, so the serial optimizer's output is untouched by default.
+#ifndef SYSTEMR_OPTIMIZER_PARALLEL_H_
+#define SYSTEMR_OPTIMIZER_PARALLEL_H_
+
+#include "optimizer/optimizer.h"
+#include "optimizer/plan.h"
+
+namespace systemr {
+
+/// Splices an exchange node into `root` when a morsel-parallel fragment is
+/// structurally possible and the parallel cost model prefers it (or
+/// options.force_parallel demands it). Returns `root` unchanged otherwise.
+/// Never mutates existing nodes: ancestors of the splice point are copied.
+PlanRef ParallelizePlan(PlanRef root, const OptimizerOptions& options);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_OPTIMIZER_PARALLEL_H_

@@ -30,6 +30,8 @@ std::string PlanKindName(PlanKind kind) {
       return "Aggregate";
     case PlanKind::kHashAggregate:
       return "HashAggregate";
+    case PlanKind::kExchange:
+      return "Exchange";
   }
   return "?";
 }

@@ -39,6 +39,7 @@ enum class PlanKind {
   kProject,        // Evaluates the SELECT list.
   kAggregate,      // Grouped or scalar aggregation; emits projected rows.
   kHashAggregate,  // Grouped aggregation over unordered input (hash table).
+  kExchange,       // Morsel-parallel fragment barrier (left = fragment).
 };
 
 /// One equality bound on an index key column, in key-column order. Exactly
@@ -151,6 +152,16 @@ struct PlanNode {
   std::vector<size_t> group_offsets;
   std::vector<const BoundExpr*> agg_select;  // The block's select list.
   const BoundExpr* having = nullptr;         // Group filter (may be null).
+
+  // kExchange: the parallel fragment under `left` runs on `dop` workers
+  // pulling page-range morsels of `driving_scan` (the fragment's left-deep
+  // driving segment scan). With exchange_partial_agg the workers also fold
+  // their rows into per-worker group tables (using the group_offsets /
+  // agg_select / having fields above) that merge at the barrier; otherwise
+  // the exchange gathers worker rows.
+  int dop = 1;
+  bool exchange_partial_agg = false;
+  const PlanNode* driving_scan = nullptr;
 
   // --- Optimizer annotations (estimates) ---
   double est_cost = 0.0;

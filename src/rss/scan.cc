@@ -14,9 +14,9 @@ bool HasPrefix(const std::string& s, const std::string& prefix) {
 }  // namespace
 
 Status SegmentScan::Open() {
-  page_idx_ = 0;
+  page_idx_ = range_begin_;
   slot_ = 0;
-  at_end_ = segment_->pages().empty();
+  at_end_ = page_idx_ >= PageLimit();
   return Status::OK();
 }
 
@@ -32,7 +32,7 @@ Status SegmentScan::Next(Row* row, Tid* tid, bool* has_row) {
     if (slot_ >= sp.slot_count()) {
       ++page_idx_;
       slot_ = 0;
-      if (page_idx_ >= segment_->pages().size()) at_end_ = true;
+      if (page_idx_ >= PageLimit()) at_end_ = true;
       continue;
     }
     uint16_t slot = slot_++;
@@ -130,7 +130,7 @@ Status SegmentScan::NextBatch(std::vector<Row>* rows, std::vector<Tid>* tids,
     if (slot_ >= sp.slot_count()) {
       ++page_idx_;
       slot_ = 0;
-      if (page_idx_ >= segment_->pages().size()) at_end_ = true;
+      if (page_idx_ >= PageLimit()) at_end_ = true;
     }
   }
   *n = count;

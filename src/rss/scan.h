@@ -91,7 +91,21 @@ class SegmentScan : public RsiScan {
   SargList* mutable_sargs() override { return &sargs_; }
   void Close() override {}
 
+  /// Restricts the scan to segment pages [begin, end) — the morsel contract
+  /// for parallel execution. The range persists across re-Opens (Open resets
+  /// the position to `begin`); `end` is clamped to the segment size. The
+  /// default range covers the whole segment.
+  void SetPageRange(size_t begin, size_t end) {
+    range_begin_ = begin;
+    range_end_ = end;
+  }
+
  private:
+  size_t PageLimit() const {
+    return range_end_ < segment_->pages().size() ? range_end_
+                                                 : segment_->pages().size();
+  }
+
   BufferPool* pool_;
   const Segment* segment_;
   RelId relid_;
@@ -101,6 +115,8 @@ class SegmentScan : public RsiScan {
   size_t page_idx_ = 0;
   uint16_t slot_ = 0;
   bool at_end_ = false;
+  size_t range_begin_ = 0;
+  size_t range_end_ = SIZE_MAX;  // Exclusive; SIZE_MAX = whole segment.
 };
 
 /// Key range for an index scan. Bounds are user-key encodings (possibly a

@@ -23,7 +23,9 @@ StatusOr<std::shared_ptr<const OptimizedQuery>> Session::PlanFor(
       return plan;
     }
   }
-  ASSIGN_OR_RETURN(OptimizedQuery query, db_->Prepare(sql));
+  ASSIGN_OR_RETURN(OptimizedQuery query,
+                   max_dop_ > 1 ? db_->Prepare(sql, max_dop_, force_parallel_)
+                                : db_->Prepare(sql));
   ++stats_.optimizations;
   query.feedback_replanned = mark_replanned;
   auto plan = std::make_shared<const OptimizedQuery>(std::move(query));
@@ -34,6 +36,13 @@ StatusOr<std::shared_ptr<const OptimizedQuery>> Session::PlanFor(
 
 StatusOr<PreparedStatement> Session::Prepare(const std::string& sql) {
   std::string key = NormalizeSql(sql);
+  // Parallel plans are distinct cache entries: a session running PARALLEL 4
+  // must not serve (or poison) another session's serial plan for the same
+  // normalized text.
+  if (max_dop_ > 1) {
+    key += "#dop=" + std::to_string(max_dop_);
+    if (force_parallel_) key += "!";
+  }
   uint64_t version = 0;
   ASSIGN_OR_RETURN(std::shared_ptr<const OptimizedQuery> plan,
                    PlanFor(sql, key, &version));

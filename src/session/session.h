@@ -88,6 +88,17 @@ class Session {
   void set_limits(const ExecLimits& limits) { limits_ = limits; }
   const ExecLimits& limits() const { return limits_; }
 
+  /// PARALLEL n: maximum degree of parallelism for statements prepared by
+  /// this session from here on (already-prepared statements keep their
+  /// plans). Values <= 1 plan serially. Parallel and serial plans of the
+  /// same SQL coexist in the shared cache under dop-suffixed keys.
+  void set_max_dop(int dop) { max_dop_ = dop < 1 ? 1 : dop; }
+  int max_dop() const { return max_dop_; }
+  /// Fuzzing knob: wrap every structurally eligible plan in an exchange
+  /// regardless of cost. Only meaningful with max_dop > 1.
+  void set_force_parallel(bool force) { force_parallel_ = force; }
+  bool force_parallel() const { return force_parallel_; }
+
   const SessionStats& stats() const { return stats_; }
   Database* db() { return db_; }
   PlanCache* cache() { return cache_; }
@@ -108,6 +119,8 @@ class Session {
   PlanCache* cache_;
   ExecLimits limits_;
   SessionStats stats_;
+  int max_dop_ = 1;
+  bool force_parallel_ = false;
 };
 
 }  // namespace systemr

@@ -3,11 +3,15 @@
 //
 //   fuzz_driver [--seeds N] [--queries M] [--start S] [--out PATH]
 //               [--no-baselines] [--no-metamorphic] [--threads T]
-//               [--join-method nlj|merge|hash|auto]
+//               [--dop N] [--join-method nlj|merge|hash|auto]
 //
 // `--join-method` forces one join algorithm wherever predicates allow it
 // (equi joins for merge/hash; nested loop always applies), for targeted
 // differential coverage of a single operator.
+//
+// `--dop N` (N > 1) forces morsel-driven parallel plans on the engine —
+// past the cost model, so even tiny fuzz tables run under an exchange —
+// while the reference executor and baselines stay serial.
 //
 // Every iteration is fully determined by its seed: to reproduce a reported
 // failure run `fuzz_driver --seeds 1 --start <seed>`.
@@ -61,6 +65,12 @@ int main(int argc, char** argv) {
       options.use_feedback = false;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<int>(std::strtol(need_value("--threads"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--dop") == 0) {
+      // Forced morsel parallelism: every eligible engine plan runs under an
+      // exchange with up to N workers; the reference and baselines stay
+      // serial, so interleaving bugs surface as multiset mismatches.
+      options.max_dop =
+          static_cast<int>(std::strtol(need_value("--dop"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--join-method") == 0) {
       const char* m = need_value("--join-method");
       if (std::strcmp(m, "nlj") == 0) {
@@ -79,7 +89,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fuzz_driver [--seeds N] [--queries M] [--start S] "
                    "[--out PATH] [--no-baselines] [--no-metamorphic] "
-                   "[--faults] [--table1] [--threads T] "
+                   "[--faults] [--table1] [--threads T] [--dop N] "
                    "[--join-method nlj|merge|hash|auto]\n");
       return 2;
     }
@@ -90,7 +100,8 @@ int main(int argc, char** argv) {
     uint64_t failed_seeds = 0, queries = 0, violations = 0;
     for (uint64_t seed = start; seed < start + seeds; ++seed) {
       systemr::SeedResult result = systemr::RunConcurrentFuzzSeed(
-          seed, threads, options.queries_per_seed, options.force);
+          seed, threads, options.queries_per_seed, options.force,
+          options.max_dop);
       queries += result.queries;
       violations += result.violations.size();
       if (!result.violations.empty()) {

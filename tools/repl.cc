@@ -12,6 +12,7 @@
 //   EXPLAIN <name>;                  show a prepared statement's plan
 //   EXPLAIN <select>;                one-shot plan display
 //   \stats                           session / plan-cache / buffer counters
+//   \parallel N                      PARALLEL n knob for new plans
 //   \list                           prepared statements
 //   \help   \quit
 #include <cctype>
@@ -136,6 +137,13 @@ class Repl {
                     stmt->num_params(), stmt->num_params() == 1 ? "" : "s",
                     stmt->sql().c_str());
       }
+    } else if (cmd == "\\parallel") {
+      size_t rest = 0;
+      FirstWord(line, &rest);
+      int dop = (int)std::strtol(line.c_str() + rest, nullptr, 10);
+      session_.set_max_dop(dop);
+      std::printf("max degree of parallelism = %d%s\n", session_.max_dop(),
+                  session_.max_dop() > 1 ? "" : " (serial)");
     } else if (cmd == "\\help") {
       PrintHelp();
     } else {
@@ -241,6 +249,8 @@ class Repl {
     batch_totals_.batch_rows_out += st.batch_rows_out;
     batch_totals_.hash_build_rows += st.hash_build_rows;
     batch_totals_.hash_probe_rows += st.hash_probe_rows;
+    batch_totals_.parallel_workers += st.parallel_workers;
+    batch_totals_.parallel_morsels += st.parallel_morsels;
   }
 
   void PrintStats() {
@@ -276,6 +286,10 @@ class Repl {
                 batch_totals_.AvgSelectionDensity(),
                 (unsigned long long)batch_totals_.hash_build_rows,
                 (unsigned long long)batch_totals_.hash_probe_rows);
+    std::printf("parallel:   max_dop=%d workers=%llu morsels=%llu\n",
+                session_.max_dop(),
+                (unsigned long long)batch_totals_.parallel_workers,
+                (unsigned long long)batch_totals_.parallel_morsels);
   }
 
   void PrintHelp() {
@@ -287,8 +301,9 @@ class Repl {
         "  SELECT ...;                      one-shot query via the session\n"
         "  CREATE TABLE/INDEX, INSERT, UPDATE STATISTICS, ...;\n"
         "meta:\n"
-        "  \\stats   session, plan-cache, and buffer-pool counters\n"
-        "  \\list    prepared statements\n"
+        "  \\stats       session, plan-cache, buffer, and parallel counters\n"
+        "  \\parallel N  max degree of parallelism for new plans (1=serial)\n"
+        "  \\list        prepared statements\n"
         "  \\quit\n");
   }
 
