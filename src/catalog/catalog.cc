@@ -22,6 +22,20 @@ StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
   rss_->CreateHeap(info->segment, info->id);
   table_by_name_[name] = info->id;
   tables_.push_back(std::move(info));
+  {
+    // DDL is auto-committed: logged as a logical record and synced at once.
+    TableInfo* t = tables_.back().get();
+    WalRecord rec;
+    rec.type = WalRecordType::kCreateTable;
+    CreateTablePayload payload;
+    payload.name = t->name;
+    payload.schema = t->schema;
+    payload.has_segment = segment.has_value();
+    payload.segment = segment.value_or(0);
+    rec.payload = EncodeCreateTablePayload(payload);
+    rss_->wal().Append(rec);
+    rss_->wal().Sync();
+  }
   BumpVersion();
   return tables_.back().get();
 }
@@ -79,22 +93,40 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(
   IndexId id = info->id;
   if (indexes_.size() <= id) indexes_.resize(id + 1);
   indexes_[id] = std::move(info);
+  {
+    // Index contents are not page-logged; recovery re-runs this DDL against
+    // the recovered heap (after all data redo), which also rebuilds stats.
+    WalRecord rec;
+    rec.type = WalRecordType::kCreateIndex;
+    CreateIndexPayload payload;
+    payload.name = index_name;
+    payload.table = table_name;
+    payload.columns = column_names;
+    payload.unique = unique;
+    payload.clustered = clustered;
+    rec.payload = EncodeCreateIndexPayload(payload);
+    rss_->wal().Append(rec);
+    rss_->wal().Sync();
+  }
   // "Index creation initializes these statistics" (§4).
   RETURN_IF_ERROR(UpdateStatisticsLocked(table_name));
   BumpVersion();
   return indexes_[id].get();
 }
 
-Status Catalog::Insert(const std::string& table_name, const Row& row) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return InsertLocked(table_name, row);
+void Catalog::BumpMutationCountersLocked(TableInfo* table) {
+  if (table->has_stats &&
+      ++table->mutations_since_stats >= kInsertsPerVersionBump) {
+    table->stats_stale = true;
+  }
+  if (++mutations_since_bump_ >= kInsertsPerVersionBump) {
+    mutations_since_bump_ = 0;
+    BumpVersion();
+  }
 }
 
-Status Catalog::InsertLocked(const std::string& table_name, const Row& row) {
-  TableInfo* table = FindTableLocked(table_name);
-  if (table == nullptr) {
-    return Status::NotFound("no such table: " + table_name);
-  }
+Status Catalog::InsertRowLocked(TableInfo* table, const Row& row,
+                                TxnId wal_txn, Tid* out_tid) {
   if (row.size() != table->schema.num_columns()) {
     return Status::InvalidArgument("row arity does not match schema");
   }
@@ -104,55 +136,175 @@ Status Catalog::InsertLocked(const std::string& table_name, const Row& row) {
                                      table->schema.column(i).name);
     }
   }
-  ASSIGN_OR_RETURN(Tid tid, rss_->heap(table->id)->Insert(row));
-  for (IndexId iid : table->indexes) {
-    const IndexInfo& info = *indexes_[iid];
-    RETURN_IF_ERROR(rss_->index(iid)->Insert(ExtractKey(info, row), tid));
+  ASSIGN_OR_RETURN(Tid tid, rss_->heap(table->id)->Insert(row, wal_txn));
+  for (size_t k = 0; k < table->indexes.size(); ++k) {
+    const IndexInfo& info = *indexes_[table->indexes[k]];
+    Status s = rss_->index(info.id)->Insert(ExtractKey(info, row), tid);
+    if (!s.ok()) {
+      // Row-level atomicity: take back the index entries already made and
+      // the heap tuple, so a unique-key violation leaves nothing behind.
+      for (size_t j = 0; j < k; ++j) {
+        const IndexInfo& prev = *indexes_[table->indexes[j]];
+        (void)rss_->index(prev.id)->Delete(ExtractKey(prev, row), tid);
+      }
+      (void)rss_->heap(table->id)->Delete(tid, wal_txn);
+      return s;
+    }
   }
-  if (table->has_stats &&
-      ++table->mutations_since_stats >= kInsertsPerVersionBump) {
-    table->stats_stale = true;
+  if (out_tid != nullptr) *out_tid = tid;
+  return Status::OK();
+}
+
+Status Catalog::DeleteRowLocked(TableInfo* table, Tid tid, TxnId wal_txn,
+                                Row* old_row, uint16_t* offset) {
+  RETURN_IF_ERROR(rss_->heap(table->id)->ReadTuple(tid, old_row));
+  for (size_t k = 0; k < table->indexes.size(); ++k) {
+    const IndexInfo& info = *indexes_[table->indexes[k]];
+    Status s = rss_->index(info.id)->Delete(ExtractKey(info, *old_row), tid);
+    if (!s.ok()) {
+      for (size_t j = 0; j < k; ++j) {
+        const IndexInfo& prev = *indexes_[table->indexes[j]];
+        (void)rss_->index(prev.id)->Insert(ExtractKey(prev, *old_row), tid);
+      }
+      return s;
+    }
   }
-  if (++mutations_since_bump_ >= kInsertsPerVersionBump) {
-    mutations_since_bump_ = 0;
-    BumpVersion();
+  Status s = rss_->heap(table->id)->Delete(tid, wal_txn, offset);
+  if (!s.ok()) {
+    for (IndexId iid : table->indexes) {
+      const IndexInfo& info = *indexes_[iid];
+      (void)rss_->index(iid)->Insert(ExtractKey(info, *old_row), tid);
+    }
+    return s;
   }
   return Status::OK();
 }
 
-Status Catalog::DeleteRow(const std::string& table_name, Tid tid) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return DeleteRowLocked(table_name, tid);
+Status Catalog::UndeleteRowLocked(TableInfo* table, Tid tid, uint16_t offset,
+                                  const Row& row, TxnId wal_txn) {
+  RETURN_IF_ERROR(rss_->heap(table->id)->Undelete(tid, offset, row, wal_txn));
+  for (size_t k = 0; k < table->indexes.size(); ++k) {
+    const IndexInfo& info = *indexes_[table->indexes[k]];
+    Status s = rss_->index(info.id)->Insert(ExtractKey(info, row), tid);
+    if (!s.ok()) {
+      for (size_t j = 0; j < k; ++j) {
+        const IndexInfo& prev = *indexes_[table->indexes[j]];
+        (void)rss_->index(prev.id)->Delete(ExtractKey(prev, row), tid);
+      }
+      (void)rss_->heap(table->id)->Delete(tid, wal_txn);
+      return s;
+    }
+  }
+  return Status::OK();
 }
 
-Status Catalog::DeleteRowLocked(const std::string& table_name, Tid tid) {
+Status Catalog::Insert(const std::string& table_name, const Row& row,
+                       Txn* txn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   TableInfo* table = FindTableLocked(table_name);
   if (table == nullptr) {
     return Status::NotFound("no such table: " + table_name);
   }
-  Row row;
-  RETURN_IF_ERROR(rss_->heap(table->id)->ReadTuple(tid, &row));
-  for (IndexId iid : table->indexes) {
-    const IndexInfo& info = *indexes_[iid];
-    RETURN_IF_ERROR(rss_->index(iid)->Delete(ExtractKey(info, row), tid));
+  Tid tid;
+  RETURN_IF_ERROR(InsertRowLocked(table, row,
+                                  txn != nullptr ? txn->id() : kSystemTxn,
+                                  &tid));
+  if (txn != nullptr) {
+    UndoOp op;
+    op.kind = UndoOp::Kind::kDeleteInserted;
+    op.table = table_name;
+    op.tid = tid;
+    txn->PushUndo(std::move(op));
   }
-  RETURN_IF_ERROR(rss_->heap(table->id)->Delete(tid));
-  if (table->has_stats &&
-      ++table->mutations_since_stats >= kInsertsPerVersionBump) {
-    table->stats_stale = true;
+  BumpMutationCountersLocked(table);
+  return Status::OK();
+}
+
+Status Catalog::DeleteRow(const std::string& table_name, Tid tid, Txn* txn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TableInfo* table = FindTableLocked(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + table_name);
   }
-  if (++mutations_since_bump_ >= kInsertsPerVersionBump) {
-    mutations_since_bump_ = 0;
-    BumpVersion();
+  Row old_row;
+  uint16_t offset = 0;
+  RETURN_IF_ERROR(DeleteRowLocked(table, tid,
+                                  txn != nullptr ? txn->id() : kSystemTxn,
+                                  &old_row, &offset));
+  if (txn != nullptr) {
+    UndoOp op;
+    op.kind = UndoOp::Kind::kReinsertDeleted;
+    op.table = table_name;
+    op.tid = tid;
+    op.offset = offset;
+    op.row = std::move(old_row);
+    txn->PushUndo(std::move(op));
   }
+  BumpMutationCountersLocked(table);
   return Status::OK();
 }
 
 Status Catalog::UpdateRow(const std::string& table_name, Tid tid,
-                          const Row& new_row) {
+                          const Row& new_row, Txn* txn) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  RETURN_IF_ERROR(DeleteRowLocked(table_name, tid));
-  return InsertLocked(table_name, new_row);
+  TableInfo* table = FindTableLocked(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + table_name);
+  }
+  TxnId wal_txn = txn != nullptr ? txn->id() : kSystemTxn;
+  Tid old_tid = tid;
+  Row old_row;
+  uint16_t old_offset = 0;
+  RETURN_IF_ERROR(DeleteRowLocked(table, tid, wal_txn, &old_row, &old_offset));
+  Status s = InsertRowLocked(table, new_row, wal_txn, &tid);
+  if (!s.ok()) {
+    // Restore the old image in place at its original TID: the statement
+    // leaves no effects at all, so there is nothing for an enclosing
+    // rollback to track.
+    Status r = UndeleteRowLocked(table, old_tid, old_offset, old_row, wal_txn);
+    if (!r.ok()) {
+      return Status::DataLoss("update rollback failed: " + r.message() +
+                              " (after: " + s.message() + ")");
+    }
+    return s;
+  }
+  if (txn != nullptr) {
+    UndoOp del;
+    del.kind = UndoOp::Kind::kReinsertDeleted;
+    del.table = table_name;
+    del.tid = old_tid;
+    del.offset = old_offset;
+    del.row = std::move(old_row);
+    txn->PushUndo(std::move(del));
+    UndoOp ins;
+    ins.kind = UndoOp::Kind::kDeleteInserted;
+    ins.table = table_name;
+    ins.tid = tid;
+    txn->PushUndo(std::move(ins));
+  }
+  BumpMutationCountersLocked(table);
+  return Status::OK();
+}
+
+Status Catalog::ApplyUndo(const UndoOp& op, TxnId wal_txn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TableInfo* table = FindTableLocked(op.table);
+  if (table == nullptr) {
+    return Status::Internal("undo references missing table " + op.table);
+  }
+  switch (op.kind) {
+    case UndoOp::Kind::kDeleteInserted: {
+      Row old_row;
+      RETURN_IF_ERROR(DeleteRowLocked(table, op.tid, wal_txn, &old_row));
+      break;
+    }
+    case UndoOp::Kind::kReinsertDeleted:
+      RETURN_IF_ERROR(
+          UndeleteRowLocked(table, op.tid, op.offset, op.row, wal_txn));
+      break;
+  }
+  BumpMutationCountersLocked(table);
+  return Status::OK();
 }
 
 TableInfo* Catalog::FindTable(const std::string& name) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "catalog/column_stats.h"
+#include "catalog/txn.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "rss/rss.h"
@@ -88,16 +89,28 @@ class Catalog {
                                    bool unique, bool clustered);
 
   /// Inserts a row (also maintains all indexes on the table). Does NOT update
-  /// statistics (see UPDATE STATISTICS).
-  Status Insert(const std::string& table_name, const Row& row);
+  /// statistics (see UPDATE STATISTICS). Atomic per row: a failed index
+  /// maintenance (e.g. a unique-key violation) leaves no partial effects.
+  /// With `txn`, the mutation is WAL-tagged with the transaction id and its
+  /// logical inverse is recorded in the transaction's undo log.
+  Status Insert(const std::string& table_name, const Row& row,
+                Txn* txn = nullptr);
 
   /// Deletes the tuple at `tid` (heap tombstone + all index entries).
   /// Statistics are not updated (see UPDATE STATISTICS).
-  Status DeleteRow(const std::string& table_name, Tid tid);
+  Status DeleteRow(const std::string& table_name, Tid tid, Txn* txn = nullptr);
 
   /// Replaces the tuple at `tid` with `new_row` (delete + re-insert, so all
-  /// indexes stay consistent; the tuple gets a new TID).
-  Status UpdateRow(const std::string& table_name, Tid tid, const Row& new_row);
+  /// indexes stay consistent; the tuple gets a new TID). Atomic: if the
+  /// re-insert fails, the old row is restored in place at its original TID.
+  Status UpdateRow(const std::string& table_name, Tid tid, const Row& new_row,
+                   Txn* txn = nullptr);
+
+  /// Applies the inverse of one recorded mutation — rollback's worker.
+  /// WAL-tagged with `wal_txn` (compensations of a transaction that later
+  /// commits must replay with it); records no further undo. Undoing a delete
+  /// restores the row at its original placement, never a fresh TID.
+  Status ApplyUndo(const UndoOp& op, TxnId wal_txn);
 
   /// The UPDATE STATISTICS command (§4): recomputes all statistics for the
   /// table from the stored data.
@@ -147,12 +160,27 @@ class Catalog {
   /// Extracts the index key of `row` for `info` as a composite key encoding.
   static std::string ExtractKey(const IndexInfo& info, const Row& row);
 
+  /// Invalidates every cached plan immediately (recovery, after replay).
+  void ForceVersionBump() { BumpVersion(); }
+
  private:
   // Unlocked implementations, for composition under one exclusive lock.
   TableInfo* FindTableLocked(const std::string& name);
   const TableInfo* FindTableLocked(const std::string& name) const;
-  Status InsertLocked(const std::string& table_name, const Row& row);
-  Status DeleteRowLocked(const std::string& table_name, Tid tid);
+  /// Heap + index insert with internal compensation: on index failure the
+  /// already-made entries and the heap tuple are removed again.
+  Status InsertRowLocked(TableInfo* table, const Row& row, TxnId wal_txn,
+                         Tid* out_tid);
+  /// Index + heap delete with internal compensation; `*old_row` receives the
+  /// deleted image, `*offset` (optional) its on-page byte offset — what
+  /// UndeleteRowLocked needs to put it back exactly where it was.
+  Status DeleteRowLocked(TableInfo* table, Tid tid, TxnId wal_txn,
+                         Row* old_row, uint16_t* offset = nullptr);
+  /// Restores a deleted row at its original (tid, offset) placement and
+  /// re-creates its index entries under the same TID.
+  Status UndeleteRowLocked(TableInfo* table, Tid tid, uint16_t offset,
+                           const Row& row, TxnId wal_txn);
+  void BumpMutationCountersLocked(TableInfo* table);
   Status UpdateStatisticsLocked(const std::string& table_name);
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 

@@ -1,0 +1,63 @@
+// Txn: an in-flight transaction — its WAL identity and its in-memory undo
+// log. Recovery is redo-committed-only (losers are simply not replayed), so
+// undo exists purely to roll back live in-memory state: each DML records the
+// logical inverse of what it did, and ROLLBACK (or a failed statement rolling
+// back to its savepoint) applies the inverses in reverse order.
+//
+// The compensations themselves are WAL-logged under the same transaction id;
+// if the transaction later commits (statement-level rollback inside a
+// committed transaction) redo replays both the action and its compensation —
+// a net no-op on exactly the right bytes.
+#ifndef SYSTEMR_CATALOG_TXN_H_
+#define SYSTEMR_CATALOG_TXN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "rss/page.h"
+#include "rss/wal.h"
+
+namespace systemr {
+
+/// The inverse of one row mutation. Undo is physical-in-place: undoing a
+/// DELETE restores the row at exactly the (page, slot, offset) it occupied —
+/// never a fresh TID — so the live heap stays byte-identical to what a
+/// committed-only WAL replay reconstructs, and TIDs recorded by other undo
+/// entries (or logged by later transactions) never go stale.
+struct UndoOp {
+  enum class Kind {
+    kDeleteInserted,  // Undo an INSERT: delete the row at `tid`.
+    kReinsertDeleted, // Undo a DELETE: restore `row` at `tid` / `offset`.
+  };
+  Kind kind = Kind::kDeleteInserted;
+  std::string table;
+  Tid tid;              // Where the row lives / lived.
+  uint16_t offset = 0;  // kReinsertDeleted: the record's on-page offset.
+  Row row;              // kReinsertDeleted.
+};
+
+class Txn {
+ public:
+  explicit Txn(TxnId id) : id_(id) {}
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  TxnId id() const { return id_; }
+
+  void PushUndo(UndoOp op) { undo_.push_back(std::move(op)); }
+  std::vector<UndoOp>& undo() { return undo_; }
+
+  /// Statement savepoint: the undo-log length at statement start. A failed
+  /// statement rolls back to (and truncates at) this mark, leaving the
+  /// transaction alive with only its earlier statements' effects.
+  size_t SavepointMark() const { return undo_.size(); }
+
+ private:
+  TxnId id_;
+  std::vector<UndoOp> undo_;
+};
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_CATALOG_TXN_H_

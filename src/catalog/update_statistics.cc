@@ -13,6 +13,13 @@ namespace systemr {
 Status Catalog::UpdateStatistics(const std::string& table_name) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   RETURN_IF_ERROR(UpdateStatisticsLocked(table_name));
+  // Logical WAL record: recovery re-runs the command against the recovered
+  // data rather than replaying statistics bytes.
+  WalRecord rec;
+  rec.type = WalRecordType::kUpdateStats;
+  rec.payload = table_name;
+  rss_->wal().Append(rec);
+  rss_->wal().Sync();
   // New statistics invalidate every cached plan compiled against the old
   // ones (§2's "dependency" invalidation).
   BumpVersion();

@@ -72,14 +72,40 @@ StatusOr<QueryResult> Database::Run(const OptimizedQuery& query) {
   return Run(query, {}, nullptr);
 }
 
+std::vector<RelId> Database::ReferencedRels(const OptimizedQuery& query) {
+  std::vector<RelId> rels;
+  for (const BoundTable& bt : query.block->tables) {
+    rels.push_back(bt.table->id);
+  }
+  for (const auto& [block, plan] : query.subquery_plans) {
+    for (const BoundTable& bt : block->tables) rels.push_back(bt.table->id);
+  }
+  return rels;
+}
+
 StatusOr<QueryResult> Database::Run(const OptimizedQuery& query,
                                     const std::vector<Value>& params,
-                                    const ExecLimits* limits) {
+                                    const ExecLimits* limits, Txn* txn) {
   if (static_cast<int>(params.size()) != query.num_params) {
     return Status::InvalidArgument(
         "statement takes " + std::to_string(query.num_params) +
         " parameter(s), " + std::to_string(params.size()) + " bound");
   }
+  // Shared locks on every relation the plan reads. A transaction keeps them
+  // (strict 2PL); an auto-committed read drops them when the run ends.
+  TxnId lock_owner =
+      txn != nullptr ? txn->id()
+                     : next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  RETURN_IF_ERROR(lock_mgr_.AcquireAll(lock_owner, ReferencedRels(query),
+                                       LockMode::kShared));
+  struct EphemeralRelease {
+    LockManager* mgr;
+    TxnId owner;
+    ~EphemeralRelease() {
+      if (mgr != nullptr) mgr->ReleaseAll(owner);
+    }
+  } release{txn == nullptr ? &lock_mgr_ : nullptr, lock_owner};
+
   ExecContext ctx(&rss_, &catalog_, &query.subquery_plans, options_.cost.w);
   ctx.set_limits(limits != nullptr ? *limits : exec_limits_);
   ctx.set_params(&params);
@@ -174,23 +200,124 @@ StatusOr<std::string> Database::Explain(const std::string& sql) {
   return result.plan_text;
 }
 
-StatusOr<size_t> Database::ExecuteDml(Statement& stmt) {
-  if (stmt.kind == Statement::Kind::kDelete) {
-    return ExecuteDeleteStatement(&catalog_, options_, stmt.delete_stmt.get());
-  }
-  return ExecuteUpdateStatement(&catalog_, options_, stmt.update_stmt.get());
+std::unique_ptr<Txn> Database::BeginTxn() {
+  auto txn = std::make_unique<Txn>(
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  WalRecord rec;
+  rec.type = WalRecordType::kBegin;
+  rec.txn = txn->id();
+  rss_.wal().Append(rec);
+  return txn;
 }
 
-StatusOr<size_t> Database::Mutate(const std::string& sql) {
+Status Database::CommitTxn(Txn* txn) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCommit;
+  rec.txn = txn->id();
+  rss_.wal().Append(rec);
+  // The fsync point: once this returns, the commit record is durable and
+  // the transaction survives any crash.
+  rss_.wal().Sync();
+  txn->undo().clear();
+  lock_mgr_.ReleaseAll(txn->id());
+  return Status::OK();
+}
+
+Status Database::RollbackToMark(Txn* txn, size_t mark) {
+  std::vector<UndoOp>& undo = txn->undo();
+  while (undo.size() > mark) {
+    UndoOp op = std::move(undo.back());
+    undo.pop_back();
+    // Compensations log under the same transaction id: if the transaction
+    // later commits, redo replays action + compensation — a net no-op on
+    // exactly the original bytes (undo is physical-in-place, so the row
+    // never moves and every TID in this undo log stays valid).
+    Status s = catalog_.ApplyUndo(op, txn->id());
+    if (!s.ok()) {
+      return Status::DataLoss("rollback failed, storage inconsistent: " +
+                              s.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::RollbackTxn(Txn* txn) {
+  Status s = RollbackToMark(txn, 0);
+  WalRecord rec;
+  rec.type = WalRecordType::kAbort;
+  rec.txn = txn->id();
+  rss_.wal().Append(rec);
+  lock_mgr_.ReleaseAll(txn->id());
+  return s;
+}
+
+StatusOr<size_t> Database::DispatchDml(Statement& stmt, Txn* txn) {
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+      return ExecuteInsertStatement(&catalog_, *stmt.insert, txn,
+                                    &exec_limits_);
+    case Statement::Kind::kDelete:
+      return ExecuteDeleteStatement(&catalog_, options_,
+                                    stmt.delete_stmt.get(), txn,
+                                    &exec_limits_);
+    case Statement::Kind::kUpdate:
+      return ExecuteUpdateStatement(&catalog_, options_,
+                                    stmt.update_stmt.get(), txn,
+                                    &exec_limits_);
+    default:
+      return Status::Internal("not a DML statement");
+  }
+}
+
+StatusOr<size_t> Database::ExecuteDmlStatement(Statement& stmt, Txn* txn) {
+  const std::string& table = stmt.kind == Statement::Kind::kInsert
+                                 ? stmt.insert->table
+                                 : stmt.kind == Statement::Kind::kDelete
+                                       ? stmt.delete_stmt->table
+                                       : stmt.update_stmt->table;
+  const TableInfo* info = catalog_.FindTable(table);
+  if (info == nullptr) return Status::NotFound("no such table: " + table);
+
+  if (txn != nullptr) {
+    RETURN_IF_ERROR(
+        lock_mgr_.Acquire(txn->id(), info->id, LockMode::kExclusive));
+    size_t mark = txn->SavepointMark();
+    StatusOr<size_t> result = DispatchDml(stmt, txn);
+    if (!result.ok()) {
+      // Statement-level atomicity: the failed statement's effects vanish,
+      // the transaction lives on.
+      RETURN_IF_ERROR(RollbackToMark(txn, mark));
+    }
+    return result;
+  }
+
+  // Auto-commit: an internal single-statement transaction.
+  std::unique_ptr<Txn> local = BeginTxn();
+  Status lock = lock_mgr_.Acquire(local->id(), info->id, LockMode::kExclusive);
+  if (!lock.ok()) {
+    lock_mgr_.ReleaseAll(local->id());
+    return lock;
+  }
+  StatusOr<size_t> result = DispatchDml(stmt, local.get());
+  if (result.ok()) {
+    RETURN_IF_ERROR(CommitTxn(local.get()));
+    return result;
+  }
+  RETURN_IF_ERROR(RollbackTxn(local.get()));
+  return result.status();
+}
+
+StatusOr<size_t> Database::Mutate(const std::string& sql, Txn* txn) {
   ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
-  if (stmt.kind != Statement::Kind::kDelete &&
+  if (stmt.kind != Statement::Kind::kInsert &&
+      stmt.kind != Statement::Kind::kDelete &&
       stmt.kind != Statement::Kind::kUpdate) {
-    return Status::InvalidArgument("Mutate() takes DELETE or UPDATE");
+    return Status::InvalidArgument("Mutate() takes INSERT, DELETE or UPDATE");
   }
-  return ExecuteDml(stmt);
+  return ExecuteDmlStatement(stmt, txn);
 }
 
-Status Database::ExecuteStatement(Statement& stmt) {
+Status Database::ExecuteStatement(Statement& stmt, Txn* txn) {
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
     case Statement::Kind::kExplain: {
@@ -202,7 +329,7 @@ Status Database::ExecuteStatement(Statement& stmt) {
       Optimizer optimizer(&catalog_, options_);
       ASSIGN_OR_RETURN(OptimizedQuery prepared,
                        optimizer.Optimize(std::move(block)));
-      ASSIGN_OR_RETURN(QueryResult ignored, Run(prepared));
+      ASSIGN_OR_RETURN(QueryResult ignored, Run(prepared, {}, nullptr, txn));
       (void)ignored;
       return Status::OK();
     }
@@ -228,20 +355,20 @@ Status Database::ExecuteStatement(Statement& stmt) {
       (void)ignored;
       return Status::OK();
     }
-    case Statement::Kind::kInsert: {
-      for (const auto& row : stmt.insert->rows) {
-        RETURN_IF_ERROR(catalog_.Insert(stmt.insert->table, row));
-      }
-      return Status::OK();
-    }
     case Statement::Kind::kUpdateStatistics:
       return catalog_.UpdateStatistics(stmt.update_statistics->table);
+    case Statement::Kind::kInsert:
     case Statement::Kind::kDelete:
     case Statement::Kind::kUpdate: {
-      ASSIGN_OR_RETURN(size_t affected, ExecuteDml(stmt));
+      ASSIGN_OR_RETURN(size_t affected, ExecuteDmlStatement(stmt, txn));
       (void)affected;
       return Status::OK();
     }
+    case Statement::Kind::kBegin:
+    case Statement::Kind::kCommit:
+    case Statement::Kind::kRollback:
+      return Status::InvalidArgument(
+          "transaction control is only valid in a session or script");
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -253,10 +380,48 @@ Status Database::Execute(const std::string& sql) {
 
 Status Database::ExecuteScript(const std::string& sql) {
   ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
+  std::unique_ptr<Txn> txn;  // Script-local transaction, if BEGIN was seen.
+  auto finish = [&](Status s) {
+    // A transaction still open when the script ends (or fails) rolls back.
+    if (txn != nullptr) {
+      Status rb = RollbackTxn(txn.get());
+      if (s.ok()) s = rb;
+    }
+    return s;
+  };
   for (Statement& stmt : stmts) {
-    RETURN_IF_ERROR(ExecuteStatement(stmt));
+    switch (stmt.kind) {
+      case Statement::Kind::kBegin:
+        if (txn != nullptr) {
+          return finish(Status::InvalidArgument("transaction already open"));
+        }
+        txn = BeginTxn();
+        break;
+      case Statement::Kind::kCommit: {
+        if (txn == nullptr) {
+          return Status::InvalidArgument("COMMIT outside a transaction");
+        }
+        Status s = CommitTxn(txn.get());
+        txn.reset();
+        if (!s.ok()) return s;
+        break;
+      }
+      case Statement::Kind::kRollback: {
+        if (txn == nullptr) {
+          return Status::InvalidArgument("ROLLBACK outside a transaction");
+        }
+        Status s = RollbackTxn(txn.get());
+        txn.reset();
+        if (!s.ok()) return s;
+        break;
+      }
+      default: {
+        Status s = ExecuteStatement(stmt, txn.get());
+        if (!s.ok()) return finish(s);
+      }
+    }
   }
-  return Status::OK();
+  return finish(Status::OK());
 }
 
 std::string QueryResult::ToString(size_t max_rows) const {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "db/lock_manager.h"
 #include "exec/executor.h"
 #include "exec/parallel/worker_pool.h"
 #include "optimizer/baseline.h"
@@ -37,11 +38,55 @@ class Database {
   explicit Database(size_t buffer_pages = 128, OptimizerOptions options = {});
 
   /// Executes any statement; SELECT output is discarded. For scripts.
+  /// BEGIN/COMMIT/ROLLBACK are rejected here — transaction state lives in a
+  /// Session (or within one ExecuteScript call).
   Status Execute(const std::string& sql);
+  /// Statement sequence; supports BEGIN/COMMIT/ROLLBACK with a script-local
+  /// transaction. A transaction still open at end of script is rolled back.
   Status ExecuteScript(const std::string& sql);
 
-  /// Executes a DELETE or UPDATE and returns the number of affected rows.
-  StatusOr<size_t> Mutate(const std::string& sql);
+  /// Executes an INSERT, DELETE, or UPDATE and returns the number of
+  /// affected rows. With `txn` the mutation joins that transaction (its
+  /// X lock is taken under the transaction, effects roll back to the
+  /// statement savepoint on error); without, the statement auto-commits —
+  /// it runs in an internal transaction committed on success and rolled
+  /// back (leaving nothing) on failure.
+  StatusOr<size_t> Mutate(const std::string& sql, Txn* txn = nullptr);
+
+  // --- Transactions (ARIES-lite: redo-committed-only WAL + in-memory undo,
+  //     strict two-phase relation locks; see DESIGN.md §9) ---
+  /// Starts a transaction: assigns an id and logs BEGIN. The caller owns the
+  /// Txn and must end it with CommitTxn or RollbackTxn.
+  std::unique_ptr<Txn> BeginTxn();
+  /// Logs COMMIT, forces the log (fsync point), and releases the
+  /// transaction's locks. After this returns, the transaction survives any
+  /// crash.
+  Status CommitTxn(Txn* txn);
+  /// Undoes the transaction's effects in reverse order, logs ABORT, and
+  /// releases its locks.
+  Status RollbackTxn(Txn* txn);
+  /// Rolls back to a statement savepoint (undo-log mark), keeping the
+  /// transaction alive.
+  Status RollbackToMark(Txn* txn, size_t mark);
+
+  LockManager& lock_manager() { return lock_mgr_; }
+
+  // --- Crash recovery ---
+  struct RecoveryStats {
+    Lsn valid_prefix = 0;       // Log bytes that decoded and checksummed clean.
+    Lsn dropped_bytes = 0;      // Torn/garbage tail discarded.
+    size_t committed_txns = 0;  // Distinct committed ids (excl. the system txn).
+    size_t replayed = 0;        // Page records replayed (committed work).
+    size_t skipped = 0;         // Page records skipped (loser transactions).
+  };
+  /// ARIES-style restart on a freshly-constructed, empty database:
+  /// analysis (valid log prefix + committed-transaction set), then redo of
+  /// committed page records only — losers are simply never replayed, which
+  /// is what makes uncommitted work vanish — then logical DDL replay
+  /// (indexes and statistics are rebuilt from the recovered heaps, not
+  /// page-replayed). The surviving prefix is carried forward as the new log
+  /// so the recovered database keeps logging and can crash again.
+  StatusOr<RecoveryStats> Recover(const std::string& wal_bytes);
 
   /// Runs a SELECT (or EXPLAIN SELECT) and returns rows (or the plan text).
   StatusOr<QueryResult> Query(const std::string& sql);
@@ -66,10 +111,14 @@ class Database {
   StatusOr<QueryResult> Run(const OptimizedQuery& query);
   /// Executes with `params` bound to the statement's `?` markers (must match
   /// query.num_params). `limits`, when non-null, overrides the database-wide
-  /// exec limits for this one execution.
+  /// exec limits for this one execution. With `txn`, shared locks on every
+  /// referenced relation are taken under the transaction (held to commit);
+  /// without, they are taken ephemerally for the run's duration so a
+  /// concurrent writer's uncommitted rows are never read.
   StatusOr<QueryResult> Run(const OptimizedQuery& query,
                             const std::vector<Value>& params,
-                            const ExecLimits* limits = nullptr);
+                            const ExecLimits* limits = nullptr,
+                            Txn* txn = nullptr);
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -96,8 +145,14 @@ class Database {
  private:
   StatusOr<std::unique_ptr<BoundQueryBlock>> BindSql(const std::string& sql,
                                                      int* num_params = nullptr);
-  Status ExecuteStatement(Statement& stmt);
-  StatusOr<size_t> ExecuteDml(Statement& stmt);
+  Status ExecuteStatement(Statement& stmt, Txn* txn = nullptr);
+  /// X-locks the target, runs the statement under `txn` (or an internal
+  /// auto-commit transaction), rolls back to the statement savepoint on
+  /// error.
+  StatusOr<size_t> ExecuteDmlStatement(Statement& stmt, Txn* txn);
+  StatusOr<size_t> DispatchDml(Statement& stmt, Txn* txn);
+  /// Relations the query reads (main block + nested subquery blocks).
+  static std::vector<RelId> ReferencedRels(const OptimizedQuery& query);
 
   void RecordFeedback(const ExecContext& ctx, const OptimizedQuery& query);
 
@@ -106,6 +161,10 @@ class Database {
   Catalog catalog_;
   ExecLimits exec_limits_;
   SelectivityFeedback feedback_;
+  LockManager lock_mgr_;
+  // One id space for transactions and ephemeral read lock owners; 0 is the
+  // system transaction.
+  std::atomic<TxnId> next_txn_id_{1};
   // Shared by every statement's exchange operators; threads start lazily on
   // the first parallel fragment, so serial workloads never spawn any.
   WorkerPool worker_pool_;

@@ -20,11 +20,14 @@ struct DmlScan {
 };
 
 /// Binds the DML target + WHERE as a one-table query block, selects the
-/// cheapest access path, and collects every qualifying (TID, row).
+/// cheapest access path, and collects every qualifying (TID, row). The
+/// collection scan runs under `limits`: a tripped budget/deadline/cancel
+/// aborts before any tuple is touched.
 StatusOr<DmlScan> CollectTargets(Catalog* catalog,
                                  const OptimizerOptions& options,
                                  const std::string& table,
-                                 std::unique_ptr<Expr> where) {
+                                 std::unique_ptr<Expr> where,
+                                 const ExecLimits* limits) {
   DmlScan out;
   SelectStmt synthetic;
   synthetic.select_star = true;
@@ -62,9 +65,15 @@ StatusOr<DmlScan> CollectTargets(Catalog* catalog,
   }
 
   ExecContext exec(catalog->rss(), catalog, &out.subplans, options.cost.w);
+  if (limits != nullptr) exec.set_limits(*limits);
+  // Divert the scan's page work to this statement's meter so the buffer-get
+  // budget observes it.
+  MeterScope meter_scope(&exec.meter());
+  exec.ArmLimits();
   ScanOp scan(&exec, &block, best->node.get(), nullptr);
   RETURN_IF_ERROR(scan.Open());
   while (true) {
+    RETURN_IF_ERROR(exec.CheckInterrupts());
     Row row;
     bool has;
     RETURN_IF_ERROR(scan.Next(&row, &has));
@@ -76,26 +85,40 @@ StatusOr<DmlScan> CollectTargets(Catalog* catalog,
   return out;
 }
 
+/// Limit checkpoint for the mutation loops: the catalog's page work runs
+/// through `exec`'s meter, and every row boundary re-checks the budget,
+/// deadline, and cancel flag.
+Status CheckMutationInterrupts(ExecContext* exec) {
+  return exec->CheckInterrupts();
+}
+
 }  // namespace
 
 StatusOr<size_t> ExecuteDeleteStatement(Catalog* catalog,
                                         const OptimizerOptions& options,
-                                        DeleteStmt* stmt) {
+                                        DeleteStmt* stmt, Txn* txn,
+                                        const ExecLimits* limits) {
   ASSIGN_OR_RETURN(DmlScan scan,
                    CollectTargets(catalog, options, stmt->table,
-                                  std::move(stmt->where)));
+                                  std::move(stmt->where), limits));
+  ExecContext exec(catalog->rss(), catalog, &scan.subplans, options.cost.w);
+  if (limits != nullptr) exec.set_limits(*limits);
+  MeterScope meter_scope(&exec.meter());
+  exec.ArmLimits();
   for (const auto& [tid, row] : scan.matches) {
-    RETURN_IF_ERROR(catalog->DeleteRow(stmt->table, tid));
+    RETURN_IF_ERROR(CheckMutationInterrupts(&exec));
+    RETURN_IF_ERROR(catalog->DeleteRow(stmt->table, tid, txn));
   }
   return scan.matches.size();
 }
 
 StatusOr<size_t> ExecuteUpdateStatement(Catalog* catalog,
                                         const OptimizerOptions& options,
-                                        UpdateStmt* stmt) {
+                                        UpdateStmt* stmt, Txn* txn,
+                                        const ExecLimits* limits) {
   ASSIGN_OR_RETURN(DmlScan scan,
                    CollectTargets(catalog, options, stmt->table,
-                                  std::move(stmt->where)));
+                                  std::move(stmt->where), limits));
   const BoundQueryBlock& block = *scan.block;
   const TableInfo& table = *block.tables[0].table;
 
@@ -118,7 +141,11 @@ StatusOr<size_t> ExecuteUpdateStatement(Catalog* catalog,
   }
 
   ExecContext exec(catalog->rss(), catalog, &scan.subplans, options.cost.w);
+  if (limits != nullptr) exec.set_limits(*limits);
+  MeterScope meter_scope(&exec.meter());
+  exec.ArmLimits();
   for (const auto& [tid, row] : scan.matches) {
+    RETURN_IF_ERROR(CheckMutationInterrupts(&exec));
     // New base-table row = old columns with SET expressions applied (all
     // evaluated against the pre-update image).
     Row new_row(row.begin(), row.begin() + table.schema.num_columns());
@@ -133,9 +160,23 @@ StatusOr<size_t> ExecuteUpdateStatement(Catalog* catalog,
       }
       new_row[ordinal] = std::move(v);
     }
-    RETURN_IF_ERROR(catalog->UpdateRow(stmt->table, tid, new_row));
+    RETURN_IF_ERROR(catalog->UpdateRow(stmt->table, tid, new_row, txn));
   }
   return scan.matches.size();
+}
+
+StatusOr<size_t> ExecuteInsertStatement(Catalog* catalog,
+                                        const InsertStmt& stmt, Txn* txn,
+                                        const ExecLimits* limits) {
+  ExecContext exec(catalog->rss(), catalog, nullptr, 0.0);
+  if (limits != nullptr) exec.set_limits(*limits);
+  MeterScope meter_scope(&exec.meter());
+  exec.ArmLimits();
+  for (const auto& row : stmt.rows) {
+    RETURN_IF_ERROR(CheckMutationInterrupts(&exec));
+    RETURN_IF_ERROR(catalog->Insert(stmt.table, row, txn));
+  }
+  return stmt.rows.size();
 }
 
 }  // namespace systemr

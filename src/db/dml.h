@@ -10,23 +10,40 @@
 #define SYSTEMR_DB_DML_H_
 
 #include "catalog/catalog.h"
+#include "exec/exec_context.h"
 #include "optimizer/optimizer.h"
 #include "sql/ast.h"
 
 namespace systemr {
 
+// All three statement executors propagate Status on any mid-statement
+// failure and mutate through the catalog's row-atomic operations under
+// `txn`; the caller (Database) rolls the transaction back to its statement
+// savepoint on error, so a failed statement leaves no partially-applied
+// rows visible. `limits`, when non-null, applies the per-statement
+// deadline/cancel/budget checks to both the target scan and the mutation
+// loop.
+
 /// Deletes qualifying rows; returns the number deleted. Consumes
 /// `stmt->where`.
 StatusOr<size_t> ExecuteDeleteStatement(Catalog* catalog,
                                         const OptimizerOptions& options,
-                                        DeleteStmt* stmt);
+                                        DeleteStmt* stmt, Txn* txn = nullptr,
+                                        const ExecLimits* limits = nullptr);
 
 /// Updates qualifying rows; returns the number updated. Consumes
 /// `stmt->where` (SET expressions are evaluated against the pre-update row;
 /// they may reference any column of the table).
 StatusOr<size_t> ExecuteUpdateStatement(Catalog* catalog,
                                         const OptimizerOptions& options,
-                                        UpdateStmt* stmt);
+                                        UpdateStmt* stmt, Txn* txn = nullptr,
+                                        const ExecLimits* limits = nullptr);
+
+/// Inserts the statement's literal rows; returns the number inserted.
+StatusOr<size_t> ExecuteInsertStatement(Catalog* catalog,
+                                        const InsertStmt& stmt,
+                                        Txn* txn = nullptr,
+                                        const ExecLimits* limits = nullptr);
 
 }  // namespace systemr
 

@@ -1,0 +1,62 @@
+#include "db/lock_manager.h"
+
+#include <algorithm>
+
+namespace systemr {
+
+bool LockManager::Compatible(const RelLock& lock, uint64_t owner,
+                             LockMode mode) {
+  for (const auto& [holder, held] : lock.holders) {
+    if (holder == owner) continue;  // Own holdings never conflict.
+    if (mode == LockMode::kExclusive || held == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(uint64_t owner, RelId rel, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  RelLock& rl = locks_[rel];
+  auto own = rl.holders.find(owner);
+  if (own != rl.holders.end() &&
+      (own->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+    return Status::OK();  // Already covered (X subsumes S).
+  }
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (!Compatible(rl, owner, mode)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !Compatible(rl, owner, mode)) {
+      return Status::ResourceExhausted(
+          "lock timeout on relation " + std::to_string(rel) +
+          " (possible deadlock; aborting this statement resolves it)");
+    }
+  }
+  rl.holders[owner] = mode;  // Insert or S->X upgrade.
+  return Status::OK();
+}
+
+Status LockManager::AcquireAll(uint64_t owner, std::vector<RelId> rels,
+                               LockMode mode) {
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  for (RelId rel : rels) {
+    RETURN_IF_ERROR(Acquire(owner, rel, mode));
+  }
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.holders.erase(owner);
+    if (it->second.holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace systemr

@@ -1,0 +1,46 @@
+// Crash-recovery fuzzing: the atomicity + durability oracle.
+//
+// One iteration builds a random schema, runs a seeded transactional DML
+// workload (auto-commit statements and explicit BEGIN..COMMIT/ROLLBACK
+// blocks), then simulates a crash by slicing the WAL at a seeded random byte
+// offset — optionally with a torn tail of garbage bytes appended, exercising
+// the record checksums. A fresh database recovers from the surviving bytes
+// and is compared, table by table and row by row, against an *expected*
+// database built by replaying exactly the work units whose COMMIT record
+// lies inside the recovered valid prefix:
+//
+//   durability — every unit committed before the crash point must survive
+//     in full (its statements replay with identical status and affected-row
+//     counts, and the final row multisets match);
+//   atomicity  — no effect of an uncommitted, rolled-back, or torn-commit
+//     unit may be visible after recovery;
+//   usability  — the recovered database must still answer queries (checked
+//     differentially against the expected twin) and accept new DML.
+//
+// Everything is determined by the seed: a failure replays with
+// `fuzz_driver --crash --seeds 1 --start <seed>`.
+#ifndef SYSTEMR_HARNESS_CRASH_FUZZ_H_
+#define SYSTEMR_HARNESS_CRASH_FUZZ_H_
+
+#include <cstdint>
+
+#include "harness/fuzz_session.h"
+
+namespace systemr {
+
+struct CrashFuzzOptions {
+  int units = 12;             // Work units (txn blocks / auto-commit stmts).
+  int max_stmts_per_txn = 4;  // Statements inside an explicit transaction.
+  int probe_queries = 3;      // Post-recovery differential probe queries.
+};
+
+/// Runs one deterministic crash-recovery iteration for `seed`. Violations
+/// (durability losses, resurrected losers, recovery errors, post-recovery
+/// divergence) are reported in the returned SeedResult; `queries` counts the
+/// DML statements executed before the crash.
+SeedResult RunCrashFuzzSeed(uint64_t seed,
+                            const CrashFuzzOptions& options = {});
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_HARNESS_CRASH_FUZZ_H_

@@ -180,6 +180,33 @@ SeedResult RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
   }
 
   for (int qi = 0; qi < options.queries_per_seed; ++qi) {
+    if (options.dml_every > 0 && qi % options.dml_every == 0) {
+      // DML parity oracle: the same (order-independent) statement against the
+      // engine and the index-less twin must agree on outcome — same status
+      // code, same affected-row count — even though they pick different
+      // access paths to find the target rows. Afterward the reference
+      // executor re-reads the mutated heaps, so every query oracle below
+      // now also validates the DML's effect on data, indexes, and scans.
+      std::string dml = gen.NextDml();
+      Violation dv{&out.violations, seed, &dml};
+      auto db_res = db.Mutate(dml, nullptr);
+      auto twin_res = twin.Mutate(dml, nullptr);
+      if (db_res.ok() != twin_res.ok() ||
+          (!db_res.ok() &&
+           db_res.status().code() != twin_res.status().code())) {
+        dv.Add("dml-status-parity",
+               "engine=" +
+                   (db_res.ok() ? "ok" : db_res.status().ToString()) +
+                   " twin=" +
+                   (twin_res.ok() ? "ok" : twin_res.status().ToString()));
+      } else if (db_res.ok() && *db_res != *twin_res) {
+        dv.Add("dml-rows-parity",
+               "engine affected " + std::to_string(*db_res) + " rows, twin " +
+                   std::to_string(*twin_res));
+      }
+      ref.set_rel_pages(RelPageMap(&db));
+    }
+
     GeneratedQuery q = gen.Next();
     std::string sql = q.Sql();
     ++out.queries;

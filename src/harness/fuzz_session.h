@@ -11,6 +11,9 @@
 //     output must actually be sorted;
 //   calibration  — estimated cost / page fetches / RSI calls are recorded
 //     next to the metered actuals for the fuzz report;
+//   DML parity    — with `dml_every` random INSERT/UPDATE/DELETE statements
+//     are interleaved with the queries; engine and twin must agree on every
+//     statement's outcome, and the query oracles then run on mutated data;
 //   fault injection — with `inject_faults` the seeded FaultInjector is armed
 //     around each engine run: every query must either return the
 //     reference-correct rows or a clean storage/limit Status (kDataLoss,
@@ -34,6 +37,16 @@ struct FuzzOptions {
   bool check_baselines = true;   // Differential vs. every BaselineKind.
   bool metamorphic = true;       // Shuffle / W-variation / index-drop.
   bool record_calibration = true;
+
+  /// Interleave one random INSERT / UPDATE / DELETE before every `dml_every`th
+  /// query (0 = read-only fuzzing, the historical behaviour). Each statement
+  /// runs against BOTH the engine and the index-less twin; the oracle demands
+  /// status and affected-row parity (the generator only emits order-
+  /// independent statements, see FuzzQueryGen::NextDml), and the reference
+  /// executor's page map is refreshed so every later query oracle checks the
+  /// mutated data. This turns every read-only oracle downstream into a check
+  /// that DML left the heaps, indexes, and statistics machinery consistent.
+  int dml_every = 0;
 
   /// Estimation-quality knobs: disabling both reproduces the paper's pure
   /// Table 1 estimator, which is how the calibration baseline in

@@ -59,6 +59,14 @@ class RefExecutor {
   /// vector must outlive the Execute call.
   void set_params(const std::vector<Value>* params) { params_ = params; }
 
+  /// Refreshes the relation→pages map and drops cached rows; call after DML
+  /// mutated the database under test (pages may have been added, tuples
+  /// inserted or tombstoned).
+  void set_rel_pages(std::unordered_map<RelId, std::vector<PageId>> m) {
+    rel_pages_ = std::move(m);
+    table_cache_.clear();
+  }
+
   /// Counts ground-truth statistics for one relation with `num_columns`
   /// columns by scanning its raw pages.
   StatusOr<RefTableStats> TableStats(RelId relid, size_t num_columns);

@@ -2,7 +2,7 @@
 
 namespace systemr {
 
-StatusOr<Tid> HeapFile::Insert(const Row& row) {
+StatusOr<Tid> HeapFile::Insert(const Row& row, TxnId txn) {
   std::string record = EncodeTuple(relid_, row);
   if (record.size() > kPageSize - 64) {
     return Status::InvalidArgument("tuple does not fit on a 4K page");
@@ -14,6 +14,16 @@ StatusOr<Tid> HeapFile::Insert(const Row& row) {
     SlottedPage sp(page);
     int slot = sp.Insert(record);
     if (slot >= 0) {
+      if (wal_ != nullptr) {
+        WalRecord rec;
+        rec.type = WalRecordType::kPageInsert;
+        rec.txn = txn;
+        rec.page = last;
+        rec.slot = static_cast<uint16_t>(slot);
+        rec.offset = sp.free_end();  // Insert() placed the record here.
+        rec.payload = std::move(record);
+        wal_->Append(rec);
+      }
       ++num_tuples_;
       return Tid{last, static_cast<uint16_t>(slot)};
     }
@@ -25,17 +35,76 @@ StatusOr<Tid> HeapFile::Insert(const Row& row) {
   sp.Init();
   int slot = sp.Insert(record);
   if (slot < 0) return Status::Internal("insert into fresh page failed");
+  if (wal_ != nullptr) {
+    WalRecord alloc;
+    alloc.type = WalRecordType::kPageAlloc;
+    alloc.txn = txn;
+    alloc.page = fresh;
+    alloc.segment = segment_->id();
+    wal_->Append(alloc);
+    WalRecord rec;
+    rec.type = WalRecordType::kPageInsert;
+    rec.txn = txn;
+    rec.page = fresh;
+    rec.slot = static_cast<uint16_t>(slot);
+    rec.offset = sp.free_end();
+    rec.payload = std::move(record);
+    wal_->Append(rec);
+  }
   ++num_tuples_;
   return Tid{fresh, static_cast<uint16_t>(slot)};
 }
 
-Status HeapFile::Delete(Tid tid) {
+Status HeapFile::Delete(Tid tid, TxnId txn, uint16_t* offset) {
   Row row;
   RETURN_IF_ERROR(ReadTuple(tid, &row));  // Validates slot and relation tag.
   ASSIGN_OR_RETURN(Page * page, pool_->FetchMut(tid.page));
   SlottedPage sp(page);
+  if (offset != nullptr) {
+    // Where the record lives, before the tombstone erases the slot entry.
+    std::string_view record;
+    if (sp.ReadSlot(tid.slot, &record) != SlotState::kLive) {
+      return Status::NotFound("slot already empty");
+    }
+    *offset = static_cast<uint16_t>(record.data() - page->bytes.data());
+  }
   if (!sp.Delete(tid.slot)) return Status::NotFound("slot already empty");
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.type = WalRecordType::kPageDelete;
+    rec.txn = txn;
+    rec.page = tid.page;
+    rec.slot = tid.slot;
+    wal_->Append(rec);
+  }
   --num_tuples_;
+  return Status::OK();
+}
+
+Status HeapFile::Undelete(Tid tid, uint16_t offset, const Row& row,
+                          TxnId txn) {
+  std::string record = EncodeTuple(relid_, row);
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchMut(tid.page));
+  SlottedPage sp(page);
+  std::string_view existing;
+  if (sp.ReadSlot(tid.slot, &existing) != SlotState::kEmpty) {
+    return Status::Internal("undelete target slot is not empty");
+  }
+  if (!sp.RedoInsertAt(tid.slot, offset, record)) {
+    return Status::Internal("undelete placement does not fit page " +
+                            std::to_string(tid.page));
+  }
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.type = WalRecordType::kPageInsert;
+    rec.txn = txn;
+    rec.page = tid.page;
+    rec.slot = tid.slot;
+    rec.offset = offset;
+    rec.payload = std::move(record);
+    wal_->Append(rec);
+  }
+  ++num_tuples_;
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #include "rss/page.h"
 
+#include <algorithm>
 #include <mutex>
 
 namespace systemr {
@@ -112,6 +113,26 @@ int SlottedPage::Insert(std::string_view record) {
   WriteU16(0, count + 1);
   WriteU16(2, off);
   return count;
+}
+
+bool SlottedPage::RedoInsertAt(uint16_t slot, uint16_t off,
+                               std::string_view record) {
+  uint16_t new_count =
+      std::max<uint16_t>(ReadU16(0), static_cast<uint16_t>(slot + 1));
+  size_t dir_end = kHeaderSize + static_cast<size_t>(new_count) * kSlotSize;
+  size_t end = static_cast<size_t>(off) + record.size();
+  if (off < dir_end || end > kPageSize || record.empty()) return false;
+  uint16_t free_end = ReadU16(2);
+  // A fresh page starts all-zero (free_end == 0) when recovery replays the
+  // first insert before any Init; treat that as "whole page free".
+  if (free_end == 0) free_end = static_cast<uint16_t>(kPageSize);
+  std::memcpy(page_->bytes.data() + off, record.data(), record.size());
+  size_t slot_off = kHeaderSize + slot * kSlotSize;
+  WriteU16(slot_off, off);
+  WriteU16(slot_off + 2, static_cast<uint16_t>(record.size()));
+  WriteU16(0, new_count);
+  WriteU16(2, std::min<uint16_t>(free_end, off));
+  return true;
 }
 
 bool SlottedPage::Delete(uint16_t slot) {

@@ -160,6 +160,11 @@ class SlottedPage {
 
   uint16_t slot_count() const { return ReadU16(0); }
 
+  /// Start of the record area — also the on-page offset of the most recently
+  /// inserted record (records grow down). Logged by the WAL so recovery can
+  /// replay inserts at their exact placement.
+  uint16_t free_end() const { return ReadU16(2); }
+
   /// True if the header is internally consistent: the slot directory and the
   /// record area fit inside the page and do not overlap.
   bool ValidateHeader() const;
@@ -169,6 +174,12 @@ class SlottedPage {
 
   /// Appends a record; returns its slot number or -1 if it does not fit.
   int Insert(std::string_view record);
+
+  /// Recovery-only: places `record` at exactly (`slot`, `off`), extending the
+  /// slot directory as needed. Skipped slots (loser transactions whose
+  /// inserts are not replayed) read back as tombstones. Returns false if the
+  /// placement is structurally impossible.
+  bool RedoInsertAt(uint16_t slot, uint16_t off, std::string_view record);
 
   /// Reads the record in `slot` with structural bounds validation, so a
   /// corrupted directory surfaces as kCorrupt instead of an out-of-bounds

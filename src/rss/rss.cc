@@ -14,7 +14,7 @@ SegmentId Rss::CreateSegment() {
 HeapFile* Rss::CreateHeap(SegmentId segment, RelId relid) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto heap = std::make_unique<HeapFile>(segments_[segment].get(), &pool_,
-                                         relid);
+                                         relid, &wal_);
   HeapFile* ptr = heap.get();
   heaps_[relid] = std::move(heap);
   return ptr;

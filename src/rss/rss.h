@@ -13,6 +13,7 @@
 #include "rss/heap_file.h"
 #include "rss/scan.h"
 #include "rss/segment.h"
+#include "rss/wal.h"
 
 namespace systemr {
 
@@ -46,6 +47,11 @@ class Rss {
     return segments_[id].get();
   }
 
+  size_t num_segments() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return segments_.size();
+  }
+
   /// Creates the heap for relation `relid` inside `segment`.
   HeapFile* CreateHeap(SegmentId segment, RelId relid);
   HeapFile* heap(RelId relid) {
@@ -77,6 +83,8 @@ class Rss {
   const BufferPool& pool() const { return pool_; }
   PageStore& store() { return store_; }
   RssCounters& counters() { return counters_; }
+  WalManager& wal() { return wal_; }
+  const WalManager& wal() const { return wal_; }
 
   RssSnapshot Snapshot() const {
     BufferStats b = pool_.stats();
@@ -94,6 +102,7 @@ class Rss {
   PageStore store_;
   BufferPool pool_;
   RssCounters counters_;
+  WalManager wal_;
   std::vector<std::unique_ptr<Segment>> segments_;
   std::unordered_map<RelId, std::unique_ptr<HeapFile>> heaps_;
   std::vector<std::unique_ptr<BTree>> indexes_;

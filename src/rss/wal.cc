@@ -1,0 +1,248 @@
+#include "rss/wal.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace systemr {
+
+namespace {
+
+// Fixed header: [u32 total_len][u32 checksum][u8 type][u64 txn]
+//               [u32 page][u16 slot][u16 offset][u32 segment][payload...]
+// total_len counts the whole record including the header itself, so the next
+// record starts at lsn + total_len.
+constexpr size_t kWalHeaderSize = 4 + 4 + 1 + 8 + 4 + 2 + 2 + 4;
+// Sanity bound on a single record: a page record's payload is at most one
+// page; DDL payloads are tiny. Anything larger is a torn/garbage length.
+constexpr size_t kMaxWalRecord = kWalHeaderSize + kPageSize;
+
+void PutU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 2);
+}
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// FNV-1a over the record body, seeded with the record's start offset and
+/// length: a byte-identical record sliced at a different offset (or with a
+/// corrupted length field) fails validation.
+uint32_t WalChecksum(Lsn lsn, uint32_t total_len, const char* body,
+                     size_t body_len) {
+  uint64_t h = 14695981039346656037ull;
+  h = (h ^ lsn) * 1099511628211ull;
+  h = (h ^ total_len) * 1099511628211ull;
+  for (size_t i = 0; i < body_len; ++i) {
+    h = (h ^ static_cast<unsigned char>(body[i])) * 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(std::string_view in, size_t* pos, std::string* out) {
+  if (*pos + 4 > in.size()) return false;
+  uint32_t len = GetU32(in.data() + *pos);
+  *pos += 4;
+  if (*pos + len > in.size()) return false;
+  out->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+const char* WalRecordTypeName(WalRecordType t) {
+  switch (t) {
+    case WalRecordType::kBegin: return "BEGIN";
+    case WalRecordType::kCommit: return "COMMIT";
+    case WalRecordType::kAbort: return "ABORT";
+    case WalRecordType::kPageAlloc: return "PAGE_ALLOC";
+    case WalRecordType::kPageInsert: return "PAGE_INSERT";
+    case WalRecordType::kPageDelete: return "PAGE_DELETE";
+    case WalRecordType::kCreateTable: return "CREATE_TABLE";
+    case WalRecordType::kCreateIndex: return "CREATE_INDEX";
+    case WalRecordType::kUpdateStats: return "UPDATE_STATS";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeWalRecord(const WalRecord& rec, Lsn lsn) {
+  // Body = everything after the checksum field.
+  std::string body;
+  body.push_back(static_cast<char>(rec.type));
+  PutU64(&body, rec.txn);
+  PutU32(&body, rec.page);
+  PutU16(&body, rec.slot);
+  PutU16(&body, rec.offset);
+  PutU32(&body, rec.segment);
+  body.append(rec.payload);
+
+  uint32_t total_len = static_cast<uint32_t>(8 + body.size());
+  std::string out;
+  out.reserve(total_len);
+  PutU32(&out, total_len);
+  PutU32(&out, WalChecksum(lsn, total_len, body.data(), body.size()));
+  out.append(body);
+  return out;
+}
+
+bool WalReader::Next(WalRecord* rec) {
+  if (pos_ + kWalHeaderSize > bytes_.size()) return false;
+  const char* p = bytes_.data() + pos_;
+  uint32_t total_len = GetU32(p);
+  if (total_len < kWalHeaderSize || total_len > kMaxWalRecord) return false;
+  if (pos_ + total_len > bytes_.size()) return false;  // Truncated tail.
+  uint32_t checksum = GetU32(p + 4);
+  const char* body = p + 8;
+  size_t body_len = total_len - 8;
+  if (WalChecksum(pos_, total_len, body, body_len) != checksum) return false;
+
+  uint8_t type = static_cast<uint8_t>(body[0]);
+  if (type < static_cast<uint8_t>(WalRecordType::kBegin) ||
+      type > static_cast<uint8_t>(WalRecordType::kUpdateStats)) {
+    return false;
+  }
+  rec->type = static_cast<WalRecordType>(type);
+  rec->txn = GetU64(body + 1);
+  rec->page = GetU32(body + 9);
+  rec->slot = GetU16(body + 13);
+  rec->offset = GetU16(body + 15);
+  rec->segment = GetU32(body + 17);
+  rec->payload.assign(body + 21, body_len - 21);
+  rec->lsn = pos_;
+  rec->end_lsn = pos_ + total_len;
+  pos_ += total_len;
+  return true;
+}
+
+Lsn WalManager::Append(const WalRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return log_.size();
+  log_.append(EncodeWalRecord(rec, log_.size()));
+  return log_.size();
+}
+
+Lsn WalManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  durable_ = log_.size();
+  return durable_;
+}
+
+Lsn WalManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+Lsn WalManager::durable_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_;
+}
+
+std::string WalManager::SnapshotBytes(Lsn limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.substr(0, static_cast<size_t>(std::min<Lsn>(limit, log_.size())));
+}
+
+void WalManager::ResetTo(std::string bytes, Lsn durable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_ = std::move(bytes);
+  durable_ = std::min<Lsn>(durable, log_.size());
+}
+
+void WalManager::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool WalManager::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+std::string EncodeCreateTablePayload(const CreateTablePayload& p) {
+  std::string out;
+  PutString(&out, p.name);
+  PutU32(&out, static_cast<uint32_t>(p.schema.num_columns()));
+  for (const ColumnDef& col : p.schema.columns()) {
+    PutString(&out, col.name);
+    out.push_back(static_cast<char>(col.type));
+  }
+  out.push_back(p.has_segment ? 1 : 0);
+  PutU32(&out, p.segment);
+  return out;
+}
+
+bool DecodeCreateTablePayload(std::string_view payload, CreateTablePayload* p) {
+  size_t pos = 0;
+  if (!GetString(payload, &pos, &p->name)) return false;
+  if (pos + 4 > payload.size()) return false;
+  uint32_t ncols = GetU32(payload.data() + pos);
+  pos += 4;
+  std::vector<ColumnDef> cols;
+  for (uint32_t i = 0; i < ncols; ++i) {
+    ColumnDef col;
+    if (!GetString(payload, &pos, &col.name)) return false;
+    if (pos >= payload.size()) return false;
+    col.type = static_cast<ValueType>(payload[pos++]);
+    cols.push_back(std::move(col));
+  }
+  p->schema = Schema(std::move(cols));
+  if (pos + 5 != payload.size()) return false;
+  p->has_segment = payload[pos] != 0;
+  p->segment = GetU32(payload.data() + pos + 1);
+  return true;
+}
+
+std::string EncodeCreateIndexPayload(const CreateIndexPayload& p) {
+  std::string out;
+  PutString(&out, p.name);
+  PutString(&out, p.table);
+  PutU32(&out, static_cast<uint32_t>(p.columns.size()));
+  for (const std::string& c : p.columns) PutString(&out, c);
+  out.push_back(p.unique ? 1 : 0);
+  out.push_back(p.clustered ? 1 : 0);
+  return out;
+}
+
+bool DecodeCreateIndexPayload(std::string_view payload, CreateIndexPayload* p) {
+  size_t pos = 0;
+  if (!GetString(payload, &pos, &p->name)) return false;
+  if (!GetString(payload, &pos, &p->table)) return false;
+  if (pos + 4 > payload.size()) return false;
+  uint32_t ncols = GetU32(payload.data() + pos);
+  pos += 4;
+  p->columns.clear();
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string c;
+    if (!GetString(payload, &pos, &c)) return false;
+    p->columns.push_back(std::move(c));
+  }
+  if (pos + 2 != payload.size()) return false;
+  p->unique = payload[pos] != 0;
+  p->clustered = payload[pos + 1] != 0;
+  return true;
+}
+
+}  // namespace systemr

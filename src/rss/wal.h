@@ -1,0 +1,159 @@
+// Write-ahead log for the RSS (§3's recovery subsystem, which the paper's
+// optimizer assumes exists underneath it). The log is a single append-only
+// byte stream of checksummed redo records; an LSN is simply a byte offset
+// into that stream. Two record families:
+//
+//   page records  — physical redo of slotted-page mutations (alloc / insert
+//     at an exact slot+offset / delete). Inserts log their placement so a
+//     selective replay (committed transactions only) reproduces the exact
+//     on-page layout even when interleaved loser records are skipped.
+//   logical DDL   — CREATE TABLE / CREATE INDEX / UPDATE STATISTICS, logged
+//     as their arguments. Index contents and statistics are NOT page-logged:
+//     recovery re-runs these against the recovered heaps.
+//
+// Durability is modeled with an fsync point: Append() extends the volatile
+// tail, Sync() advances the durable prefix to the current end. A simulated
+// crash keeps an arbitrary prefix of the *written* bytes but never less than
+// the durable prefix — so "commit = append commit record, then Sync" yields
+// the standard guarantee that a transaction whose commit record survives is
+// never lost.
+//
+// Transaction id 0 is the system transaction: auto-committed work (catalog
+// loads, DDL) that is considered committed as soon as its bytes are in the
+// valid prefix.
+#ifndef SYSTEMR_RSS_WAL_H_
+#define SYSTEMR_RSS_WAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "rss/page.h"
+
+namespace systemr {
+
+using TxnId = uint64_t;
+using Lsn = uint64_t;
+
+inline constexpr TxnId kSystemTxn = 0;
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kPageAlloc = 4,    // segment, page: a fresh data page joined the segment.
+  kPageInsert = 5,   // page, slot, offset, payload = encoded tuple record.
+  kPageDelete = 6,   // page, slot: tombstone.
+  kCreateTable = 7,  // payload = EncodeCreateTablePayload.
+  kCreateIndex = 8,  // payload = EncodeCreateIndexPayload.
+  kUpdateStats = 9,  // payload = table name.
+};
+
+const char* WalRecordTypeName(WalRecordType t);
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  TxnId txn = kSystemTxn;
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+  uint16_t offset = 0;   // On-page byte offset of an inserted record.
+  uint32_t segment = 0;  // kPageAlloc: owning segment id.
+  std::string payload;
+
+  // Filled by the reader: [lsn, end_lsn) is the record's extent in the log.
+  Lsn lsn = 0;
+  Lsn end_lsn = 0;
+};
+
+/// The in-memory log device. Thread-safe: DML appends serialize through the
+/// catalog's exclusive lock, but commits from different sessions may race.
+class WalManager {
+ public:
+  WalManager() = default;
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Appends `rec` (ignoring its lsn fields) and returns the end LSN, i.e.
+  /// the byte offset just past the record. No-op (returns size()) while
+  /// disabled — recovery replays with logging off so the log is not
+  /// re-written during redo.
+  Lsn Append(const WalRecord& rec);
+
+  /// Advances the durable prefix to the current end of log (the fsync
+  /// point). Returns the new durable size.
+  Lsn Sync();
+
+  Lsn size() const;
+  Lsn durable_size() const;
+
+  /// Copy of the first min(`limit`, size()) bytes — the surviving log of a
+  /// simulated crash at offset `limit`.
+  std::string SnapshotBytes(Lsn limit) const;
+
+  /// Installs `bytes` as the whole log with `durable` bytes durable; used by
+  /// recovery to carry the surviving prefix forward so the recovered
+  /// database keeps logging (and can crash again).
+  void ResetTo(std::string bytes, Lsn durable);
+
+  /// Logging switch. Disabled during recovery redo.
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string log_;
+  Lsn durable_ = 0;
+  bool enabled_ = true;
+};
+
+/// Sequential reader over a log byte string. Stops (returns false) at end of
+/// log, at the first truncated record, and at the first checksum mismatch —
+/// everything from that point on is an invalid tail (torn write).
+class WalReader {
+ public:
+  explicit WalReader(std::string_view bytes) : bytes_(bytes) {}
+
+  /// Decodes the next record into *rec. False at end or first invalid byte.
+  bool Next(WalRecord* rec);
+
+  /// Offset just past the last successfully decoded record.
+  Lsn valid_prefix() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  Lsn pos_ = 0;
+};
+
+/// Serializes one record as it appears in the log, checksummed against its
+/// start offset `lsn` (so a record sliced at the wrong offset never
+/// validates). Exposed for tests.
+std::string EncodeWalRecord(const WalRecord& rec, Lsn lsn);
+
+// --- Logical DDL payload codecs ---
+
+struct CreateTablePayload {
+  std::string name;
+  Schema schema;
+  bool has_segment = false;  // True when the table shares an existing segment.
+  uint32_t segment = 0;
+};
+std::string EncodeCreateTablePayload(const CreateTablePayload& p);
+bool DecodeCreateTablePayload(std::string_view payload, CreateTablePayload* p);
+
+struct CreateIndexPayload {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+  bool clustered = false;
+};
+std::string EncodeCreateIndexPayload(const CreateIndexPayload& p);
+bool DecodeCreateIndexPayload(std::string_view payload, CreateIndexPayload* p);
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_RSS_WAL_H_

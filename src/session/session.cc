@@ -56,6 +56,62 @@ StatusOr<QueryResult> Session::ExecuteQuery(const std::string& sql,
   return stmt.Execute(params);
 }
 
+Status Session::Begin() {
+  if (txn_ != nullptr) {
+    return Status::InvalidArgument("transaction already open");
+  }
+  txn_ = db_->BeginTxn();
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("COMMIT outside a transaction");
+  }
+  Status s = db_->CommitTxn(txn_.get());
+  txn_.reset();
+  return s;
+}
+
+Status Session::Rollback() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("ROLLBACK outside a transaction");
+  }
+  Status s = db_->RollbackTxn(txn_.get());
+  txn_.reset();
+  return s;
+}
+
+StatusOr<size_t> Session::Mutate(const std::string& sql) {
+  return db_->Mutate(sql, txn_.get());
+}
+
+Status Session::Execute(const std::string& sql) {
+  ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kBegin:
+      return Begin();
+    case Statement::Kind::kCommit:
+      return Commit();
+    case Statement::Kind::kRollback:
+      return Rollback();
+    case Statement::Kind::kInsert:
+    case Statement::Kind::kDelete:
+    case Statement::Kind::kUpdate: {
+      ASSIGN_OR_RETURN(size_t affected, Mutate(sql));
+      (void)affected;
+      return Status::OK();
+    }
+    case Statement::Kind::kSelect: {
+      ASSIGN_OR_RETURN(QueryResult ignored, ExecuteQuery(sql));
+      (void)ignored;
+      return Status::OK();
+    }
+    default:
+      return db_->Execute(sql);
+  }
+}
+
 StatusOr<QueryResult> PreparedStatement::Execute(
     const std::vector<Value>& params) {
   // §2: "if one or more of the dependencies has changed, the statement is
@@ -66,7 +122,8 @@ StatusOr<QueryResult> PreparedStatement::Execute(
     ++session_->stats_.reprepares;
   }
   ASSIGN_OR_RETURN(QueryResult result,
-                   session_->db()->Run(*plan_, params, &session_->limits_));
+                   session_->db()->Run(*plan_, params, &session_->limits_,
+                                       session_->txn_.get()));
   ++session_->stats_.executions;
 
   // Selectivity-feedback divergence: when the actual result cardinality is

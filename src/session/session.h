@@ -76,13 +76,38 @@ class Session {
       : db_(db), cache_(cache) {}
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+  /// A transaction still open when the session ends is rolled back.
+  ~Session() {
+    if (txn_ != nullptr) (void)db_->RollbackTxn(txn_.get());
+  }
 
   /// Compiles a SELECT (with optional `?` markers) for repeated execution.
   StatusOr<PreparedStatement> Prepare(const std::string& sql);
 
-  /// One-shot convenience: Prepare (through the cache) and Execute.
+  /// One-shot convenience: Prepare (through the cache) and Execute. Reads
+  /// run inside the session's open transaction, if any (shared locks held to
+  /// commit); otherwise locks are ephemeral.
   StatusOr<QueryResult> ExecuteQuery(const std::string& sql,
                                      const std::vector<Value>& params = {});
+
+  // --- Transactions (strict 2PL relation locks; DESIGN.md §9) ---
+  /// Opens a transaction. Fails if one is already open.
+  Status Begin();
+  /// Commits the open transaction: its effects become durable (WAL fsync
+  /// point) and its locks release.
+  Status Commit();
+  /// Rolls the open transaction back: all its effects vanish.
+  Status Rollback();
+  bool in_txn() const { return txn_ != nullptr; }
+  Txn* txn() { return txn_.get(); }
+
+  /// Executes an INSERT/DELETE/UPDATE inside the session's open transaction
+  /// (auto-commit when none); returns affected rows.
+  StatusOr<size_t> Mutate(const std::string& sql);
+
+  /// Executes any single statement, including BEGIN/COMMIT/ROLLBACK —
+  /// the REPL's and the fuzzer's statement entry point.
+  Status Execute(const std::string& sql);
 
   /// Per-execution resource limits for statements run via this session.
   void set_limits(const ExecLimits& limits) { limits_ = limits; }
@@ -121,6 +146,7 @@ class Session {
   SessionStats stats_;
   int max_dop_ = 1;
   bool force_parallel_ = false;
+  std::unique_ptr<Txn> txn_;  // Open transaction, if any.
 };
 
 }  // namespace systemr

@@ -154,6 +154,9 @@ struct Statement {
     kUpdateStatistics,
     kDelete,
     kUpdate,
+    kBegin,     // BEGIN [TRANSACTION|WORK]
+    kCommit,    // COMMIT [TRANSACTION|WORK]
+    kRollback,  // ROLLBACK [TRANSACTION|WORK]
   };
   Kind kind = Kind::kSelect;
   // Number of ? host-variable markers in the statement; their param_idx

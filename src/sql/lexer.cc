@@ -54,6 +54,11 @@ const std::unordered_map<std::string, TokenType>& KeywordMap() {
       {"HAVING", TokenType::kHaving},
       {"DISTINCT", TokenType::kDistinct},
       {"LIKE", TokenType::kLike},
+      {"BEGIN", TokenType::kBegin},
+      {"COMMIT", TokenType::kCommit},
+      {"ROLLBACK", TokenType::kRollback},
+      {"TRANSACTION", TokenType::kTransaction},
+      {"WORK", TokenType::kTransaction},
   };
   return *kMap;
 }

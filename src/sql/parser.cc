@@ -110,6 +110,16 @@ StatusOr<Statement> Parser::ParseStatementImpl() {
       return ParseUpdate();
     case TokenType::kDelete:
       return ParseDelete();
+    case TokenType::kBegin:
+    case TokenType::kCommit:
+    case TokenType::kRollback: {
+      TokenType t = Consume().type;
+      stmt.kind = t == TokenType::kBegin      ? Statement::Kind::kBegin
+                  : t == TokenType::kCommit   ? Statement::Kind::kCommit
+                                              : Statement::Kind::kRollback;
+      Match(TokenType::kTransaction);  // Optional TRANSACTION / WORK noise word.
+      break;
+    }
     default:
       return Status::InvalidArgument(std::string("unexpected ") +
                                      TokenTypeName(Peek().type) +

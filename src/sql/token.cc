@@ -50,6 +50,10 @@ const char* TokenTypeName(TokenType t) {
     case TokenType::kHaving: return "HAVING";
     case TokenType::kDistinct: return "DISTINCT";
     case TokenType::kLike: return "LIKE";
+    case TokenType::kBegin: return "BEGIN";
+    case TokenType::kCommit: return "COMMIT";
+    case TokenType::kRollback: return "ROLLBACK";
+    case TokenType::kTransaction: return "TRANSACTION";
     case TokenType::kLParen: return "(";
     case TokenType::kRParen: return ")";
     case TokenType::kComma: return ",";

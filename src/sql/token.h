@@ -19,6 +19,7 @@ enum class TokenType {
   kInsert, kInto, kValues, kUpdate, kStatistics, kExplain, kInt, kReal,
   kString, kAvg, kCount, kMin, kMax, kSum, kAs, kNull, kIs, kDelete, kSet,
   kHaving, kDistinct, kLike,
+  kBegin, kCommit, kRollback, kTransaction,
   // Punctuation / operators.
   kLParen, kRParen, kComma, kDot, kStar, kPlus, kMinus, kSlash, kSemicolon,
   kEq, kNe, kLt, kLe, kGt, kGe,

@@ -428,6 +428,80 @@ GeneratedQuery FuzzQueryGen::AggregateQuery() {
   return q;
 }
 
+std::string FuzzQueryGen::NextDml() {
+  if (next_pk_.empty()) {
+    for (const FuzzTable& t : schema_.tables) next_pk_.push_back(t.rows);
+  }
+  int ti = static_cast<int>(
+      rng_.Uniform(0, static_cast<int64_t>(schema_.tables.size()) - 1));
+  const FuzzTable& t = schema_.tables[ti];
+
+  // Narrow row-selecting predicate for UPDATE / DELETE.
+  auto narrow_where = [&]() -> std::string {
+    int64_t hw = std::max<int64_t>(next_pk_[ti], 1);
+    switch (rng_.Uniform(0, 2)) {
+      case 0: {
+        int64_t pk = rng_.Uniform(0, hw - 1);
+        return "PK = " + std::to_string(pk);
+      }
+      case 1: {
+        int64_t lo = rng_.Uniform(0, hw - 1);
+        int64_t hi = lo + rng_.Uniform(0, 3);
+        return "PK BETWEEN " + std::to_string(lo) + " AND " +
+               std::to_string(hi);
+      }
+      default: {
+        const FuzzColumn& c =
+            t.payload[rng_.Uniform(0, static_cast<int64_t>(t.payload.size()) -
+                                          1)];
+        int64_t v = rng_.Uniform(0, std::max<int64_t>(c.domain - 1, 0));
+        int64_t lo = rng_.Uniform(0, std::max<int64_t>(next_pk_[ti] - 1, 0));
+        return c.name + " = " + std::to_string(v) + " AND PK >= " +
+               std::to_string(lo);
+      }
+    }
+  };
+
+  int64_t kind = rng_.Uniform(0, 9);
+  if (kind <= 4) {  // INSERT: half the mix, so tables grow on balance.
+    int rows = 1 + static_cast<int>(rng_.Uniform(0, 2));
+    std::string sql = "INSERT INTO " + t.name + " VALUES ";
+    for (int r = 0; r < rows; ++r) {
+      // Mostly fresh PKs; an occasional deliberate duplicate drives the
+      // unique-violation / statement-rollback path. Statement row order is
+      // fixed, so the failing row is the same on every replay.
+      int64_t pk = rng_.Bernoulli(0.08) && next_pk_[ti] > 0
+                       ? rng_.Uniform(0, next_pk_[ti] - 1)
+                       : next_pk_[ti]++;
+      if (r > 0) sql += ", ";
+      sql += "(" + std::to_string(pk);
+      for (const FuzzTable::Link& link : t.links) {
+        sql += ", " + std::to_string(rng_.Uniform(
+                          0, schema_.tables[link.target].rows));
+      }
+      for (const FuzzColumn& c : t.payload) {
+        sql += ", " +
+               std::to_string(rng_.Uniform(0, std::max<int64_t>(c.domain - 1,
+                                                                0)));
+      }
+      sql += ")";
+    }
+    return sql;
+  }
+  if (kind <= 7) {  // UPDATE: payload columns only (see header).
+    const FuzzColumn& c = t.payload[rng_.Uniform(
+        0, static_cast<int64_t>(t.payload.size()) - 1)];
+    std::string rhs =
+        rng_.Bernoulli(0.3)
+            ? c.name + " + 1"  // Pre-image arithmetic: still order-free.
+            : std::to_string(rng_.Uniform(0, std::max<int64_t>(c.domain - 1,
+                                                               0)));
+    return "UPDATE " + t.name + " SET " + c.name + " = " + rhs + " WHERE " +
+           narrow_where();
+  }
+  return "DELETE FROM " + t.name + " WHERE " + narrow_where();
+}
+
 GeneratedQuery FuzzQueryGen::Next() {
   int num_real = 0;
   for (const FuzzTable& t : schema_.tables) num_real += t.rows > 0 ? 1 : 0;

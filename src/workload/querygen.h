@@ -123,6 +123,20 @@ class FuzzQueryGen {
   /// mixes, DISTINCT, GROUP BY + HAVING, and ORDER BY.
   GeneratedQuery Next();
 
+  /// The next random INSERT / UPDATE / DELETE. Designed so that a statement
+  /// run against two databases holding identical data (or replayed later on
+  /// an identical copy) behaves identically regardless of access path:
+  ///   - INSERTs draw fresh PKs from a per-table high-water counter, with an
+  ///     occasional deliberate duplicate to exercise the unique-violation /
+  ///     statement-rollback path (row order within a statement is fixed, so
+  ///     the failure is deterministic too);
+  ///   - UPDATEs only SET payload columns — never PK/FK — so per-row updates
+  ///     commute and the scan order chosen by the optimizer cannot change
+  ///     the outcome;
+  ///   - DELETEs use narrow PK ranges or payload equality so tables drain
+  ///     slowly enough for later statements to still find rows.
+  std::string NextDml();
+
  private:
   // A column usable in predicates: qualified name + its value domain.
   struct ColRef {
@@ -139,6 +153,7 @@ class FuzzQueryGen {
 
   FuzzSchema schema_;
   Rng rng_;
+  std::vector<int64_t> next_pk_;  // Per-table fresh-PK high-water marks.
 };
 
 }  // namespace systemr

@@ -20,20 +20,34 @@
 // concurrent sessions fuzz it in parallel, each checked against its own
 // reference executor; per-thread query streams are still deterministic, so
 // a violating (seed, thread) pair replays with the same flags.
+//
+// `--dml N` interleaves one random INSERT/UPDATE/DELETE before every Nth
+// query; the statement must behave identically on the engine and the
+// index-less twin, and all later query oracles run on the mutated data.
+//
+// `--crash` switches to crash-recovery fuzzing (see harness/crash_fuzz.h):
+// each seed runs a transactional DML workload, kills the engine at a seeded
+// random WAL offset (every third seed with a torn garbage tail), recovers a
+// fresh engine from the surviving bytes, and checks that exactly the
+// committed prefix of the workload survived — then that the recovered
+// database still answers queries and accepts DML.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "harness/crash_fuzz.h"
 #include "harness/fuzz_session.h"
 
 int main(int argc, char** argv) {
   uint64_t seeds = 100;
   uint64_t start = 1;
   int threads = 1;
+  bool crash_mode = false;
   std::string out_path = "fuzz_report.json";
   systemr::FuzzOptions options;
+  systemr::CrashFuzzOptions crash_options;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -58,6 +72,14 @@ int main(int argc, char** argv) {
       options.metamorphic = false;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       options.inject_faults = true;
+    } else if (std::strcmp(argv[i], "--crash") == 0) {
+      crash_mode = true;
+    } else if (std::strcmp(argv[i], "--units") == 0) {
+      crash_options.units =
+          static_cast<int>(std::strtol(need_value("--units"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--dml") == 0) {
+      options.dml_every =
+          static_cast<int>(std::strtol(need_value("--dml"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--table1") == 0) {
       // Paper-faithful estimator: no histograms, no feedback. Used to record
       // the calibration baseline in EXPERIMENTS.md.
@@ -89,10 +111,43 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fuzz_driver [--seeds N] [--queries M] [--start S] "
                    "[--out PATH] [--no-baselines] [--no-metamorphic] "
-                   "[--faults] [--table1] [--threads T] [--dop N] "
+                   "[--faults] [--crash] [--units N] [--dml N] [--table1] "
+                   "[--threads T] [--dop N] "
                    "[--join-method nlj|merge|hash|auto]\n");
       return 2;
     }
+  }
+
+  if (crash_mode) {
+    // Crash-recovery mode: atomicity/durability oracle, no report file.
+    uint64_t failed_seeds = 0, stmts = 0, violations = 0;
+    for (uint64_t seed = start; seed < start + seeds; ++seed) {
+      systemr::SeedResult result =
+          systemr::RunCrashFuzzSeed(seed, crash_options);
+      stmts += result.queries;
+      violations += result.violations.size();
+      if (!result.violations.empty()) {
+        ++failed_seeds;
+        for (const std::string& v : result.violations) {
+          std::fprintf(stderr, "VIOLATION %s\n", v.c_str());
+        }
+      }
+      if ((seed - start + 1) % 50 == 0) {
+        std::printf("... %llu/%llu seeds, %llu violations\n",
+                    static_cast<unsigned long long>(seed - start + 1),
+                    static_cast<unsigned long long>(seeds),
+                    static_cast<unsigned long long>(violations));
+        std::fflush(stdout);
+      }
+    }
+    std::printf(
+        "fuzz_driver --crash: %llu seeds, %llu DML statements, %llu "
+        "violations (%llu bad seeds)\n",
+        static_cast<unsigned long long>(seeds),
+        static_cast<unsigned long long>(stmts),
+        static_cast<unsigned long long>(violations),
+        static_cast<unsigned long long>(failed_seeds));
+    return violations == 0 ? 0 : 1;
   }
 
   if (threads > 1) {

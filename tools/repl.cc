@@ -165,8 +165,26 @@ class Repl {
     } else if (verb == "SELECT") {
       auto r = session_.ExecuteQuery(stmt);
       PrintResult(r);
+    } else if (verb == "BEGIN" || verb == "COMMIT" || verb == "ROLLBACK") {
+      Status s = session_.Execute(stmt);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("%s\n", verb == "BEGIN" ? "begin" : verb == "COMMIT"
+                                ? "commit" : "rollback");
+      }
+    } else if (verb == "INSERT" || verb == "DELETE" ||
+               (verb == "UPDATE" &&
+                FirstWord(stmt.substr(rest), nullptr) != "STATISTICS")) {
+      // DML joins the session's open transaction (auto-commits without one).
+      auto n = session_.Mutate(stmt);
+      if (!n.ok()) {
+        std::printf("error: %s\n", n.status().ToString().c_str());
+      } else {
+        std::printf("%zu row%s\n", *n, *n == 1 ? "" : "s");
+      }
     } else {
-      // DDL / DML / UPDATE STATISTICS go straight to the database.
+      // DDL / UPDATE STATISTICS go straight to the database.
       Status s = db_.Execute(stmt);
       if (!s.ok()) {
         std::printf("error: %s\n", s.ToString().c_str());
@@ -299,7 +317,8 @@ class Repl {
         "  EXECUTE <name> [(v1, ...)];      run with parameters bound\n"
         "  EXPLAIN <name>; / EXPLAIN <select>;\n"
         "  SELECT ...;                      one-shot query via the session\n"
-        "  CREATE TABLE/INDEX, INSERT, UPDATE STATISTICS, ...;\n"
+        "  BEGIN; ... COMMIT; / ROLLBACK;   transaction control\n"
+        "  CREATE TABLE/INDEX, INSERT, UPDATE, DELETE, UPDATE STATISTICS;\n"
         "meta:\n"
         "  \\stats       session, plan-cache, buffer, and parallel counters\n"
         "  \\parallel N  max degree of parallelism for new plans (1=serial)\n"
