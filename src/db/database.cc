@@ -214,10 +214,11 @@ Status Database::CommitTxn(Txn* txn) {
   WalRecord rec;
   rec.type = WalRecordType::kCommit;
   rec.txn = txn->id();
-  rss_.wal().Append(rec);
+  Lsn commit_end = rss_.wal().Append(rec);
   // The fsync point: once this returns, the commit record is durable and
-  // the transaction survives any crash.
-  rss_.wal().Sync();
+  // the transaction survives any crash. SyncTo group-commits — concurrent
+  // committers share one fsync instead of queueing one each.
+  rss_.wal().SyncTo(commit_end);
   txn->undo().clear();
   lock_mgr_.ReleaseAll(txn->id());
   return Status::OK();

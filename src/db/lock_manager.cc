@@ -17,22 +17,27 @@ bool LockManager::Compatible(const RelLock& lock, uint64_t owner,
 
 Status LockManager::Acquire(uint64_t owner, RelId rel, LockMode mode) {
   std::unique_lock<std::mutex> lock(mu_);
-  RelLock& rl = locks_[rel];
-  auto own = rl.holders.find(owner);
-  if (own != rl.holders.end() &&
-      (own->second == LockMode::kExclusive || mode == LockMode::kShared)) {
-    return Status::OK();  // Already covered (X subsumes S).
+  {
+    RelLock& rl = locks_[rel];
+    auto own = rl.holders.find(owner);
+    if (own != rl.holders.end() &&
+        (own->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+      return Status::OK();  // Already covered (X subsumes S).
+    }
   }
+  // The condvar wait releases mu_, during which a concurrent ReleaseAll may
+  // erase this relation's (then-empty) map node — so the entry must be
+  // re-looked-up after every wake, never cached by reference across a wait.
   auto deadline = std::chrono::steady_clock::now() + timeout_;
-  while (!Compatible(rl, owner, mode)) {
+  while (!Compatible(locks_[rel], owner, mode)) {
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-        !Compatible(rl, owner, mode)) {
+        !Compatible(locks_[rel], owner, mode)) {
       return Status::ResourceExhausted(
           "lock timeout on relation " + std::to_string(rel) +
           " (possible deadlock; aborting this statement resolves it)");
     }
   }
-  rl.holders[owner] = mode;  // Insert or S->X upgrade.
+  locks_[rel].holders[owner] = mode;  // Insert or S->X upgrade.
   return Status::OK();
 }
 

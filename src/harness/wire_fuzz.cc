@@ -1,0 +1,304 @@
+#include "harness/wire_fuzz.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "net/client.h"
+#include "net/protocol.h"
+
+namespace systemr {
+
+namespace {
+
+using net::Opcode;
+
+/// A raw attacker socket: no handshake, no framing discipline — just bytes.
+/// All reads carry a timeout so a wedged server shows up as a violation
+/// instead of hanging the fuzzer.
+class RawConn {
+ public:
+  bool Connect(uint16_t port, int timeout_ms) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool SendRaw(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendFrame(Opcode op, const std::string& body) {
+    return net::WriteFrame(fd_, op, body);
+  }
+
+  /// What the server did in response: replied, closed cleanly, or neither.
+  enum class Outcome { kReply, kClosed, kHangOrError };
+
+  Outcome ReadReply(net::WireResult* out) {
+    Opcode op;
+    std::string body;
+    net::FrameRead fr = net::ReadFrame(fd_, &op, &body);
+    if (fr == net::FrameRead::kEof) return Outcome::kClosed;
+    if (fr != net::FrameRead::kOk || op != Opcode::kReply ||
+        !net::DecodeReply(body, out)) {
+      return Outcome::kHangOrError;
+    }
+    return Outcome::kReply;
+  }
+
+  /// Reply that must be an error (the connection may close right after).
+  bool ExpectErrorReply() {
+    net::WireResult r;
+    return ReadReply(&r) == Outcome::kReply && !r.ok();
+  }
+
+  /// Handshake + probe on THIS connection — proves it stayed usable.
+  bool UsableAfter(bool hello_done) {
+    if (!hello_done) {
+      if (!SendFrame(Opcode::kHello, net::EncodeHello())) return false;
+      net::WireResult h;
+      if (ReadReply(&h) != Outcome::kReply || !h.ok()) return false;
+    }
+    if (!SendFrame(Opcode::kQuery, net::EncodeQuery("SELECT N FROM PROBE", {})))
+      return false;
+    net::WireResult r;
+    return ReadReply(&r) == Outcome::kReply && r.ok() && r.rows.size() == 1;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+std::string RandomBytes(Rng* rng, size_t len) {
+  std::string out(len, '\0');
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<char>(rng->Uniform(0, 255));
+  }
+  return out;
+}
+
+std::string U32Le(uint32_t v) {
+  std::string out(4, '\0');
+  std::memcpy(&out[0], &v, 4);
+  return out;
+}
+
+}  // namespace
+
+SeedResult RunWireFuzzSeed(net::Server* server, uint64_t seed,
+                           const WireFuzzOptions& options) {
+  SeedResult result;
+  result.seed = seed;
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  const uint16_t port = server->port();
+  const int timeout = options.reply_timeout_ms;
+
+  auto violation = [&](const std::string& what) {
+    result.violations.push_back("wire seed " + std::to_string(seed) + ": " +
+                                what);
+  };
+
+  for (int attack = 0; attack < options.attacks_per_seed; ++attack) {
+    ++result.queries;
+    int kind = static_cast<int>(rng.Uniform(0, 9));
+    RawConn conn;
+    if (!conn.Connect(port, timeout)) {
+      violation("attack " + std::to_string(kind) + ": connect refused");
+      break;
+    }
+    switch (kind) {
+      case 0: {
+        // Oversized length prefix: framing is garbage, expect error + close.
+        uint32_t len = static_cast<uint32_t>(
+            rng.Uniform(net::kMaxFrameLen + 1, UINT32_MAX));
+        conn.SendRaw(U32Le(len));
+        if (!conn.ExpectErrorReply()) {
+          violation("oversized length earned no error reply");
+        }
+        break;
+      }
+      case 1: {
+        // Zero length: same contract.
+        conn.SendRaw(U32Le(0));
+        if (!conn.ExpectErrorReply()) {
+          violation("zero length earned no error reply");
+        }
+        break;
+      }
+      case 2: {
+        // Truncated frame: declare a plausible length, send only part of the
+        // body, vanish. The server must just drop the connection.
+        uint32_t len = static_cast<uint32_t>(rng.Uniform(2, 4096));
+        conn.SendRaw(U32Le(len));
+        conn.SendRaw(RandomBytes(&rng, rng.Uniform(0, len - 1)));
+        break;  // Disconnect happens in ~RawConn.
+      }
+      case 3: {
+        // Unknown opcode: in-frame garbage — error reply, connection lives.
+        std::string body = RandomBytes(&rng, rng.Uniform(0, 64));
+        conn.SendFrame(static_cast<Opcode>(rng.Uniform(0x0B, 0x7F)), body);
+        if (!conn.ExpectErrorReply()) {
+          violation("unknown opcode earned no error reply");
+        } else if (!conn.UsableAfter(false)) {
+          violation("connection unusable after unknown opcode");
+        }
+        break;
+      }
+      case 4: {
+        // Garbage body for a legal opcode, after a proper HELLO.
+        net::WireResult hello;
+        if (!conn.SendFrame(Opcode::kHello, net::EncodeHello()) ||
+            conn.ReadReply(&hello) != RawConn::Outcome::kReply ||
+            !hello.ok()) {
+          violation("handshake failed before garbage-body attack");
+          break;
+        }
+        Opcode ops[] = {Opcode::kQuery, Opcode::kPrepare, Opcode::kExecute,
+                        Opcode::kSet};
+        Opcode op = ops[rng.Uniform(0, 3)];
+        conn.SendFrame(op, RandomBytes(&rng, rng.Uniform(0, 128)));
+        net::WireResult r;
+        if (conn.ReadReply(&r) != RawConn::Outcome::kReply) {
+          violation("garbage body earned no reply");
+        } else if (!conn.UsableAfter(true)) {
+          violation("connection unusable after garbage body");
+        }
+        break;
+      }
+      case 5: {
+        // Mid-frame disconnect: half a length prefix.
+        conn.SendRaw(RandomBytes(&rng, rng.Uniform(1, 3)));
+        break;
+      }
+      case 6: {
+        // Raw byte spew: no framing discipline at all.
+        conn.SendRaw(RandomBytes(&rng, rng.Uniform(1, 512)));
+        break;
+      }
+      case 7: {
+        // Wrong HELLO version: rejected, but the connection must allow a
+        // corrected handshake.
+        std::string body(1, static_cast<char>(rng.Uniform(2, 255)));
+        conn.SendFrame(Opcode::kHello, body);
+        if (!conn.ExpectErrorReply()) {
+          violation("bad HELLO version earned no error reply");
+        } else if (!conn.UsableAfter(false)) {
+          violation("connection unusable after bad HELLO version");
+        }
+        break;
+      }
+      case 8: {
+        // Opcode before HELLO: protocol error, connection lives.
+        conn.SendFrame(Opcode::kQuery,
+                       net::EncodeQuery("SELECT N FROM PROBE", {}));
+        if (!conn.ExpectErrorReply()) {
+          violation("pre-HELLO opcode earned no error reply");
+        } else if (!conn.UsableAfter(false)) {
+          violation("connection unusable after pre-HELLO opcode");
+        }
+        break;
+      }
+      case 9: {
+        // Empty body where one is required.
+        conn.SendFrame(Opcode::kHello, net::EncodeHello());
+        net::WireResult h;
+        conn.ReadReply(&h);
+        conn.SendFrame(Opcode::kQuery, "");
+        if (!conn.ExpectErrorReply()) {
+          violation("empty QUERY body earned no error reply");
+        } else if (!conn.UsableAfter(true)) {
+          violation("connection unusable after empty QUERY body");
+        }
+        break;
+      }
+    }
+  }
+
+  // Health probe: whatever the attacks did, a fresh well-formed connection
+  // must still get real answers.
+  net::Client probe;
+  Status s = probe.Connect("127.0.0.1", port);
+  if (!s.ok()) {
+    violation("health probe connect failed: " + s.ToString());
+    return result;
+  }
+  StatusOr<net::WireResult> r = probe.Query("SELECT N FROM PROBE");
+  if (!r.ok()) {
+    violation("health probe transport failed: " + r.status().ToString());
+  } else if (!(*r).ok() || r->rows.size() != 1) {
+    violation("health probe query failed: " + r->ToStatus().ToString());
+  }
+  probe.Close();
+  return result;
+}
+
+WireFuzzResult RunWireFuzz(uint64_t start, uint64_t seeds,
+                           const WireFuzzOptions& options) {
+  WireFuzzResult out;
+  Database db(128);
+  Status s = db.ExecuteScript(
+      "CREATE TABLE PROBE (N INT);"
+      "INSERT INTO PROBE VALUES (42);"
+      "UPDATE STATISTICS PROBE;");
+  if (!s.ok()) {
+    out.violations.push_back("setup failed: " + s.ToString());
+    return out;
+  }
+  PlanCache cache(16);
+  net::ServerOptions opts;
+  opts.max_concurrent = 4;
+  opts.max_queue = 8;
+  net::Server server(&db, &cache, opts);
+  s = server.Start();
+  if (!s.ok()) {
+    out.violations.push_back("server start failed: " + s.ToString());
+    return out;
+  }
+
+  for (uint64_t seed = start; seed < start + seeds; ++seed) {
+    SeedResult r = RunWireFuzzSeed(&server, seed, options);
+    ++out.seeds;
+    out.attacks += r.queries;
+    for (std::string& v : r.violations) out.violations.push_back(std::move(v));
+    if (!server.running()) {
+      out.violations.push_back("server died at seed " + std::to_string(seed));
+      break;
+    }
+  }
+  server.Stop();
+  return out;
+}
+
+}  // namespace systemr

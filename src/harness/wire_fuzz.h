@@ -1,0 +1,49 @@
+// Wire-protocol robustness fuzzing: seeded malformed-frame attacks against
+// a LIVE serverd (oversized / zero / truncated length prefixes, unknown
+// opcodes, garbage bodies, mid-frame disconnects, raw byte spew, bad HELLO
+// versions). The oracle is the protocol contract, not a reference
+// implementation:
+//
+//   - within-frame garbage (unknown opcode, undecodable body) earns an
+//     error reply and the connection STAYS usable;
+//   - broken framing (len == 0 or len > kMaxFrameLen) earns an error reply
+//     followed by a close — there is no way to resynchronize;
+//   - nothing the attacker sends may crash, hang, or wedge the server: after
+//     every seed a fresh well-formed connection must still answer the probe
+//     query.
+#ifndef SYSTEMR_HARNESS_WIRE_FUZZ_H_
+#define SYSTEMR_HARNESS_WIRE_FUZZ_H_
+
+#include <cstdint>
+
+#include "harness/fuzz_session.h"
+#include "net/server.h"
+
+namespace systemr {
+
+struct WireFuzzOptions {
+  int attacks_per_seed = 6;
+  /// recv timeout while reading attack replies — a server that stops
+  /// answering within this window counts as hung.
+  int reply_timeout_ms = 5000;
+};
+
+/// One deterministic attack round against `server` (already Start()ed, with
+/// the PROBE table loaded — see RunWireFuzz). Violations name the attack.
+SeedResult RunWireFuzzSeed(net::Server* server, uint64_t seed,
+                           const WireFuzzOptions& options);
+
+struct WireFuzzResult {
+  uint64_t seeds = 0;
+  uint64_t attacks = 0;
+  std::vector<std::string> violations;
+};
+
+/// Full campaign: builds a database with the PROBE table, serves it, and
+/// runs `seeds` attack rounds starting at `start`.
+WireFuzzResult RunWireFuzz(uint64_t start, uint64_t seeds,
+                           const WireFuzzOptions& options = {});
+
+}  // namespace systemr
+
+#endif  // SYSTEMR_HARNESS_WIRE_FUZZ_H_

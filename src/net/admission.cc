@@ -1,0 +1,72 @@
+#include "net/admission.h"
+
+#include <algorithm>
+
+namespace systemr {
+namespace net {
+
+Status AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::Cancelled("server shutting down");
+  }
+  if (active_ < max_concurrent_ && waiting_.empty()) {
+    ++active_;
+    ++admitted_;
+    peak_active_ = std::max<uint64_t>(peak_active_, active_);
+    return Status::OK();
+  }
+  if (waiting_.size() >= max_queue_) {
+    ++shed_;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(max_queue_) +
+        " waiting, " + std::to_string(max_concurrent_) + " executing)");
+  }
+  uint64_t ticket = next_ticket_++;
+  waiting_.push_back(ticket);
+  ++queued_total_;
+  peak_queued_ = std::max<uint64_t>(peak_queued_, waiting_.size());
+  cv_.wait(lock, [&] {
+    return shutdown_ ||
+           (!waiting_.empty() && waiting_.front() == ticket &&
+            active_ < max_concurrent_);
+  });
+  if (shutdown_) {
+    // Shutdown() cleared the queue; this ticket is already gone.
+    return Status::Cancelled("server shutting down");
+  }
+  waiting_.pop_front();
+  ++active_;
+  ++admitted_;
+  peak_active_ = std::max<uint64_t>(peak_active_, active_);
+  // The next waiter in line may also be eligible (several slots can free
+  // while the queue drains one wake-up at a time).
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) --active_;
+  cv_.notify_all();
+}
+
+void AdmissionController::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  waiting_.clear();
+  cv_.notify_all();
+}
+
+uint64_t AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+uint64_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_.size();
+}
+
+}  // namespace net
+}  // namespace systemr

@@ -1,0 +1,82 @@
+// AdmissionController: the server's statement-level overload valve. A
+// bounded counting semaphore (`max_concurrent` statements executing) with a
+// bounded FIFO wait queue (`max_queue` statements waiting). The policy is
+// shed-on-full: once the queue is at capacity a new arrival is rejected
+// immediately with kResourceExhausted instead of being allowed to degrade
+// everyone already inside — bounded queueing keeps the tail latency of
+// admitted work bounded, and the fast rejection tells a closed-loop client
+// to back off now rather than after a long futile wait.
+//
+// FIFO fairness matters under sustained overload: tickets are granted in
+// arrival order, so a statement that queued first cannot be starved by
+// later arrivals sneaking into freed slots.
+#ifndef SYSTEMR_NET_ADMISSION_H_
+#define SYSTEMR_NET_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace systemr {
+namespace net {
+
+class AdmissionController {
+ public:
+  AdmissionController(size_t max_concurrent, size_t max_queue)
+      : max_concurrent_(max_concurrent == 0 ? 1 : max_concurrent),
+        max_queue_(max_queue) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Acquires an execution slot, waiting in FIFO order while all slots are
+  /// busy. Returns kResourceExhausted immediately when the wait queue is
+  /// full (load shedding) and kCancelled when the server shuts down while
+  /// this statement is still waiting. On OK the caller must Release().
+  Status Admit();
+
+  /// Returns the slot taken by a successful Admit().
+  void Release();
+
+  /// Wakes every queued waiter with kCancelled and makes all future Admit()
+  /// calls fail the same way. In-flight statements (already admitted) are
+  /// unaffected — the server drains them separately.
+  void Shutdown();
+
+  // Gauges and counters (see ServerStatsSnapshot for meanings).
+  uint64_t active() const;
+  uint64_t queued() const;
+  uint64_t admitted() const { return Get(admitted_); }
+  uint64_t queued_total() const { return Get(queued_total_); }
+  uint64_t shed() const { return Get(shed_); }
+  uint64_t peak_active() const { return Get(peak_active_); }
+  uint64_t peak_queued() const { return Get(peak_queued_); }
+
+ private:
+  uint64_t Get(const uint64_t& counter) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counter;
+  }
+
+  const size_t max_concurrent_;
+  const size_t max_queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  size_t active_ = 0;
+  std::deque<uint64_t> waiting_;  // Tickets, in arrival order.
+  uint64_t next_ticket_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t queued_total_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t peak_active_ = 0;
+  uint64_t peak_queued_ = 0;
+};
+
+}  // namespace net
+}  // namespace systemr
+
+#endif  // SYSTEMR_NET_ADMISSION_H_

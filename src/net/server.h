@@ -1,0 +1,130 @@
+// Server: the network serving front end (DESIGN.md §10). A thread-per-
+// connection TCP server over the existing Session API: each accepted
+// connection owns one Session (and with it a private prepared-statement
+// namespace and transaction state), all connections share the Database and
+// PlanCache underneath — exactly the multi-user shape the Session layer was
+// built for.
+//
+// Admission control sits between the protocol and the engine: every
+// executing statement must win a slot from a bounded semaphore with a
+// bounded FIFO wait queue (net/admission.h); when the queue is full the
+// request is shed immediately with kResourceExhausted. Every admitted
+// statement runs under server-imposed ExecLimits (buffer-get budget, row
+// cap, deadline) tightened — never loosened — by the connection's SET
+// values, so no client can exempt itself from the server's runaway-query
+// protection.
+//
+// Graceful shutdown: Stop() closes the listener, cancels queued waiters,
+// drains in-flight statements (their replies are still delivered), then
+// cooperatively cancels stragglers via the shared ExecLimits cancel flag,
+// rolls back connections' open transactions (Session teardown), and joins
+// every thread. After Stop() returns no server thread is alive.
+#ifndef SYSTEMR_NET_SERVER_H_
+#define SYSTEMR_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "net/admission.h"
+#include "net/protocol.h"
+#include "session/plan_cache.h"
+#include "session/session.h"
+
+namespace systemr {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port with port().
+
+  size_t max_connections = 64;
+  /// Admission control: statements executing concurrently / waiting.
+  size_t max_concurrent = 8;
+  size_t max_queue = 16;
+
+  /// Server-imposed per-statement defaults (0 = unlimited). A connection's
+  /// SET can only tighten these.
+  uint64_t default_max_buffer_gets = 0;
+  uint64_t default_max_rows = 0;
+  uint32_t default_deadline_ms = 0;
+
+  /// Ceiling on SET PARALLEL: a client cannot demand more workers than the
+  /// operator allows.
+  int max_dop_cap = 8;
+
+  /// How long Stop() waits for in-flight statements before cancelling them.
+  uint32_t drain_timeout_ms = 5000;
+};
+
+class Server {
+ public:
+  /// Neither `db` nor `cache` is owned; `cache` may be null (no plan
+  /// caching for any connection).
+  Server(Database* db, PlanCache* cache, ServerOptions options = {});
+  ~Server();  // Stop()s if still running.
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+  /// Graceful shutdown; idempotent. See the class comment for the order.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after Start(); useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  ServerStatsSnapshot stats() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void Serve(Conn* conn);
+  /// Joins and erases finished connection threads (accept-loop housekeeping).
+  void ReapFinished();
+
+  Database* db_;
+  PlanCache* cache_;
+  ServerOptions options_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Cooperative cancel for statements that outlive the drain timeout; wired
+  /// into every statement's ExecLimits.
+  std::atomic<bool> cancel_all_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  /// Serializes Stop() callers (explicit Stop + destructor).
+  std::mutex stop_mu_;
+
+  // Observability counters (STATS opcode).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> stmts_completed_{0};
+  std::atomic<uint64_t> stmts_failed_{0};
+  std::atomic<uint64_t> disconnect_rollbacks_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+}  // namespace net
+}  // namespace systemr
+
+#endif  // SYSTEMR_NET_SERVER_H_

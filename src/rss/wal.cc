@@ -1,7 +1,9 @@
 #include "rss/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace systemr {
 
@@ -144,10 +146,52 @@ Lsn WalManager::Append(const WalRecord& rec) {
   return log_.size();
 }
 
-Lsn WalManager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
-  durable_ = log_.size();
+Lsn WalManager::Sync() { return SyncTo(size()); }
+
+Lsn WalManager::SyncTo(Lsn target) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++sync_requests_;
+  target = std::min<Lsn>(target, log_.size());
+  bool led = false;
+  while (durable_ < target) {
+    if (sync_in_progress_) {
+      // A leader's fsync is in flight; our record is already in the log
+      // tail, so if that fsync covers us we commit for free.
+      sync_cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: fsync everything appended so far. Commit records
+    // that arrived while we waited ride along in this one sync.
+    led = true;
+    sync_in_progress_ = true;
+    Lsn up_to = log_.size();
+    uint32_t delay = sync_delay_us_;
+    ++syncs_;
+    lock.unlock();
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+    lock.lock();
+    durable_ = std::max<Lsn>(durable_, up_to);
+    sync_in_progress_ = false;
+    sync_cv_.notify_all();
+  }
+  if (!led) ++piggybacked_;
   return durable_;
+}
+
+void WalManager::set_sync_delay_us(uint32_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_delay_us_ = us;
+}
+
+WalManager::Stats WalManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.syncs = syncs_;
+  s.sync_requests = sync_requests_;
+  s.piggybacked = piggybacked_;
+  return s;
 }
 
 Lsn WalManager::size() const {

@@ -24,6 +24,7 @@
 #ifndef SYSTEMR_RSS_WAL_H_
 #define SYSTEMR_RSS_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -71,6 +72,13 @@ struct WalRecord {
 
 /// The in-memory log device. Thread-safe: DML appends serialize through the
 /// catalog's exclusive lock, but commits from different sessions may race.
+///
+/// Group commit: SyncTo(lsn) elects one committer as the sync leader; while
+/// the leader's (simulated) fsync is in flight, other committers whose
+/// records are already appended simply wait for it to land instead of
+/// issuing their own — one fsync durably commits the whole batch. With a
+/// nonzero sync delay and concurrent committers, stats().syncs stays well
+/// below the number of commits while stats().piggybacked makes up the rest.
 class WalManager {
  public:
   WalManager() = default;
@@ -84,8 +92,27 @@ class WalManager {
   Lsn Append(const WalRecord& rec);
 
   /// Advances the durable prefix to the current end of log (the fsync
-  /// point). Returns the new durable size.
+  /// point). Returns the new durable size. Equivalent to SyncTo(size()).
   Lsn Sync();
+
+  /// Makes at least the first `target` bytes durable, via group commit: if
+  /// another thread's fsync is already in flight, waits for it and returns
+  /// without a new fsync when it covered `target` (a piggybacked commit);
+  /// otherwise becomes the leader and fsyncs the whole current tail, taking
+  /// any concurrently appended commit records along. Returns the durable
+  /// size, always >= min(target, size()).
+  Lsn SyncTo(Lsn target);
+
+  /// Simulated fsync latency, applied inside each sync with the log latch
+  /// released — this is the window in which followers batch up.
+  void set_sync_delay_us(uint32_t us);
+
+  struct Stats {
+    uint64_t syncs = 0;          // Fsync operations actually performed.
+    uint64_t sync_requests = 0;  // Sync()/SyncTo() calls.
+    uint64_t piggybacked = 0;    // Requests satisfied by another's fsync.
+  };
+  Stats stats() const;
 
   Lsn size() const;
   Lsn durable_size() const;
@@ -105,9 +132,15 @@ class WalManager {
 
  private:
   mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
   std::string log_;
   Lsn durable_ = 0;
   bool enabled_ = true;
+  bool sync_in_progress_ = false;
+  uint32_t sync_delay_us_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t sync_requests_ = 0;
+  uint64_t piggybacked_ = 0;
 };
 
 /// Sequential reader over a log byte string. Stops (returns false) at end of

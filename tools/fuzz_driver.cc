@@ -25,6 +25,13 @@
 // query; the statement must behave identically on the engine and the
 // index-less twin, and all later query oracles run on the mutated data.
 //
+// `--wire N` switches to wire-protocol robustness fuzzing (see
+// harness/wire_fuzz.h): N seeds of malformed-frame attacks against a live
+// in-process server — oversized/zero/truncated lengths, unknown opcodes,
+// garbage bodies, mid-frame disconnects — checking that every attack earns
+// a clean protocol error (never a crash or hang) and the server still
+// answers a well-formed probe afterward.
+//
 // `--crash` switches to crash-recovery fuzzing (see harness/crash_fuzz.h):
 // each seed runs a transactional DML workload, kills the engine at a seeded
 // random WAL offset (every third seed with a torn garbage tail), recovers a
@@ -39,12 +46,14 @@
 
 #include "harness/crash_fuzz.h"
 #include "harness/fuzz_session.h"
+#include "harness/wire_fuzz.h"
 
 int main(int argc, char** argv) {
   uint64_t seeds = 100;
   uint64_t start = 1;
   int threads = 1;
   bool crash_mode = false;
+  bool wire_mode = false;
   std::string out_path = "fuzz_report.json";
   systemr::FuzzOptions options;
   systemr::CrashFuzzOptions crash_options;
@@ -74,6 +83,9 @@ int main(int argc, char** argv) {
       options.inject_faults = true;
     } else if (std::strcmp(argv[i], "--crash") == 0) {
       crash_mode = true;
+    } else if (std::strcmp(argv[i], "--wire") == 0) {
+      wire_mode = true;
+      seeds = std::strtoull(need_value("--wire"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--units") == 0) {
       crash_options.units =
           static_cast<int>(std::strtol(need_value("--units"), nullptr, 10));
@@ -111,11 +123,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fuzz_driver [--seeds N] [--queries M] [--start S] "
                    "[--out PATH] [--no-baselines] [--no-metamorphic] "
-                   "[--faults] [--crash] [--units N] [--dml N] [--table1] "
-                   "[--threads T] [--dop N] "
+                   "[--faults] [--crash] [--wire N] [--units N] [--dml N] "
+                   "[--table1] [--threads T] [--dop N] "
                    "[--join-method nlj|merge|hash|auto]\n");
       return 2;
     }
+  }
+
+  if (wire_mode) {
+    // Wire-protocol robustness mode: one live server, seeded frame attacks.
+    systemr::WireFuzzResult result = systemr::RunWireFuzz(start, seeds);
+    for (const std::string& v : result.violations) {
+      std::fprintf(stderr, "VIOLATION %s\n", v.c_str());
+    }
+    std::printf(
+        "fuzz_driver --wire: %llu seeds, %llu attacks, %zu violations\n",
+        static_cast<unsigned long long>(result.seeds),
+        static_cast<unsigned long long>(result.attacks),
+        result.violations.size());
+    return result.violations.empty() ? 0 : 1;
   }
 
   if (crash_mode) {

@@ -2,6 +2,13 @@
 // version of the server-shaped PREPARE/EXECUTE path.
 //
 //   repl [--buffer-pages N] [--cache-capacity N] [--script FILE]
+//        [--connect host:port]
+//
+// With --connect the shell speaks the wire protocol to a serverd instead of
+// embedding a Database: the same statement surface travels as QUERY /
+// PREPARE / EXECUTE frames, \stats shows the server's observability
+// counters (STATS opcode), and \parallel becomes SET parallel — capped by
+// the server, like every other limit.
 //
 // Statements end with ';' and may span lines. The SQL surface is the
 // engine's own (CREATE TABLE / CREATE INDEX / INSERT / UPDATE STATISTICS /
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "net/client.h"
 #include "session/plan_cache.h"
 #include "session/session.h"
 
@@ -334,10 +342,203 @@ class Repl {
   std::map<std::string, std::unique_ptr<PreparedStatement>> prepared_;
 };
 
+// The remote shell: same line/statement surface as Repl, but every
+// statement travels to a serverd as a wire-protocol frame.
+class RemoteRepl {
+ public:
+  // Returns non-OK if the connection (incl. HELLO handshake) fails.
+  Status Connect(const std::string& spec) {
+    std::string host;
+    uint16_t port = 0;
+    Status s = net::ParseHostPort(spec, &host, &port);
+    if (!s.ok()) return s;
+    RETURN_IF_ERROR(client_.Connect(host, port));
+    std::printf("connected to %s:%u (protocol v%u)\n", host.c_str(),
+                (unsigned)port, (unsigned)net::kProtocolVersion);
+    return Status::OK();
+  }
+
+  bool HandleLine(const std::string& line) {
+    if (!client_.connected()) {
+      std::printf("connection lost\n");
+      return false;
+    }
+    if (!line.empty() && line[0] == '\\') {
+      return HandleMeta(line);
+    }
+    buffer_ += line;
+    buffer_ += '\n';
+    size_t semi;
+    while ((semi = buffer_.find(';')) != std::string::npos) {
+      std::string stmt = buffer_.substr(0, semi);
+      buffer_.erase(0, semi + 1);
+      HandleStatement(stmt);
+    }
+    return true;
+  }
+
+  bool pending() const {
+    return buffer_.find_first_not_of(" \t\n") != std::string::npos;
+  }
+
+ private:
+  bool HandleMeta(const std::string& line) {
+    std::string cmd = line.substr(0, line.find_first_of(" \t"));
+    if (cmd == "\\q" || cmd == "\\quit") {
+      client_.Close();
+      return false;
+    }
+    if (cmd == "\\stats") {
+      PrintServerStats();
+    } else if (cmd == "\\parallel") {
+      size_t rest = 0;
+      FirstWord(line, &rest);
+      int64_t dop = std::strtol(line.c_str() + rest, nullptr, 10);
+      PrintWire(client_.Set("parallel", dop), "parallel set");
+    } else if (cmd == "\\help") {
+      std::printf(
+          "remote mode — statements travel to the server; meta:\n"
+          "  \\stats       server observability counters (STATS opcode)\n"
+          "  \\parallel N  SET parallel (capped by the server's --max-dop)\n"
+          "  \\set K V     SET any limit: max_rows, max_buffer_gets,\n"
+          "               deadline_ms (tightens the server default)\n"
+          "  \\quit\n");
+    } else if (cmd == "\\set") {
+      size_t rest = 0;
+      FirstWord(line, &rest);
+      std::string tail = line.substr(rest);
+      size_t after_key = 0;
+      std::string key = FirstWord(tail, &after_key);
+      for (char& c : key) c = (char)std::tolower((unsigned char)c);
+      int64_t value = std::strtoll(tail.c_str() + after_key, nullptr, 10);
+      PrintWire(client_.Set(key, value), "set " + key);
+    } else {
+      std::printf("unknown command %s (try \\help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  void HandleStatement(const std::string& stmt) {
+    size_t rest = 0;
+    std::string verb = FirstWord(stmt, &rest);
+    if (verb.empty()) return;
+    if (verb == "PREPARE") {
+      std::string tail = stmt.substr(rest);
+      size_t after_name = 0;
+      std::string name = FirstWord(tail, &after_name);
+      if (name.empty()) {
+        std::printf("usage: PREPARE <name> AS <select>;\n");
+        return;
+      }
+      std::string sql = tail.substr(after_name);
+      size_t as_end = 0;
+      if (FirstWord(sql, &as_end) == "AS") sql = sql.substr(as_end);
+      PrintWire(client_.Prepare(name, sql), "prepared " + name);
+    } else if (verb == "EXECUTE") {
+      std::string tail = stmt.substr(rest);
+      size_t after_name = 0;
+      std::string name = FirstWord(tail, &after_name);
+      std::vector<Value> params;
+      std::string error;
+      if (!ParseParams(tail.substr(after_name), &params, &error)) {
+        std::printf("bad parameter list: %s\n", error.c_str());
+        return;
+      }
+      PrintWire(client_.Execute(name, params), "ok");
+    } else if (verb == "BEGIN") {
+      PrintWire(client_.Begin(), "begin");
+    } else if (verb == "COMMIT") {
+      PrintWire(client_.Commit(), "commit");
+    } else if (verb == "ROLLBACK") {
+      PrintWire(client_.Rollback(), "rollback");
+    } else {
+      // Everything else — SELECT, EXPLAIN, DML, DDL — is one QUERY frame;
+      // the server routes it by statement kind.
+      PrintWire(client_.Query(stmt), "ok");
+    }
+  }
+
+  void PrintWire(const StatusOr<net::WireResult>& r,
+                 const std::string& ok_text) {
+    if (!r.ok()) {  // The connection itself failed.
+      std::printf("connection error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    if (!r->ok()) {
+      std::printf("error: %s\n", r->ToStatus().ToString().c_str());
+      return;
+    }
+    switch (r->payload) {
+      case net::WireResult::Payload::kRows: {
+        // Reuse the engine's table printer by rebuilding a QueryResult.
+        QueryResult q;
+        q.columns = r->columns;
+        q.rows = r->rows;
+        q.plan_text = r->plan_text;
+        std::printf("%s", q.ToString().c_str());
+        if (r->plan_text.empty()) {
+          std::printf("fetches=%llu gets=%llu rsi=%llu cost est=%.1f "
+                      "act=%.1f\n",
+                      (unsigned long long)r->page_fetches,
+                      (unsigned long long)r->buffer_gets,
+                      (unsigned long long)r->rsi_calls, r->est_cost,
+                      r->actual_cost);
+        }
+        break;
+      }
+      case net::WireResult::Payload::kAffected:
+        std::printf("%llu row%s\n", (unsigned long long)r->affected,
+                    r->affected == 1 ? "" : "s");
+        break;
+      default:
+        std::printf("%s\n", ok_text.c_str());
+        break;
+    }
+  }
+
+  void PrintServerStats() {
+    StatusOr<net::ServerStatsSnapshot> s = client_.Stats();
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.status().ToString().c_str());
+      return;
+    }
+    std::printf("connections: accepted=%llu active=%llu shed=%llu "
+                "disconnect_rollbacks=%llu\n",
+                (unsigned long long)s->connections_accepted,
+                (unsigned long long)s->connections_active,
+                (unsigned long long)s->connections_shed,
+                (unsigned long long)s->disconnect_rollbacks);
+    std::printf("statements:  admitted=%llu active=%llu queued=%llu "
+                "queued_total=%llu shed=%llu\n",
+                (unsigned long long)s->stmts_admitted,
+                (unsigned long long)s->stmts_active,
+                (unsigned long long)s->stmts_queued,
+                (unsigned long long)s->stmts_queued_total,
+                (unsigned long long)s->stmts_shed);
+    std::printf("             completed=%llu failed=%llu peak_active=%llu "
+                "peak_queued=%llu\n",
+                (unsigned long long)s->stmts_completed,
+                (unsigned long long)s->stmts_failed,
+                (unsigned long long)s->peak_active,
+                (unsigned long long)s->peak_queued);
+    std::printf("wire:        bytes_in=%llu bytes_out=%llu\n",
+                (unsigned long long)s->bytes_in,
+                (unsigned long long)s->bytes_out);
+    std::printf("wal:         syncs=%llu requests=%llu piggybacked=%llu\n",
+                (unsigned long long)s->wal_syncs,
+                (unsigned long long)(s->wal_syncs + s->wal_piggybacked),
+                (unsigned long long)s->wal_piggybacked);
+  }
+
+  net::Client client_;
+  std::string buffer_;
+};
+
 int Main(int argc, char** argv) {
   size_t buffer_pages = 256;
   size_t cache_capacity = 64;
   const char* script = nullptr;
+  const char* connect = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--buffer-pages") == 0 && i + 1 < argc) {
       buffer_pages = std::strtoul(argv[++i], nullptr, 10);
@@ -345,15 +546,32 @@ int Main(int argc, char** argv) {
       cache_capacity = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--script") == 0 && i + 1 < argc) {
       script = argv[++i];
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: repl [--buffer-pages N] [--cache-capacity N] "
-                   "[--script FILE]\n");
+                   "[--script FILE] [--connect host:port]\n");
       return 2;
     }
   }
 
-  Repl repl(buffer_pages, cache_capacity);
+  std::unique_ptr<Repl> local;
+  std::unique_ptr<RemoteRepl> remote;
+  if (connect != nullptr) {
+    remote = std::make_unique<RemoteRepl>();
+    Status s = remote->Connect(connect);
+    if (!s.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  } else {
+    local = std::make_unique<Repl>(buffer_pages, cache_capacity);
+  }
+  auto handle = [&](const std::string& line) {
+    return remote ? remote->HandleLine(line) : local->HandleLine(line);
+  };
+  auto pending = [&] { return remote ? remote->pending() : local->pending(); };
 
   std::FILE* in = stdin;
   if (script != nullptr) {
@@ -374,9 +592,9 @@ int Main(int argc, char** argv) {
     while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
       line[--len] = '\0';
     }
-    if (!repl.HandleLine(line)) break;
+    if (!handle(line)) break;
     if (script == nullptr) {
-      std::printf(repl.pending() ? "    ...> " : "systemr> ");
+      std::printf(pending() ? "    ...> " : "systemr> ");
       std::fflush(stdout);
     }
   }

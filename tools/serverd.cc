@@ -1,0 +1,149 @@
+// serverd: the network serving daemon. One process = one Database, served
+// over the wire protocol (DESIGN.md §10) with admission control and
+// overload shedding. Point `repl --connect host:port` at it.
+//
+//   serverd [--host H] [--port P] [--port-file PATH]
+//           [--buffer-pages N] [--cache-capacity N] [--init FILE]
+//           [--max-connections N] [--max-concurrent N] [--max-queue N]
+//           [--max-buffer-gets N] [--max-rows N] [--deadline-ms N]
+//           [--max-dop N] [--sync-delay-us N] [--fetch-latency-us N]
+//
+// --port 0 (the default) binds an ephemeral port; --port-file writes the
+// bound port for scripts that need to find the server. --init runs a SQL
+// script against the database before serving. SIGINT/SIGTERM trigger a
+// graceful shutdown: drain in-flight statements, roll back abandoned
+// transactions, refuse new work.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "db/database.h"
+#include "net/server.h"
+#include "session/plan_cache.h"
+
+namespace systemr {
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void OnSignal(int) { g_shutdown = 1; }
+
+int Main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  net::ServerOptions opts;
+  size_t buffer_pages = 256;
+  size_t cache_capacity = 64;
+  const char* init_script = nullptr;
+  const char* port_file = nullptr;
+  uint32_t sync_delay_us = 0;
+  uint32_t fetch_latency_us = 0;
+
+  auto next_arg = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--host") == 0) {
+      opts.host = next_arg(&i);
+    } else if (std::strcmp(a, "--port") == 0) {
+      opts.port = (uint16_t)std::strtoul(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--port-file") == 0) {
+      port_file = next_arg(&i);
+    } else if (std::strcmp(a, "--buffer-pages") == 0) {
+      buffer_pages = std::strtoul(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--cache-capacity") == 0) {
+      cache_capacity = std::strtoul(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--init") == 0) {
+      init_script = next_arg(&i);
+    } else if (std::strcmp(a, "--max-connections") == 0) {
+      opts.max_connections = std::strtoul(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--max-concurrent") == 0) {
+      opts.max_concurrent = std::strtoul(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--max-queue") == 0) {
+      opts.max_queue = std::strtoul(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--max-buffer-gets") == 0) {
+      opts.default_max_buffer_gets = std::strtoull(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--max-rows") == 0) {
+      opts.default_max_rows = std::strtoull(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--deadline-ms") == 0) {
+      opts.default_deadline_ms =
+          (uint32_t)std::strtoul(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--max-dop") == 0) {
+      opts.max_dop_cap = (int)std::strtol(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--sync-delay-us") == 0) {
+      sync_delay_us = (uint32_t)std::strtoul(next_arg(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--fetch-latency-us") == 0) {
+      fetch_latency_us = (uint32_t)std::strtoul(next_arg(&i), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a);
+      return 2;
+    }
+  }
+
+  Database db(buffer_pages);
+  PlanCache cache(cache_capacity);
+  db.rss().wal().set_sync_delay_us(sync_delay_us);
+  db.rss().pool().set_sim_fetch_latency_us(fetch_latency_us);
+
+  if (init_script != nullptr) {
+    std::ifstream in(init_script);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", init_script);
+      return 2;
+    }
+    std::ostringstream sql;
+    sql << in.rdbuf();
+    Status s = db.ExecuteScript(sql.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "init script failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("init: ran %s\n", init_script);
+  }
+
+  net::Server server(&db, &cache, opts);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (port_file != nullptr) {
+    std::ofstream pf(port_file);
+    pf << server.port() << "\n";
+  }
+  std::printf("serverd listening on %s:%u (max_concurrent=%zu max_queue=%zu "
+              "max_connections=%zu)\n",
+              opts.host.c_str(), (unsigned)server.port(), opts.max_concurrent,
+              opts.max_queue, opts.max_connections);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("shutting down (draining in-flight statements)...\n");
+  server.Stop();
+  net::ServerStatsSnapshot st = server.stats();
+  std::printf("served %llu connections, %llu statements "
+              "(%llu failed, %llu shed), rolled back %llu abandoned txns\n",
+              (unsigned long long)st.connections_accepted,
+              (unsigned long long)st.stmts_completed,
+              (unsigned long long)st.stmts_failed,
+              (unsigned long long)st.stmts_shed,
+              (unsigned long long)st.disconnect_rollbacks);
+  return 0;
+}
+
+}  // namespace
+}  // namespace systemr
+
+int main(int argc, char** argv) { return systemr::Main(argc, argv); }
